@@ -1,0 +1,56 @@
+// Ablation: extension 3's pivot placement policies at equal pivot budgets —
+// recursive-center (Figure 11), recursive-random (Figure 12's strategies),
+// and the paper's "no two pivots share a row or column" Latin variation.
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "cond/conditions.hpp"
+#include "cond/wang.hpp"
+#include "experiment/table.hpp"
+#include "experiment/trial.hpp"
+#include "fig_common.hpp"
+#include "info/pivots.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meshroute;
+  using cond::Decision;
+  bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
+  opt.fault_counts = {25, 50, 100, 150, 200};
+
+  Rng rng(opt.seed);
+  experiment::Table table(
+      {"faults", "safe_source", "center21", "random21", "latin21", "existence"});
+
+  for (const std::size_t k : opt.fault_counts) {
+    analysis::Proportion safe;
+    analysis::Proportion center;
+    analysis::Proportion random;
+    analysis::Proportion latin;
+    analysis::Proportion exist;
+    for (int t = 0; t < opt.trials; ++t) {
+      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
+      const Rect area = trial.quadrant1_area();
+      const auto center_p = info::generate_pivots(area, 3, info::PivotPlacement::Center);
+      const auto random_p =
+          info::generate_pivots(area, 3, info::PivotPlacement::Random, &rng);
+      const auto latin_p = info::generate_latin_pivots(area, info::pivot_count(3), rng);
+      for (int s = 0; s < opt.dests; ++s) {
+        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+        const cond::RoutingProblem p = trial.fb_problem(d);
+        safe.add(cond::source_safe(p));
+        center.add(cond::extension3(p, center_p) == Decision::Minimal);
+        random.add(cond::extension3(p, random_p) == Decision::Minimal);
+        latin.add(cond::extension3(p, latin_p) == Decision::Minimal);
+        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      }
+    }
+    table.add_row({static_cast<double>(k), safe.value(), center.value(), random.value(),
+                   latin.value(), exist.value()});
+  }
+
+  table.print(std::cout,
+              "Ablation — extension 3 pivot placement at 21 pivots (level 3), n=" +
+                  std::to_string(opt.n));
+  table.print_csv(std::cout, "abl_pivots");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation: how much does the information model matter to the router?
+//
+// For each fault level we route the same (source, destination) pairs with
+//   * BoundaryInfo — the paper's model (only deposited node-local records),
+//   * GlobalInfo   — every node knows every block (the traditional model),
+// split by whether the source was SAFE (Definition 3). The paper's guarantee
+// is that for safe sources the two are indistinguishable. With uniformly
+// scattered faults blocks stay tiny and even unsafe sources almost always
+// get through, so this ablation additionally runs a *clustered* workload
+// (random-walk fault clusters -> large blocks, long shadows) where the gap
+// between limited and global information can actually show.
+#include <iostream>
+#include <string>
+
+#include "analysis/stats.hpp"
+#include "cond/conditions.hpp"
+#include "cond/wang.hpp"
+#include "experiment/table.hpp"
+#include "fault/block_model.hpp"
+#include "fault/fault_set.hpp"
+#include "fig_common.hpp"
+#include "info/boundary.hpp"
+#include "info/safety_level.hpp"
+#include "route/router.hpp"
+
+using namespace meshroute;
+
+namespace {
+
+struct World {
+  fault::BlockSet blocks;
+  info::BoundaryInfoMap boundary;
+  Grid<bool> mask;
+  info::SafetyGrid safety;
+
+  World(const Mesh2D& mesh, const fault::FaultSet& fs)
+      : blocks(fault::build_faulty_blocks(mesh, fs)), boundary(mesh, blocks),
+        mask(info::obstacle_mask(mesh, blocks)),
+        safety(info::compute_safety_levels(mesh, mask)) {}
+};
+
+void run_workload(const std::string& name, bool clustered, const bench::SweepOptions& opt,
+                  Rng& rng, std::ostream& os) {
+  experiment::Table table({"faults", "safe_boundary_min", "safe_global_min",
+                           "unsafe_boundary_min", "unsafe_global_min", "unsafe_existence"});
+  const Mesh2D mesh = Mesh2D::square(opt.n);
+  for (const std::size_t k : {25u, 50u, 100u, 150u, 200u}) {
+    analysis::Proportion safe_boundary;
+    analysis::Proportion safe_global;
+    analysis::Proportion unsafe_boundary;
+    analysis::Proportion unsafe_global;
+    analysis::Proportion unsafe_exist;
+    for (int t = 0; t < opt.trials; ++t) {
+      const Coord source = mesh.center();
+      const auto fs =
+          clustered
+              ? fault::clustered_faults(mesh, std::max<std::size_t>(1, k / 10), 10, rng,
+                                        [&](Coord c) { return c == source; })
+              : fault::uniform_random_faults(mesh, k, rng,
+                                             [&](Coord c) { return c == source; });
+      const World w(mesh, fs);
+      if (w.mask[source]) continue;
+      const route::MinimalRouter br(mesh, w.blocks, &w.boundary,
+                                    route::InfoPolicy::BoundaryInfo);
+      const route::MinimalRouter gr(mesh, w.blocks, nullptr, route::InfoPolicy::GlobalInfo);
+      for (int s = 0; s < opt.dests; ++s) {
+        Coord d{static_cast<Dist>(rng.uniform(source.x + 1, opt.n - 1)),
+                static_cast<Dist>(rng.uniform(source.y + 1, opt.n - 1))};
+        if (w.mask[d]) continue;
+        const cond::RoutingProblem p{&mesh, &w.mask, &w.safety, source, d};
+        const bool safe = cond::source_safe(p);
+        const bool b_min = br.route(source, d, &rng).delivered();
+        const bool g_min = gr.route(source, d, &rng).delivered();
+        if (safe) {
+          safe_boundary.add(b_min);
+          safe_global.add(g_min);
+        } else {
+          unsafe_boundary.add(b_min);
+          unsafe_global.add(g_min);
+          unsafe_exist.add(cond::monotone_path_exists(mesh, w.mask, source, d));
+        }
+      }
+    }
+    table.add_row({static_cast<double>(k),
+                   safe_boundary.trials() ? safe_boundary.value() : 1.0,
+                   safe_global.trials() ? safe_global.value() : 1.0,
+                   unsafe_boundary.trials() ? unsafe_boundary.value() : 1.0,
+                   unsafe_global.trials() ? unsafe_global.value() : 1.0,
+                   unsafe_exist.trials() ? unsafe_exist.value() : 1.0});
+  }
+  table.print(os, "Ablation — router success by information policy, " + name + " faults, n=" +
+                      std::to_string(opt.n));
+  table.print_csv(os, clustered ? "abl_router_clustered" : "abl_router_uniform");
+  os << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
+  Rng rng(opt.seed);
+  run_workload("uniform", false, opt, rng, std::cout);
+  run_workload("clustered (walks of 10)", true, opt, rng, std::cout);
+  return 0;
+}

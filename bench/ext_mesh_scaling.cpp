@@ -1,0 +1,50 @@
+// Extension experiment: how do the sufficient conditions scale with mesh
+// size? The paper fixes n = 200; this sweep holds the fault DENSITY fixed
+// (0.5% of nodes, the paper's k=200 point) and grows the mesh. Longer routes
+// cross more of the mesh, so the safe-source percentage must fall with n
+// while the existence of a minimal path stays near 1 — quantifying how much
+// heavier the extensions' job gets at scale.
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "cond/conditions.hpp"
+#include "cond/wang.hpp"
+#include "experiment/table.hpp"
+#include "experiment/trial.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meshroute;
+  using cond::Decision;
+  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
+  Rng rng(opt.seed);
+
+  experiment::Table table(
+      {"n", "faults", "safe_source", "ext1_min", "ext2_seg1", "existence"});
+  for (const Dist n : {50, 100, 200, 300}) {
+    const auto k = static_cast<std::size_t>(n) * static_cast<std::size_t>(n) / 200;
+    analysis::Proportion safe;
+    analysis::Proportion ext1;
+    analysis::Proportion ext2;
+    analysis::Proportion exist;
+    const int trials = std::max(4, opt.trials / 4);
+    for (int t = 0; t < trials; ++t) {
+      const experiment::Trial trial = experiment::make_trial({.n = n, .faults = k}, rng);
+      for (int s = 0; s < opt.dests; ++s) {
+        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+        const cond::RoutingProblem p = trial.fb_problem(d);
+        safe.add(cond::source_safe(p));
+        ext1.add(cond::extension1(p) == Decision::Minimal);
+        ext2.add(cond::extension2(p, 1) == Decision::Minimal);
+        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      }
+    }
+    table.add_row({static_cast<double>(n), static_cast<double>(k), safe.value(), ext1.value(),
+                   ext2.value(), exist.value()});
+  }
+
+  table.print(std::cout,
+              "Extension — condition strength vs mesh size at fixed fault density (0.5%)");
+  table.print_csv(std::cout, "ext_scaling");
+  return 0;
+}

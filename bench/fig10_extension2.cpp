@@ -1,0 +1,63 @@
+// Figure 10: percentage of a minimal path ensured by the variations of
+// extension 2 — segment sizes 1, 5, 10 and one-segment-per-region ("max") —
+// against the safe condition and the optimal curve. (a) faulty blocks,
+// (b) MCCs (extension 2a).
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "fig_common.hpp"
+#include "cond/conditions.hpp"
+#include "cond/wang.hpp"
+#include "experiment/table.hpp"
+#include "experiment/trial.hpp"
+#include "info/regions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meshroute;
+  using cond::Decision;
+  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
+  Rng rng(opt.seed);
+
+  const Dist segment_sizes[] = {1, 5, 10, info::kWholeRegionSegment};
+  experiment::Table fb({"faults", "safe_source", "ext2_seg1", "ext2_seg5", "ext2_seg10",
+                        "ext2_max", "existence"});
+  experiment::Table mcc({"faults", "safe_source", "ext2a_seg1", "ext2a_seg5", "ext2a_seg10",
+                         "ext2a_max", "existence"});
+
+  for (const std::size_t k : opt.fault_counts) {
+    analysis::Proportion safe_fb;
+    analysis::Proportion safe_mcc;
+    analysis::Proportion exist;
+    analysis::Proportion hits_fb[4];
+    analysis::Proportion hits_mcc[4];
+    for (int t = 0; t < opt.trials; ++t) {
+      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
+      for (int s = 0; s < opt.dests; ++s) {
+        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+        const cond::RoutingProblem pf = trial.fb_problem(d);
+        const cond::RoutingProblem pm = trial.mcc_problem(d);
+        safe_fb.add(cond::source_safe(pf));
+        safe_mcc.add(cond::source_safe(pm));
+        for (int i = 0; i < 4; ++i) {
+          hits_fb[i].add(cond::extension2(pf, segment_sizes[i]) == Decision::Minimal);
+          hits_mcc[i].add(cond::extension2(pm, segment_sizes[i]) == Decision::Minimal);
+        }
+      }
+    }
+    fb.add_row({static_cast<double>(k), safe_fb.value(), hits_fb[0].value(),
+                hits_fb[1].value(), hits_fb[2].value(), hits_fb[3].value(), exist.value()});
+    mcc.add_row({static_cast<double>(k), safe_mcc.value(), hits_mcc[0].value(),
+                 hits_mcc[1].value(), hits_mcc[2].value(), hits_mcc[3].value(), exist.value()});
+  }
+
+  const std::string setup = "n=" + std::to_string(opt.n) + ", " + std::to_string(opt.trials) +
+                            " trials x " + std::to_string(opt.dests) + " destinations";
+  fb.print(std::cout,
+           "Figure 10 (a) — extension 2 segment-size variations, faulty-block model, " + setup);
+  std::cout << "\n";
+  mcc.print(std::cout, "Figure 10 (b) — extension 2a under the MCC model, " + setup);
+  fb.print_csv(std::cout, "fig10a");
+  mcc.print_csv(std::cout, "fig10b");
+  return 0;
+}

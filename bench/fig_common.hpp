@@ -1,0 +1,57 @@
+// Shared scaffolding for the figure-regeneration benches: the paper's sweep
+// (k = 10..200 step 10 faults on a 200 x 200 mesh, source centered,
+// destinations uniform in the first quadrant) plus light CLI overrides so CI
+// can run reduced sweeps:
+//   --trials=N   fault configurations per k   (default 60)
+//   --dests=N    destinations per configuration (default 40)
+//   --n=N        mesh side                      (default 200)
+//   --quick      trials=8, dests=10 (smoke-test mode)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/coord.hpp"
+
+namespace meshroute::bench {
+
+struct SweepOptions {
+  Dist n = 200;
+  int trials = 60;
+  int dests = 40;
+  std::uint64_t seed = 0x5eed2002;
+  std::vector<std::size_t> fault_counts;
+
+  SweepOptions() {
+    for (std::size_t k = 10; k <= 200; k += 10) fault_counts.push_back(k);
+  }
+};
+
+inline SweepOptions parse_sweep_options(int argc, char** argv) {
+  SweepOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--trials=")) {
+      opt.trials = std::atoi(v);
+    } else if (const char* v = value_of("--dests=")) {
+      opt.dests = std::atoi(v);
+    } else if (const char* v = value_of("--n=")) {
+      opt.n = std::atoi(v);
+    } else if (const char* v = value_of("--seed=")) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--quick") {
+      opt.trials = 8;
+      opt.dests = 10;
+    }
+  }
+  return opt;
+}
+
+}  // namespace meshroute::bench

@@ -1,0 +1,106 @@
+// A network-on-chip style workload: many packets between random endpoints on
+// a 64 x 64 mesh while faults accumulate. For each fault level we compare
+//
+//   * decision-gated routing (the paper's pipeline: evaluate extension 1 at
+//     the source, then route with node-local boundary information, two-phase
+//     when the certificate says so), and
+//   * global-information routing (every node knows every block),
+//
+// reporting delivery rate, average path stretch over the Manhattan distance,
+// and how often the source-side decision procedure already knew the outcome.
+//
+// Run:  ./build/examples/noc_packet_delivery
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "cond/conditions.hpp"
+#include "core/fault_tolerant_mesh.hpp"
+#include "experiment/table.hpp"
+#include "fault/fault_set.hpp"
+#include "route/path.hpp"
+#include "route/router.hpp"
+
+using namespace meshroute;
+
+int main() {
+  constexpr Dist kSide = 64;
+  constexpr int kPackets = 2000;
+  Rng rng(2002);
+
+  experiment::Table table({"faults", "decided_pct", "delivered_pct", "recovered_pct",
+                           "minimal_pct", "avg_stretch", "global_delivered_pct",
+                           "xy_delivered_pct"});
+
+  for (const std::size_t faults : {0u, 8u, 16u, 32u, 64u, 96u}) {
+    FaultTolerantMesh ftm(kSide, kSide);
+    Rng fault_rng = rng.fork();
+    const auto fs = fault::uniform_random_faults(ftm.mesh(), faults, fault_rng);
+    ftm.inject_faults(fs.faults());
+
+    analysis::Proportion decided;
+    analysis::Proportion delivered;
+    analysis::Proportion recovered_total;
+    analysis::Proportion minimal;
+    analysis::Proportion global_delivered;
+    analysis::Proportion xy_delivered;
+    analysis::Accumulator stretch;
+
+    const auto& mask = ftm.obstacles(FaultModel::FaultyBlock, Quadrant::I);
+    Rng traffic = rng.fork();
+    for (int pkt = 0; pkt < kPackets; ++pkt) {
+      const Coord s{static_cast<Dist>(traffic.uniform(0, kSide - 1)),
+                    static_cast<Dist>(traffic.uniform(0, kSide - 1))};
+      const Coord d{static_cast<Dist>(traffic.uniform(0, kSide - 1)),
+                    static_cast<Dist>(traffic.uniform(0, kSide - 1))};
+      if (s == d || mask[s] || mask[d]) continue;
+
+      // Source-side decision (extension 1 gives a via-node certificate).
+      const cond::RoutingProblem problem = ftm.problem(s, d, FaultModel::FaultyBlock);
+      Coord via = s;
+      const cond::Decision dec = cond::extension1(problem, &via);
+      decided.add(dec != cond::Decision::Unknown);
+
+      route::RouteResult r = dec == cond::Decision::Unknown || via == s
+                                 ? ftm.route(s, d, route::InfoPolicy::BoundaryInfo, &traffic)
+                                 : ftm.route_via(s, via, d, route::InfoPolicy::BoundaryInfo,
+                                                 &traffic);
+      delivered.add(r.delivered());
+      // Non-minimal recovery: packets the minimal machinery strands fall
+      // back to shortest-around-blocks routing.
+      bool recovered = r.delivered();
+      if (!recovered) {
+        const auto bfs = route::route_shortest_bfs(ftm.mesh(), mask, s, d);
+        recovered = bfs.delivered();
+        if (recovered) {
+          stretch.add(static_cast<double>(bfs.path.length()) /
+                      static_cast<double>(std::max<Dist>(1, manhattan(s, d))));
+        }
+      }
+      recovered_total.add(recovered);
+      if (r.delivered()) {
+        minimal.add(route::path_is_minimal(r.path));
+        stretch.add(static_cast<double>(r.path.length()) /
+                    static_cast<double>(std::max<Dist>(1, manhattan(s, d))));
+      }
+      global_delivered.add(
+          ftm.route(s, d, route::InfoPolicy::GlobalInfo, &traffic).delivered());
+      xy_delivered.add(route::route_dimension_order(ftm.mesh(), mask, s, d).delivered());
+    }
+
+    table.add_row({static_cast<double>(faults), 100.0 * decided.value(),
+                   100.0 * delivered.value(), 100.0 * recovered_total.value(),
+                   100.0 * minimal.value(), stretch.mean(),
+                   100.0 * global_delivered.value(), 100.0 * xy_delivered.value()});
+  }
+
+  table.print(std::cout, "NoC packet delivery on a 64x64 mesh, " + std::to_string(kPackets) +
+                             " packets per fault level");
+  std::cout << "\nNotes: 'decided' counts sources where extension 1 already certified the\n"
+               "outcome; 'recovered' adds shortest-around-blocks fallback for stranded\n"
+               "packets; stretch is path length over Manhattan distance (1.0 = minimal).\n"
+               "Global-information delivery is the minimal-routing upper bound, and the\n"
+               "dimension-order (XY) column is the classic fault-intolerant baseline the\n"
+               "faulty-block literature improves on.\n";
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "analysis/stats.hpp"
+
+// Header-only; this translation unit anchors the library target.

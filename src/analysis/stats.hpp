@@ -1,0 +1,68 @@
+// Lightweight statistics for the experiment harness: Welford accumulation
+// and binomial proportions with normal-approximation confidence intervals.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace meshroute::analysis {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Success counter for percentages (the paper's y-axes).
+class Proportion {
+ public:
+  void add(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::int64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::int64_t successes() const noexcept { return successes_; }
+
+  [[nodiscard]] double value() const {
+    if (trials_ == 0) throw std::logic_error("Proportion::value with zero trials");
+    return static_cast<double>(successes_) / static_cast<double>(trials_);
+  }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_half_width() const {
+    if (trials_ == 0) return 0.0;
+    const double p = static_cast<double>(successes_) / static_cast<double>(trials_);
+    return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(trials_));
+  }
+
+ private:
+  std::int64_t trials_ = 0;
+  std::int64_t successes_ = 0;
+};
+
+}  // namespace meshroute::analysis

@@ -1,0 +1,37 @@
+#include "analysis/theorem2.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace meshroute::analysis {
+
+int expected_affected_rows(int n, int k) {
+  if (n <= 0) throw std::invalid_argument("expected_affected_rows: n must be positive");
+  if (k <= 0) return 0;
+  double sum = 0.0;
+  double best_gap = static_cast<double>(k);  // x = 0 gives |k - 0|
+  int best_x = 0;
+  for (int x = 1; x <= n; ++x) {
+    sum += static_cast<double>(n) / static_cast<double>(n - x + 1);
+    const double gap = std::abs(static_cast<double>(k) - sum);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_x = x;
+    }
+    if (sum > k && gap > best_gap) break;  // sums only grow; past the minimum
+  }
+  return best_x;
+}
+
+double expected_affected_fraction(int n, int k) {
+  return static_cast<double>(expected_affected_rows(n, k)) / static_cast<double>(n);
+}
+
+double smooth_expected_affected_rows(int n, int k) {
+  if (n <= 0) throw std::invalid_argument("smooth_expected_affected_rows: n must be positive");
+  if (k <= 0) return 0.0;
+  const double p = 1.0 - 1.0 / static_cast<double>(n);
+  return static_cast<double>(n) * (1.0 - std::pow(p, k));
+}
+
+}  // namespace meshroute::analysis

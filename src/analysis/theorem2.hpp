@@ -1,0 +1,25 @@
+// Theorem 2: the analytical model for the expected number of affected rows
+// (equivalently columns) in an n x n mesh with k randomly placed faults.
+//
+// Faults are partitioned into stages by "hits" (a fault landing on a
+// previously clean row); the i-th stage's fault count is geometric with mean
+// n / (n - i + 1), so the expected number of affected rows is the x
+// minimizing | k - sum_{i=1..x} n/(n-i+1) |.
+#pragma once
+
+namespace meshroute::analysis {
+
+/// Expected number of affected rows per Theorem 2. Returns a value in
+/// [0, n]. k = 0 gives 0.
+[[nodiscard]] int expected_affected_rows(int n, int k);
+
+/// Same, as a fraction of n (the paper's Figure 7 y-axis).
+[[nodiscard]] double expected_affected_fraction(int n, int k);
+
+/// The closed-form coupon-collector style expectation E[x] solving
+/// k = sum_{i=1..x} n/(n-i+1) continuously — a smooth companion curve
+/// equal to n * (1 - (1 - 1/n)^k) in expectation over placements; provided
+/// for comparison in the Figure 7 bench.
+[[nodiscard]] double smooth_expected_affected_rows(int n, int k);
+
+}  // namespace meshroute::analysis

@@ -1,0 +1,25 @@
+#include "common/coord.hpp"
+
+#include <ostream>
+
+namespace meshroute {
+
+const char* to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::East: return "E";
+    case Direction::South: return "S";
+    case Direction::West: return "W";
+    case Direction::North: return "N";
+  }
+  return "?";
+}
+
+std::string to_string(Coord c) {
+  return "(" + std::to_string(c.x) + ", " + std::to_string(c.y) + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Coord c) { return os << to_string(c); }
+
+std::ostream& operator<<(std::ostream& os, Direction d) { return os << to_string(d); }
+
+}  // namespace meshroute

@@ -1,0 +1,128 @@
+// Geometry primitives for 2-D mesh routing: coordinates, directions, and
+// hop-distance arithmetic. All coordinates are signed so that relative frames
+// (source-at-origin, as the paper writes them) need no special casing.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace meshroute {
+
+/// Hop distances. Signed so differences are representable.
+using Dist = std::int32_t;
+
+/// Sentinel for "no faulty block in this direction" — the paper's infinite
+/// safety level. Chosen far below INT32_MAX so that `kInfiniteDistance + small`
+/// never overflows in comparisons.
+inline constexpr Dist kInfiniteDistance = std::numeric_limits<Dist>::max() / 4;
+
+/// True when a distance value represents the infinite sentinel (or beyond).
+[[nodiscard]] constexpr bool is_infinite(Dist d) noexcept { return d >= kInfiniteDistance; }
+
+/// The four mesh directions, in the paper's (E, S, W, N) tuple order.
+enum class Direction : std::uint8_t { East = 0, South = 1, West = 2, North = 3 };
+
+inline constexpr std::array<Direction, 4> kAllDirections = {
+    Direction::East, Direction::South, Direction::West, Direction::North};
+
+/// Opposite direction (East <-> West, North <-> South).
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::East: return Direction::West;
+    case Direction::South: return Direction::North;
+    case Direction::West: return Direction::East;
+    case Direction::North: return Direction::South;
+  }
+  return Direction::East;  // unreachable
+}
+
+/// True for East/West.
+[[nodiscard]] constexpr bool is_horizontal(Direction d) noexcept {
+  return d == Direction::East || d == Direction::West;
+}
+
+/// Short name ("E", "S", "W", "N").
+[[nodiscard]] const char* to_string(Direction d) noexcept;
+
+/// A node address (x, y) in a 2-D mesh, or a relative offset.
+/// x grows eastward, y grows northward (the paper's axes).
+struct Coord {
+  Dist x = 0;
+  Dist y = 0;
+
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+
+  constexpr Coord operator+(const Coord& o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Coord operator-(const Coord& o) const noexcept { return {x - o.x, y - o.y}; }
+};
+
+/// Unit step in a direction.
+[[nodiscard]] constexpr Coord step(Direction d) noexcept {
+  switch (d) {
+    case Direction::East: return {1, 0};
+    case Direction::South: return {0, -1};
+    case Direction::West: return {-1, 0};
+    case Direction::North: return {0, 1};
+  }
+  return {0, 0};  // unreachable
+}
+
+/// Neighbor of `c` one hop in direction `d`.
+[[nodiscard]] constexpr Coord neighbor(Coord c, Direction d) noexcept { return c + step(d); }
+
+/// Manhattan (hop) distance — the paper's D(s, d) = |xd-xs| + |yd-ys|.
+[[nodiscard]] constexpr Dist manhattan(Coord a, Coord b) noexcept {
+  const Dist dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Dist dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// "(x, y)" rendering for diagnostics.
+[[nodiscard]] std::string to_string(Coord c);
+
+std::ostream& operator<<(std::ostream& os, Coord c);
+std::ostream& operator<<(std::ostream& os, Direction d);
+
+/// The quadrant of `d` relative to `s`, following the paper: quadrant I is
+/// north-east (xd >= xs, yd >= ys). Ties (shared row/column) are folded into
+/// the quadrant whose both moves are still non-strictly preferred, favoring
+/// I, then II, then III, then IV — callers that care about degenerate
+/// same-row/column routing handle it explicitly.
+enum class Quadrant : std::uint8_t { I = 0, II = 1, III = 2, IV = 3 };
+
+[[nodiscard]] constexpr Quadrant quadrant_of(Coord s, Coord d) noexcept {
+  const bool east = d.x >= s.x;
+  const bool north = d.y >= s.y;
+  if (east && north) return Quadrant::I;
+  if (!east && north) return Quadrant::II;
+  if (!east && !north) return Quadrant::III;
+  return Quadrant::IV;
+}
+
+/// The two preferred directions toward quadrant `q` (x-dimension move first).
+[[nodiscard]] constexpr std::array<Direction, 2> preferred_directions(Quadrant q) noexcept {
+  switch (q) {
+    case Quadrant::I: return {Direction::East, Direction::North};
+    case Quadrant::II: return {Direction::West, Direction::North};
+    case Quadrant::III: return {Direction::West, Direction::South};
+    case Quadrant::IV: return {Direction::East, Direction::South};
+  }
+  return {Direction::East, Direction::North};  // unreachable
+}
+
+}  // namespace meshroute
+
+template <>
+struct std::hash<meshroute::Coord> {
+  std::size_t operator()(const meshroute::Coord& c) const noexcept {
+    // 2-D coordinates are small; pack into one 64-bit word and mix.
+    const auto packed = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)) << 32) |
+                        static_cast<std::uint32_t>(c.y);
+    return std::hash<std::uint64_t>{}(packed);
+  }
+};

@@ -1,0 +1,85 @@
+// Dense row-major 2-D array keyed by Coord. The workhorse container for node
+// state (fault labels, safety levels, boundary info indices).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "common/coord.hpp"
+
+namespace meshroute {
+
+/// Fixed-size dense grid of T, indexed by Coord in [0,width) x [0,height).
+/// Value-semantic; copying a Grid copies the whole plane.
+///
+/// bool is stored as uint8_t internally (std::vector<bool> has no addressable
+/// elements); accessors hand out uint8_t references, which behave as booleans
+/// at every call site.
+template <typename T>
+class Grid {
+ public:
+  /// Element type actually stored (uint8_t for bool).
+  using Cell = std::conditional_t<std::is_same_v<T, bool>, std::uint8_t, T>;
+
+  Grid() = default;
+
+  Grid(Dist width, Dist height, const T& fill = T{})
+      : width_(width), height_(height),
+        cells_(static_cast<std::size_t>(width > 0 ? width : 0) *
+                   static_cast<std::size_t>(height > 0 ? height : 0),
+               static_cast<Cell>(fill)) {
+    if (width <= 0 || height <= 0) throw std::invalid_argument("Grid dimensions must be positive");
+  }
+
+  [[nodiscard]] Dist width() const noexcept { return width_; }
+  [[nodiscard]] Dist height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+
+  [[nodiscard]] bool in_bounds(Coord c) const noexcept {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  /// Unchecked access (asserted in debug builds).
+  [[nodiscard]] Cell& operator[](Coord c) noexcept {
+    assert(in_bounds(c));
+    return cells_[index(c)];
+  }
+  [[nodiscard]] const Cell& operator[](Coord c) const noexcept {
+    assert(in_bounds(c));
+    return cells_[index(c)];
+  }
+
+  /// Checked access.
+  [[nodiscard]] Cell& at(Coord c) {
+    if (!in_bounds(c)) throw std::out_of_range("Grid::at " + to_string(c));
+    return cells_[index(c)];
+  }
+  [[nodiscard]] const Cell& at(Coord c) const {
+    if (!in_bounds(c)) throw std::out_of_range("Grid::at " + to_string(c));
+    return cells_[index(c)];
+  }
+
+  void fill(const T& value) { cells_.assign(cells_.size(), static_cast<Cell>(value)); }
+
+  /// Raw storage, row-major by y then x (useful for bulk statistics).
+  [[nodiscard]] const std::vector<Cell>& data() const noexcept { return cells_; }
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  [[nodiscard]] std::size_t index(Coord c) const noexcept {
+    return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(c.x);
+  }
+
+  Dist width_ = 0;
+  Dist height_ = 0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace meshroute

@@ -1,0 +1,14 @@
+#include "common/rect.hpp"
+
+#include <ostream>
+
+namespace meshroute {
+
+std::string Rect::to_string() const {
+  return "[" + std::to_string(xmin) + ":" + std::to_string(xmax) + ", " + std::to_string(ymin) +
+         ":" + std::to_string(ymax) + "]";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) { return os << r.to_string(); }
+
+}  // namespace meshroute

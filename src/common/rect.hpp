@@ -1,0 +1,87 @@
+// Axis-aligned inclusive rectangles — the paper's faulty block
+// [xmin:xmax, ymin:ymax] notation maps 1:1 onto this type.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "common/coord.hpp"
+
+namespace meshroute {
+
+/// Inclusive axis-aligned rectangle of mesh nodes.
+/// Invariant (checked by valid()): xmin <= xmax and ymin <= ymax.
+struct Rect {
+  Dist xmin = 0;
+  Dist xmax = -1;  // default-constructed Rect is invalid/empty
+  Dist ymin = 0;
+  Dist ymax = -1;
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return xmin <= xmax && ymin <= ymax; }
+
+  [[nodiscard]] constexpr Dist width() const noexcept { return xmax - xmin + 1; }
+  [[nodiscard]] constexpr Dist height() const noexcept { return ymax - ymin + 1; }
+  [[nodiscard]] constexpr std::int64_t area() const noexcept {
+    return valid() ? static_cast<std::int64_t>(width()) * height() : 0;
+  }
+
+  [[nodiscard]] constexpr bool contains(Coord c) const noexcept {
+    return c.x >= xmin && c.x <= xmax && c.y >= ymin && c.y <= ymax;
+  }
+
+  [[nodiscard]] constexpr bool contains(const Rect& o) const noexcept {
+    return o.valid() && o.xmin >= xmin && o.xmax <= xmax && o.ymin >= ymin && o.ymax <= ymax;
+  }
+
+  /// True when the two rectangles share at least one node.
+  [[nodiscard]] constexpr bool overlaps(const Rect& o) const noexcept {
+    return valid() && o.valid() && xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax &&
+           o.ymin <= ymax;
+  }
+
+  /// True when the rectangles overlap or touch (Chebyshev gap <= `gap`).
+  /// `touches(o, 1)` is the merge criterion for faulty blocks: blocks closer
+  /// than one fault-free row/column cannot be routed between, so they fuse.
+  [[nodiscard]] constexpr bool touches(const Rect& o, Dist gap = 1) const noexcept {
+    return valid() && o.valid() && xmin <= o.xmax + gap && o.xmin <= xmax + gap &&
+           ymin <= o.ymax + gap && o.ymin <= ymax + gap;
+  }
+
+  /// Smallest rectangle containing both.
+  [[nodiscard]] constexpr Rect united(const Rect& o) const noexcept {
+    if (!valid()) return o;
+    if (!o.valid()) return *this;
+    return Rect{xmin < o.xmin ? xmin : o.xmin, xmax > o.xmax ? xmax : o.xmax,
+                ymin < o.ymin ? ymin : o.ymin, ymax > o.ymax ? ymax : o.ymax};
+  }
+
+  /// Grow to include a single node.
+  [[nodiscard]] constexpr Rect united(Coord c) const noexcept {
+    return united(Rect{c.x, c.x, c.y, c.y});
+  }
+
+  /// Rectangle expanded by `d` nodes on every side (the boundary ring of a
+  /// faulty block is `expanded(1)` minus the block itself).
+  [[nodiscard]] constexpr Rect expanded(Dist d) const noexcept {
+    return Rect{xmin - d, xmax + d, ymin - d, ymax + d};
+  }
+
+  /// Intersection; invalid Rect when disjoint.
+  [[nodiscard]] constexpr Rect intersected(const Rect& o) const noexcept {
+    return Rect{xmin > o.xmin ? xmin : o.xmin, xmax < o.xmax ? xmax : o.xmax,
+                ymin > o.ymin ? ymin : o.ymin, ymax < o.ymax ? ymax : o.ymax};
+  }
+
+  /// "[xmin:xmax, ymin:ymax]" — the paper's notation.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Rectangle covering exactly one node.
+[[nodiscard]] constexpr Rect rect_at(Coord c) noexcept { return Rect{c.x, c.x, c.y, c.y}; }
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace meshroute

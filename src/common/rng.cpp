@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// Rng is header-only today; this translation unit anchors the library target
+// and keeps a stable home for future out-of-line additions.

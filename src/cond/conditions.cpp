@@ -1,0 +1,127 @@
+#include "cond/conditions.hpp"
+
+#include <stdexcept>
+
+#include "mesh/frame.hpp"
+
+namespace meshroute::cond {
+namespace {
+
+void check_problem(const RoutingProblem& p) {
+  if (p.mesh == nullptr || p.obstacles == nullptr || p.safety == nullptr) {
+    throw std::invalid_argument("RoutingProblem: null field");
+  }
+}
+
+}  // namespace
+
+bool safe_with_respect_to(const RoutingProblem& p, Coord node, Coord target) {
+  check_problem(p);
+  const Mesh2D& mesh = *p.mesh;
+  if (!mesh.in_bounds(node) || !mesh.in_bounds(target)) return false;
+  if ((*p.obstacles)[node] || (*p.obstacles)[target]) return false;
+  const QuadrantFrame frame(node, target);
+  const Coord rel = frame.to_frame(target);
+  const auto& level = (*p.safety)[node];
+  const Dist e = level.get(frame.to_mesh_dir(Direction::East));
+  const Dist n = level.get(frame.to_mesh_dir(Direction::North));
+  return rel.x <= e && rel.y <= n;
+}
+
+bool source_safe(const RoutingProblem& p) {
+  return safe_with_respect_to(p, p.source, p.dest);
+}
+
+Decision extension1(const RoutingProblem& p, Coord* via) {
+  check_problem(p);
+  if (source_safe(p)) {
+    if (via != nullptr) *via = p.source;
+    return Decision::Minimal;
+  }
+  const Mesh2D& mesh = *p.mesh;
+  const QuadrantFrame frame(p.source, p.dest);
+  const Coord rel = frame.to_frame(p.dest);
+
+  // Preferred directions reduce the distance to the destination; with a
+  // degenerate axis (rel.x == 0 or rel.y == 0) that axis contributes none.
+  bool preferred_mesh[4] = {false, false, false, false};
+  if (rel.x >= 1) preferred_mesh[static_cast<int>(frame.to_mesh_dir(Direction::East))] = true;
+  if (rel.y >= 1) preferred_mesh[static_cast<int>(frame.to_mesh_dir(Direction::North))] = true;
+
+  for (const Direction d : kAllDirections) {
+    if (!preferred_mesh[static_cast<int>(d)]) continue;
+    const Coord v = neighbor(p.source, d);
+    if (mesh.in_bounds(v) && safe_with_respect_to(p, v, p.dest)) {
+      if (via != nullptr) *via = v;
+      return Decision::Minimal;
+    }
+  }
+  for (const Direction d : kAllDirections) {
+    if (preferred_mesh[static_cast<int>(d)]) continue;
+    const Coord v = neighbor(p.source, d);
+    if (mesh.in_bounds(v) && safe_with_respect_to(p, v, p.dest)) {
+      if (via != nullptr) *via = v;
+      return Decision::SubMinimal;
+    }
+  }
+  return Decision::Unknown;
+}
+
+Decision extension2(const RoutingProblem& p, Dist segment_size, Coord* via, Ext2Reps reps) {
+  check_problem(p);
+  if (source_safe(p)) {
+    if (via != nullptr) *via = p.source;
+    return Decision::Minimal;
+  }
+  const QuadrantFrame frame(p.source, p.dest);
+  const Coord rel = frame.to_frame(p.dest);
+
+  // Try factoring through a representative on the source's row (phase one
+  // eastward in the frame), then on its column (phase one northward).
+  struct Axis {
+    Direction run;   // frame direction of phase one
+    Direction perp;  // safety level the representative is selected by
+    Dist limit;      // representatives beyond the destination offset are useless
+  };
+  const Axis axes[] = {{Direction::East, Direction::North, rel.x},
+                       {Direction::North, Direction::East, rel.y}};
+  for (const Axis& axis : axes) {
+    if (axis.limit < 1) continue;
+    const auto candidates =
+        reps == Ext2Reps::SinglePerpendicular
+            ? info::segment_representatives(*p.mesh, *p.obstacles, *p.safety, p.source,
+                                            frame.to_mesh_dir(axis.run),
+                                            frame.to_mesh_dir(axis.perp), segment_size)
+            : info::segment_representatives_multi(*p.mesh, *p.obstacles, *p.safety, p.source,
+                                                  frame.to_mesh_dir(axis.run), segment_size);
+    for (const info::AxisCandidate& rep : candidates) {
+      if (rep.hops > axis.limit) break;  // reps come in increasing hop order
+      if (safe_with_respect_to(p, rep.node, p.dest)) {
+        if (via != nullptr) *via = rep.node;
+        return Decision::Minimal;
+      }
+    }
+  }
+  return Decision::Unknown;
+}
+
+Decision extension3(const RoutingProblem& p, std::span<const Coord> pivots, Coord* via) {
+  check_problem(p);
+  if (source_safe(p)) {
+    if (via != nullptr) *via = p.source;
+    return Decision::Minimal;
+  }
+  const QuadrantFrame frame(p.source, p.dest);
+  const Coord rel = frame.to_frame(p.dest);
+  for (const Coord pivot : pivots) {
+    const Coord rp = frame.to_frame(pivot);
+    if (rp.x < 0 || rp.x > rel.x || rp.y < 0 || rp.y > rel.y) continue;
+    if (safe_with_respect_to(p, p.source, pivot) && safe_with_respect_to(p, pivot, p.dest)) {
+      if (via != nullptr) *via = pivot;
+      return Decision::Minimal;
+    }
+  }
+  return Decision::Unknown;
+}
+
+}  // namespace meshroute::cond

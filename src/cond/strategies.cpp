@@ -1,0 +1,36 @@
+#include "cond/strategies.hpp"
+
+namespace meshroute::cond {
+
+Decision run_strategy(const RoutingProblem& p, StrategyId id, const StrategyConfig& config,
+                      std::span<const Coord> pivots) {
+  const bool use1 = id == StrategyId::S1 || id == StrategyId::S2 || id == StrategyId::S4;
+  const bool use2 = id == StrategyId::S1 || id == StrategyId::S3 || id == StrategyId::S4;
+  const bool use3 = id == StrategyId::S2 || id == StrategyId::S3 || id == StrategyId::S4;
+
+  Decision best = Decision::Unknown;
+  if (use1) {
+    const Decision d = extension1(p);
+    if (d == Decision::Minimal) return d;
+    if (d == Decision::SubMinimal) best = d;
+  }
+  if (use2 && extension2(p, config.segment_size) == Decision::Minimal) {
+    return Decision::Minimal;
+  }
+  if (use3 && extension3(p, pivots) == Decision::Minimal) {
+    return Decision::Minimal;
+  }
+  return best;
+}
+
+const char* to_string(StrategyId id) noexcept {
+  switch (id) {
+    case StrategyId::S1: return "strategy 1 (1+2)";
+    case StrategyId::S2: return "strategy 2 (1+3)";
+    case StrategyId::S3: return "strategy 3 (2+3)";
+    case StrategyId::S4: return "strategy 4 (1+2+3)";
+  }
+  return "?";
+}
+
+}  // namespace meshroute::cond

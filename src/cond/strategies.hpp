@@ -1,0 +1,37 @@
+// Routing strategies (Section 5, Figure 12): disjunctions of the extended
+// sufficient conditions, applied in order until one of them certifies a
+// minimal path. Strategy n under the MCC model is the paper's "strategy na"
+// — same code, MCC-derived RoutingProblem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cond/conditions.hpp"
+#include "info/pivots.hpp"
+
+namespace meshroute::cond {
+
+enum class StrategyId : std::uint8_t {
+  S1 = 0,  ///< extension 1, then extension 2
+  S2 = 1,  ///< extension 1, then extension 3
+  S3 = 2,  ///< extension 2, then extension 3
+  S4 = 3,  ///< extensions 1, 2, then 3
+};
+
+/// Knobs fixed by the paper's experiments: segment size 5 and pivot
+/// partition level 3 (21 random pivots).
+struct StrategyConfig {
+  Dist segment_size = 5;
+};
+
+/// Evaluate a strategy. Extension-1's sub-minimal answer is reported only
+/// when no member extension certifies a minimal path. Pivots are the
+/// pre-distributed pivot set (extension 3's broadcast information).
+[[nodiscard]] Decision run_strategy(const RoutingProblem& p, StrategyId id,
+                                    const StrategyConfig& config,
+                                    std::span<const Coord> pivots);
+
+[[nodiscard]] const char* to_string(StrategyId id) noexcept;
+
+}  // namespace meshroute::cond

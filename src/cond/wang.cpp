@@ -1,0 +1,168 @@
+#include "cond/wang.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "mesh/frame.hpp"
+
+namespace meshroute::cond {
+namespace {
+
+/// Transform a mesh-coordinate rect into frame coordinates (reflections may
+/// swap which corner is min/max).
+Rect to_frame_rect(const QuadrantFrame& frame, const Rect& r) {
+  const Coord a = frame.to_frame({r.xmin, r.ymin});
+  const Coord b = frame.to_frame({r.xmax, r.ymax});
+  return Rect{std::min(a.x, b.x), std::max(a.x, b.x), std::min(a.y, b.y), std::max(a.y, b.y)};
+}
+
+/// Does a covering sequence on y exist for canonical s=(0,0), d=(dx,dy)?
+/// Rects are frame-relative. The x-coverage test calls this with axes
+/// swapped.
+bool covered_on_y(const std::vector<Rect>& rects, Dist dx, Dist dy) {
+  const auto n = rects.size();
+  // covers(b, a): b continues the barrier above a.
+  const auto covers = [&](std::size_t b, std::size_t a) {
+    return rects[b].ymin > rects[a].ymax && rects[b].xmin <= rects[a].xmax + 1;
+  };
+  std::vector<char> reachable(n, 0);
+  std::deque<std::size_t> work;
+  for (std::size_t i = 0; i < n; ++i) {
+    // (b) the barrier starts on a block spanning the source column, strictly
+    // north of the source row.
+    if (rects[i].xmin <= 0 && rects[i].xmax >= 0 && rects[i].ymin > 0) {
+      reachable[i] = 1;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    const std::size_t a = work.front();
+    work.pop_front();
+    // (c) the barrier is complete once a chain block spans the destination
+    // column strictly south of the destination row.
+    if (rects[a].xmin <= dx && rects[a].xmax >= dx && rects[a].ymax < dy) return true;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!reachable[b] && covers(b, a)) {
+        reachable[b] = 1;
+        work.push_back(b);
+      }
+    }
+  }
+  return false;
+}
+
+Rect swap_axes(const Rect& r) { return Rect{r.ymin, r.ymax, r.xmin, r.xmax}; }
+
+}  // namespace
+
+bool monotone_path_exists(const Mesh2D& mesh, const Grid<bool>& blocked, Coord s, Coord d) {
+  if (!mesh.in_bounds(s) || !mesh.in_bounds(d)) return false;
+  if (blocked[s] || blocked[d]) return false;
+  const QuadrantFrame frame(s, d);
+  const Coord rd = frame.to_frame(d);
+  Grid<bool> reach(rd.x + 1, rd.y + 1, false);
+  for (Dist y = 0; y <= rd.y; ++y) {
+    for (Dist x = 0; x <= rd.x; ++x) {
+      const Coord rel{x, y};
+      if (blocked[frame.to_mesh(rel)]) continue;
+      if (x == 0 && y == 0) {
+        reach[rel] = true;
+      } else {
+        reach[rel] = (x > 0 && reach[{x - 1, y}]) || (y > 0 && reach[{x, y - 1}]);
+      }
+    }
+  }
+  return reach[rd];
+}
+
+std::uint64_t count_minimal_paths(const Mesh2D& mesh, const Grid<bool>& blocked, Coord s,
+                                  Coord d) {
+  if (!mesh.in_bounds(s) || !mesh.in_bounds(d)) return 0;
+  if (blocked[s] || blocked[d]) return 0;
+  const QuadrantFrame frame(s, d);
+  const Coord rd = frame.to_frame(d);
+  Grid<std::uint64_t> count(rd.x + 1, rd.y + 1, 0);
+  const auto saturating_add = [](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t sum = a + b;
+    return sum >= kMaxPathCount || sum < a ? kMaxPathCount : sum;
+  };
+  for (Dist y = 0; y <= rd.y; ++y) {
+    for (Dist x = 0; x <= rd.x; ++x) {
+      const Coord rel{x, y};
+      if (blocked[frame.to_mesh(rel)]) continue;
+      if (x == 0 && y == 0) {
+        count[rel] = 1;
+      } else {
+        const std::uint64_t from_w = x > 0 ? count[{x - 1, y}] : 0;
+        const std::uint64_t from_s = y > 0 ? count[{x, y - 1}] : 0;
+        count[rel] = saturating_add(from_w, from_s);
+      }
+    }
+  }
+  return count[rd];
+}
+
+bool monotone_path_exists_rects(std::span<const Rect> obstacles, Coord s, Coord d) {
+  const QuadrantFrame frame(s, d);
+  const Coord rd = frame.to_frame(d);
+
+  // Keep only obstacles intersecting the s-d span, in frame coordinates.
+  std::vector<Rect> rects;
+  const Rect span{0, rd.x, 0, rd.y};
+  for (const Rect& r : obstacles) {
+    const Rect fr = to_frame_rect(frame, r);
+    if (fr.overlaps(span)) rects.push_back(fr);
+  }
+  const auto blocked = [&](Dist x, Dist y) {
+    for (const Rect& r : rects) {
+      if (r.contains(Coord{x, y})) return true;
+    }
+    return false;
+  };
+  if (blocked(0, 0) || blocked(rd.x, rd.y)) return false;
+  if (rects.empty()) return true;
+
+  const auto w = static_cast<std::size_t>(rd.x) + 1;
+  std::vector<char> reach(w * (static_cast<std::size_t>(rd.y) + 1), 0);
+  const auto at = [&](Dist x, Dist y) -> char& {
+    return reach[static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x)];
+  };
+  for (Dist y = 0; y <= rd.y; ++y) {
+    for (Dist x = 0; x <= rd.x; ++x) {
+      if (blocked(x, y)) continue;
+      if (x == 0 && y == 0) {
+        at(x, y) = 1;
+      } else {
+        at(x, y) = (x > 0 && at(x - 1, y)) || (y > 0 && at(x, y - 1));
+      }
+    }
+  }
+  return at(rd.x, rd.y) != 0;
+}
+
+bool wang_minimal_path_exists(std::span<const Rect> blocks, Coord s, Coord d) {
+  const QuadrantFrame frame(s, d);
+  const Coord rd = frame.to_frame(d);
+
+  std::vector<Rect> rects;
+  rects.reserve(blocks.size());
+  for (const Rect& b : blocks) rects.push_back(to_frame_rect(frame, b));
+
+  if (covered_on_y(rects, rd.x, rd.y)) return false;
+
+  std::vector<Rect> swapped;
+  swapped.reserve(rects.size());
+  for (const Rect& r : rects) swapped.push_back(swap_axes(r));
+  if (covered_on_y(swapped, rd.y, rd.x)) return false;
+
+  return true;
+}
+
+bool wang_minimal_path_exists(const fault::BlockSet& blocks, Coord s, Coord d) {
+  std::vector<Rect> rects;
+  rects.reserve(blocks.block_count());
+  for (const auto& b : blocks.blocks()) rects.push_back(b.rect);
+  return wang_minimal_path_exists(rects, s, d);
+}
+
+}  // namespace meshroute::cond

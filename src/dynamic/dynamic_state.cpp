@@ -1,0 +1,161 @@
+#include "dynamic/dynamic_state.hpp"
+
+#include <deque>
+
+namespace meshroute::dynamic {
+namespace {
+
+/// Definition 1's disable test against a mutable bad mask.
+bool disable_condition(const Mesh2D& mesh, const Grid<bool>& bad, Coord c) {
+  const auto bad_at = [&](Coord v) { return mesh.in_bounds(v) && bad[v]; };
+  const bool horiz = bad_at(neighbor(c, Direction::East)) || bad_at(neighbor(c, Direction::West));
+  const bool vert = bad_at(neighbor(c, Direction::North)) || bad_at(neighbor(c, Direction::South));
+  return horiz && vert;
+}
+
+}  // namespace
+
+DynamicMeshState::DynamicMeshState(Mesh2D mesh)
+    : mesh_(mesh), faults_(mesh_), bad_(mesh_.width(), mesh_.height(), false),
+      safety_(mesh_.width(), mesh_.height()) {}
+
+std::vector<Coord> DynamicMeshState::propagate_from(const std::vector<Coord>& seeds) {
+  // The disable rule is monotone, so seeding the worklist with the enabled
+  // neighbors of the changed cells reaches exactly the global fixed point.
+  std::deque<Coord> work;
+  for (const Coord s : seeds) {
+    for (const Coord v : mesh_.neighbors(s)) {
+      if (!bad_[v]) work.push_back(v);
+    }
+  }
+  std::vector<Coord> newly;
+  while (!work.empty()) {
+    const Coord c = work.front();
+    work.pop_front();
+    if (bad_[c] || !disable_condition(mesh_, bad_, c)) continue;
+    bad_[c] = true;
+    newly.push_back(c);
+    for (const Coord v : mesh_.neighbors(c)) {
+      if (!bad_[v]) work.push_back(v);
+    }
+  }
+  return newly;
+}
+
+void DynamicMeshState::rebuild_block_around(std::vector<Coord>& changed, UpdateStats& stats) {
+  // Bounding box of the (single) component containing the changed cells.
+  Rect box;
+  {
+    Grid<bool> seen(mesh_.width(), mesh_.height(), false);
+    std::deque<Coord> frontier;
+    for (const Coord c : changed) {
+      if (!seen[c]) {
+        seen[c] = true;
+        frontier.push_back(c);
+      }
+    }
+    while (!frontier.empty()) {
+      const Coord c = frontier.front();
+      frontier.pop_front();
+      box = box.united(c);
+      for (const Coord v : mesh_.neighbors(c)) {
+        if (bad_[v] && !seen[v]) {
+          seen[v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  if (!box.valid()) return;
+
+  // Absorb overlapped blocks, fill to the rectangle, re-propagate; repeat
+  // until stable (the incremental version of build_faulty_blocks' closure).
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::size_t i = 0; i < blocks_.size();) {
+      if (blocks_[i].overlaps(box)) {
+        box = box.united(blocks_[i]);
+        blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats.absorbed_blocks;
+        grew = true;
+      } else {
+        ++i;
+      }
+    }
+    std::vector<Coord> filled;
+    for (Dist y = box.ymin; y <= box.ymax; ++y) {
+      for (Dist x = box.xmin; x <= box.xmax; ++x) {
+        if (!bad_[{x, y}]) {
+          bad_[{x, y}] = true;
+          filled.push_back({x, y});
+        }
+      }
+    }
+    if (!filled.empty()) {
+      grew = true;
+      for (const Coord c : filled) changed.push_back(c);
+      const std::vector<Coord> cascaded = propagate_from(filled);
+      for (const Coord c : cascaded) {
+        box = box.united(c);
+        changed.push_back(c);
+      }
+    }
+  }
+  stats.relabeled_nodes += static_cast<std::int64_t>(changed.size());
+  blocks_.push_back(box);
+}
+
+void DynamicMeshState::resweep_lines(const std::vector<Coord>& changed, UpdateStats& stats) {
+  std::set<Dist> rows;
+  std::set<Dist> cols;
+  for (const Coord c : changed) {
+    rows.insert(c.y);
+    cols.insert(c.x);
+  }
+  const auto chain = [&](bool obstacle, Dist v) {
+    if (obstacle) return Dist{0};
+    return is_infinite(v) ? kInfiniteDistance : v + 1;
+  };
+  const Dist w = mesh_.width();
+  const Dist h = mesh_.height();
+  for (const Dist y : rows) {
+    safety_[{w - 1, y}].e = kInfiniteDistance;
+    for (Dist x = w - 2; x >= 0; --x) {
+      safety_[{x, y}].e = chain(bad_[{x + 1, y}], safety_[{x + 1, y}].e);
+    }
+    safety_[{0, y}].w = kInfiniteDistance;
+    for (Dist x = 1; x < w; ++x) {
+      safety_[{x, y}].w = chain(bad_[{x - 1, y}], safety_[{x - 1, y}].w);
+    }
+    ++stats.rows_resweeped;
+  }
+  for (const Dist x : cols) {
+    safety_[{x, h - 1}].n = kInfiniteDistance;
+    for (Dist y = h - 2; y >= 0; --y) {
+      safety_[{x, y}].n = chain(bad_[{x, y + 1}], safety_[{x, y + 1}].n);
+    }
+    safety_[{x, 0}].s = kInfiniteDistance;
+    for (Dist y = 1; y < h; ++y) {
+      safety_[{x, y}].s = chain(bad_[{x, y - 1}], safety_[{x, y - 1}].s);
+    }
+    ++stats.cols_resweeped;
+  }
+}
+
+UpdateStats DynamicMeshState::inject_fault(Coord c) {
+  UpdateStats stats;
+  if (faults_.contains(c)) return stats;
+  faults_.add(c);
+  if (bad_[c]) return stats;  // was a disabled block node; structure unchanged
+
+  bad_[c] = true;
+  std::vector<Coord> changed{c};
+  const std::vector<Coord> cascaded = propagate_from(changed);
+  changed.insert(changed.end(), cascaded.begin(), cascaded.end());
+  rebuild_block_around(changed, stats);
+  resweep_lines(changed, stats);
+  return stats;
+}
+
+}  // namespace meshroute::dynamic

@@ -1,0 +1,34 @@
+// Fixed-width console tables for the figure-regeneration benches: one header
+// row, one data row per sweep point, machine-greppable ("fig09,...") CSV echo
+// optional.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace meshroute::experiment {
+
+/// Accumulates rows of doubles under named columns and pretty-prints them.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Add one row; must match the column count.
+  void add_row(const std::vector<double>& values);
+
+  /// Render: aligned columns, 4 decimal places for fractions, no trailing
+  /// spaces. `title` goes on its own line above the header.
+  void print(std::ostream& os, const std::string& title) const;
+
+  /// Render as CSV with a `tag` first column (for scraping bench output).
+  void print_csv(std::ostream& os, const std::string& tag) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace meshroute::experiment

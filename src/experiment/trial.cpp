@@ -1,0 +1,55 @@
+#include "experiment/trial.hpp"
+
+#include <stdexcept>
+
+namespace meshroute::experiment {
+
+Trial make_trial(const TrialConfig& config, Rng& rng) {
+  const Mesh2D mesh = Mesh2D::square(config.n);
+  const Coord source = config.source.value_or(mesh.center());
+  if (!mesh.in_bounds(source)) throw std::invalid_argument("make_trial: source outside mesh");
+
+  constexpr int kMaxRerolls = 1000;
+  for (int attempt = 0; attempt < kMaxRerolls; ++attempt) {
+    // The source itself is never faulty; block membership is re-checked
+    // after model construction since blocks can engulf healthy nodes.
+    auto faults = fault::uniform_random_faults(mesh, config.faults, rng,
+                                               [&](Coord c) { return c == source; });
+    auto blocks = fault::build_faulty_blocks(mesh, faults);
+    if (blocks.is_block_node(source)) continue;
+    auto mcc1 = fault::build_mcc(mesh, faults, fault::MccKind::TypeOne);
+    if (mcc1.is_mcc_node(source)) continue;
+
+    Grid<bool> faulty_mask = faults.mask();
+    Grid<bool> fb_mask = info::obstacle_mask(mesh, blocks);
+    Grid<bool> mcc_mask = info::obstacle_mask(mesh, mcc1);
+    info::SafetyGrid fb_safety = info::compute_safety_levels(mesh, fb_mask);
+    info::SafetyGrid mcc_safety = info::compute_safety_levels(mesh, mcc_mask);
+
+    return Trial{mesh,
+                 source,
+                 std::move(faults),
+                 std::move(blocks),
+                 std::move(mcc1),
+                 std::move(faulty_mask),
+                 std::move(fb_mask),
+                 std::move(mcc_mask),
+                 std::move(fb_safety),
+                 std::move(mcc_safety)};
+  }
+  throw std::runtime_error("make_trial: could not place source outside all blocks");
+}
+
+Coord sample_quadrant1_dest(const Trial& trial, Rng& rng) {
+  const Rect area = trial.quadrant1_area();
+  if (!area.valid()) throw std::invalid_argument("sample_quadrant1_dest: empty quadrant");
+  constexpr int kMaxRerolls = 100000;
+  for (int attempt = 0; attempt < kMaxRerolls; ++attempt) {
+    const Coord d{static_cast<Dist>(rng.uniform(area.xmin, area.xmax)),
+                  static_cast<Dist>(rng.uniform(area.ymin, area.ymax))};
+    if (!trial.fb_mask[d] && !trial.mcc_mask[d]) return d;
+  }
+  throw std::runtime_error("sample_quadrant1_dest: no block-free destination found");
+}
+
+}  // namespace meshroute::experiment

@@ -1,0 +1,65 @@
+// One simulation trial, exactly as Section 5 sets it up: an n x n mesh,
+// k uniformly random faults, the source at the center (the origin of the
+// paper's coordinate system), faulty blocks and MCCs constructed, fault
+// information distributed, and destinations sampled from the first-quadrant
+// submesh with source and destination outside every block.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "cond/conditions.hpp"
+#include "fault/block_model.hpp"
+#include "fault/fault_set.hpp"
+#include "fault/mcc_model.hpp"
+#include "info/safety_level.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::experiment {
+
+struct TrialConfig {
+  Dist n = 200;             ///< mesh side
+  std::size_t faults = 0;   ///< k
+  std::optional<Coord> source = std::nullopt;  ///< defaults to the mesh center
+};
+
+/// All per-configuration state shared by destination samples.
+struct Trial {
+  Mesh2D mesh;
+  Coord source;
+  fault::FaultSet faults;
+  fault::BlockSet blocks;
+  fault::MccSet mcc1;           ///< type-one labeling (quadrant-I destinations)
+  Grid<bool> faulty_mask;       ///< truly faulty nodes only (ground-truth oracle)
+  Grid<bool> fb_mask;           ///< faulty-block nodes
+  Grid<bool> mcc_mask;          ///< type-one MCC nodes
+  info::SafetyGrid fb_safety;
+  info::SafetyGrid mcc_safety;
+
+  /// Condition-checking problems under each fault model.
+  [[nodiscard]] cond::RoutingProblem fb_problem(Coord dest) const {
+    return {&mesh, &fb_mask, &fb_safety, source, dest};
+  }
+  [[nodiscard]] cond::RoutingProblem mcc_problem(Coord dest) const {
+    return {&mesh, &mcc_mask, &mcc_safety, source, dest};
+  }
+
+  /// First-quadrant submesh: from one hop past the source to the mesh
+  /// corner (destinations with xd, yd >= 1, as the paper requires).
+  [[nodiscard]] Rect quadrant1_area() const {
+    return Rect{source.x + 1, mesh.width() - 1, source.y + 1, mesh.height() - 1};
+  }
+};
+
+/// Build a trial; re-rolls the fault placement until the source lies outside
+/// every faulty block and MCC (the paper's simplifying assumption).
+[[nodiscard]] Trial make_trial(const TrialConfig& config, Rng& rng);
+
+/// A destination uniform in the first-quadrant submesh, outside every block
+/// and MCC (re-sampled until valid). Throws if no valid destination exists.
+[[nodiscard]] Coord sample_quadrant1_dest(const Trial& trial, Rng& rng);
+
+}  // namespace meshroute::experiment

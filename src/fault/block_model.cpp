@@ -1,0 +1,180 @@
+#include "fault/block_model.hpp"
+
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace meshroute::fault {
+namespace {
+
+/// True when `c` must become disabled: at least one bad (faulty/disabled)
+/// neighbor in the x dimension AND at least one in the y dimension
+/// ("two or more ... in different dimensions", Definition 1).
+bool disable_condition(const Mesh2D& mesh, const Grid<bool>& bad, Coord c) {
+  const auto bad_at = [&](Coord v) { return mesh.in_bounds(v) && bad[v]; };
+  const bool horiz = bad_at(neighbor(c, Direction::East)) || bad_at(neighbor(c, Direction::West));
+  const bool vert = bad_at(neighbor(c, Direction::North)) || bad_at(neighbor(c, Direction::South));
+  return horiz && vert;
+}
+
+/// Worklist propagation of the disable rule over an initial bad mask.
+/// Mutates `bad` to its fixed point.
+void propagate_disable(const Mesh2D& mesh, Grid<bool>& bad) {
+  std::deque<Coord> work;
+  mesh.for_each_node([&](Coord c) {
+    if (!bad[c] && disable_condition(mesh, bad, c)) work.push_back(c);
+  });
+  while (!work.empty()) {
+    const Coord c = work.front();
+    work.pop_front();
+    if (bad[c] || !disable_condition(mesh, bad, c)) continue;
+    bad[c] = true;
+    for (const Coord v : mesh.neighbors(c)) {
+      if (!bad[v] && disable_condition(mesh, bad, v)) work.push_back(v);
+    }
+  }
+}
+
+/// 4-connected components of the bad mask; returns bounding boxes.
+std::vector<Rect> component_boxes(const Mesh2D& mesh, const Grid<bool>& bad) {
+  Grid<bool> seen(mesh.width(), mesh.height(), false);
+  std::vector<Rect> boxes;
+  mesh.for_each_node([&](Coord start) {
+    if (!bad[start] || seen[start]) return;
+    Rect box = rect_at(start);
+    std::deque<Coord> frontier{start};
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const Coord c = frontier.front();
+      frontier.pop_front();
+      box = box.united(c);
+      for (const Coord v : mesh.neighbors(c)) {
+        if (bad[v] && !seen[v]) {
+          seen[v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+    boxes.push_back(box);
+  });
+  return boxes;
+}
+
+/// Merge overlapping rectangles into their unions until pairwise disjoint.
+std::vector<Rect> merge_overlapping(std::vector<Rect> boxes) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < boxes.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < boxes.size() && !changed; ++j) {
+        if (boxes[i].overlaps(boxes[j])) {
+          boxes[i] = boxes[i].united(boxes[j]);
+          boxes.erase(boxes.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+  return boxes;
+}
+
+}  // namespace
+
+Grid<NodeLabel> disable_labeling_fixed_point(const Mesh2D& mesh, const FaultSet& faults) {
+  Grid<bool> bad = faults.mask();
+  propagate_disable(mesh, bad);
+  Grid<NodeLabel> labels(mesh.width(), mesh.height(), NodeLabel::Enabled);
+  mesh.for_each_node([&](Coord c) {
+    if (faults.contains(c)) {
+      labels[c] = NodeLabel::Faulty;
+    } else if (bad[c]) {
+      labels[c] = NodeLabel::Disabled;
+    }
+  });
+  return labels;
+}
+
+BlockSet::BlockSet(const Mesh2D& mesh, std::vector<FaultyBlock> blocks, Grid<NodeLabel> labels)
+    : blocks_(std::move(blocks)), labels_(std::move(labels)),
+      id_(mesh.width(), mesh.height(), kNoBlock) {
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const Rect& r = blocks_[b].rect;
+    if (!mesh.bounds().contains(r)) {
+      throw std::invalid_argument("BlockSet: block outside mesh " + r.to_string());
+    }
+    for (Dist y = r.ymin; y <= r.ymax; ++y) {
+      for (Dist x = r.xmin; x <= r.xmax; ++x) {
+        if (id_[{x, y}] != kNoBlock) {
+          throw std::invalid_argument("BlockSet: overlapping blocks");
+        }
+        id_[{x, y}] = static_cast<std::int32_t>(b);
+      }
+    }
+  }
+}
+
+std::int64_t BlockSet::total_disabled() const noexcept {
+  return std::accumulate(blocks_.begin(), blocks_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const FaultyBlock& b) {
+                           return acc + b.disabled_count;
+                         });
+}
+
+std::int64_t BlockSet::total_faulty() const noexcept {
+  return std::accumulate(blocks_.begin(), blocks_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const FaultyBlock& b) {
+                           return acc + b.faulty_count;
+                         });
+}
+
+BlockSet build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults) {
+  Grid<bool> bad = faults.mask();
+  std::vector<Rect> boxes;
+  // Alternate labeling and rectangular closure until the bad set is stable.
+  // With scattered faults the first pass already yields disjoint rectangles
+  // and the loop exits after one verification round.
+  while (true) {
+    propagate_disable(mesh, bad);
+    boxes = merge_overlapping(component_boxes(mesh, bad));
+    bool grew = false;
+    for (const Rect& r : boxes) {
+      for (Dist y = r.ymin; y <= r.ymax; ++y) {
+        for (Dist x = r.xmin; x <= r.xmax; ++x) {
+          if (!bad[{x, y}]) {
+            bad[{x, y}] = true;
+            grew = true;
+          }
+        }
+      }
+    }
+    if (!grew) break;
+  }
+
+  std::vector<FaultyBlock> blocks;
+  blocks.reserve(boxes.size());
+  for (const Rect& r : boxes) {
+    FaultyBlock blk{r, 0, 0};
+    for (Dist y = r.ymin; y <= r.ymax; ++y) {
+      for (Dist x = r.xmin; x <= r.xmax; ++x) {
+        if (faults.contains({x, y})) {
+          ++blk.faulty_count;
+        } else {
+          ++blk.disabled_count;
+        }
+      }
+    }
+    blocks.push_back(blk);
+  }
+
+  Grid<NodeLabel> labels(mesh.width(), mesh.height(), NodeLabel::Enabled);
+  mesh.for_each_node([&](Coord c) {
+    if (faults.contains(c)) {
+      labels[c] = NodeLabel::Faulty;
+    } else if (bad[c]) {
+      labels[c] = NodeLabel::Disabled;
+    }
+  });
+  return BlockSet(mesh, std::move(blocks), std::move(labels));
+}
+
+}  // namespace meshroute::fault

@@ -1,0 +1,79 @@
+// The faulty-block fault model (Definition 1 of the paper):
+//
+//   "A non-faulty node is initially labeled enabled; its status is changed to
+//    disabled if there are two or more disabled or faulty neighbors in
+//    different dimensions. Connected disabled and faulty nodes form a faulty
+//    block."
+//
+// The labeling fixed point groups all faults into connected regions; for
+// uniformly scattered faults those regions are exactly rectangles. For
+// robustness against degenerate inputs the builder additionally applies a
+// rectangular closure (bounding box of each component, re-labeling and
+// merging overlapping boxes until stable), which is a no-op whenever the
+// classic rectangle theorem holds — a property the test-suite asserts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rect.hpp"
+#include "fault/fault_set.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::fault {
+
+/// Per-node status under the faulty-block model.
+enum class NodeLabel : std::uint8_t { Enabled = 0, Disabled = 1, Faulty = 2 };
+
+/// One disjoint rectangular faulty block [xmin:xmax, ymin:ymax].
+struct FaultyBlock {
+  Rect rect;
+  std::int32_t faulty_count = 0;    ///< truly faulty nodes inside
+  std::int32_t disabled_count = 0;  ///< healthy-but-disabled nodes inside
+};
+
+/// Identifier of "no block" in the id grid.
+inline constexpr std::int32_t kNoBlock = -1;
+
+/// The set of disjoint faulty blocks of a mesh plus an O(1) node -> block map.
+class BlockSet {
+ public:
+  BlockSet(const Mesh2D& mesh, std::vector<FaultyBlock> blocks, Grid<NodeLabel> labels);
+
+  [[nodiscard]] const std::vector<FaultyBlock>& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  /// Block id at `c`, or kNoBlock.
+  [[nodiscard]] std::int32_t block_id(Coord c) const noexcept { return id_[c]; }
+
+  /// True when `c` lies inside some faulty block (faulty or disabled node).
+  [[nodiscard]] bool is_block_node(Coord c) const noexcept { return id_[c] != kNoBlock; }
+
+  /// Label of `c` under Definition 1.
+  [[nodiscard]] NodeLabel label(Coord c) const noexcept { return labels_[c]; }
+
+  [[nodiscard]] const Grid<NodeLabel>& labels() const noexcept { return labels_; }
+
+  /// Total healthy nodes sacrificed to blocks.
+  [[nodiscard]] std::int64_t total_disabled() const noexcept;
+  [[nodiscard]] std::int64_t total_faulty() const noexcept;
+
+ private:
+  std::vector<FaultyBlock> blocks_;
+  Grid<NodeLabel> labels_;
+  Grid<std::int32_t> id_;
+};
+
+/// Run Definition 1 to its fixed point and package the resulting disjoint
+/// rectangular blocks.
+[[nodiscard]] BlockSet build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults);
+
+/// Just the disable-labeling fixed point (no rectangular closure); exposed
+/// separately so tests can assert the classic "components are rectangles"
+/// theorem and measure disabled-node counts before closure.
+[[nodiscard]] Grid<NodeLabel> disable_labeling_fixed_point(const Mesh2D& mesh,
+                                                           const FaultSet& faults);
+
+}  // namespace meshroute::fault

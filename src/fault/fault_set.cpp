@@ -1,0 +1,68 @@
+#include "fault/fault_set.hpp"
+
+#include <stdexcept>
+
+namespace meshroute::fault {
+
+void FaultSet::add(Coord c) {
+  if (!mask_.in_bounds(c)) throw std::out_of_range("FaultSet::add " + to_string(c));
+  if (mask_[c]) return;
+  mask_[c] = true;
+  faults_.push_back(c);
+}
+
+FaultSet uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
+                               const CoordPredicate& exclude) {
+  std::vector<Coord> eligible;
+  eligible.reserve(mesh.node_count());
+  mesh.for_each_node([&](Coord c) {
+    if (!exclude || !exclude(c)) eligible.push_back(c);
+  });
+  if (k > eligible.size()) {
+    throw std::invalid_argument("uniform_random_faults: k exceeds eligible node count");
+  }
+  FaultSet fs(mesh);
+  for (const auto idx : rng.sample_distinct(static_cast<std::int64_t>(eligible.size()),
+                                            static_cast<std::int64_t>(k))) {
+    fs.add(eligible[static_cast<std::size_t>(idx)]);
+  }
+  return fs;
+}
+
+FaultSet clustered_faults(const Mesh2D& mesh, std::size_t clusters, std::size_t cluster_size,
+                          Rng& rng, const CoordPredicate& exclude) {
+  FaultSet fs(mesh);
+  const auto eligible = [&](Coord c) {
+    return mesh.in_bounds(c) && !fs.contains(c) && (!exclude || !exclude(c));
+  };
+  for (std::size_t ci = 0; ci < clusters; ++ci) {
+    Coord cur{static_cast<Dist>(rng.uniform(0, mesh.width() - 1)),
+              static_cast<Dist>(rng.uniform(0, mesh.height() - 1))};
+    std::size_t placed = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = cluster_size * 64 + 256;
+    while (placed < cluster_size && attempts++ < max_attempts) {
+      if (eligible(cur)) {
+        fs.add(cur);
+        ++placed;
+      }
+      const auto d = kAllDirections[static_cast<std::size_t>(rng.uniform(0, 3))];
+      const Coord next = neighbor(cur, d);
+      if (mesh.in_bounds(next)) cur = next;
+    }
+  }
+  return fs;
+}
+
+FaultSet rectangle_faults(const Mesh2D& mesh, const Rect& r) {
+  if (!mesh.bounds().contains(r)) {
+    throw std::out_of_range("rectangle_faults: rect outside mesh " + r.to_string());
+  }
+  FaultSet fs(mesh);
+  for (Dist y = r.ymin; y <= r.ymax; ++y) {
+    for (Dist x = r.xmin; x <= r.xmax; ++x) fs.add({x, y});
+  }
+  return fs;
+}
+
+}  // namespace meshroute::fault

@@ -1,0 +1,61 @@
+// Fault injection: which nodes of the mesh are dead. Fault sets are plain
+// data — the fault *models* (faulty blocks, MCCs) are derived views built by
+// block_model.hpp and mcc_model.hpp.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::fault {
+
+/// A set of faulty nodes over a fixed mesh, with O(1) membership.
+class FaultSet {
+ public:
+  explicit FaultSet(const Mesh2D& mesh) : mask_(mesh.width(), mesh.height(), false) {}
+
+  /// Mark `c` faulty. Idempotent; out-of-range coordinates throw.
+  void add(Coord c);
+
+  [[nodiscard]] bool contains(Coord c) const noexcept {
+    return mask_.in_bounds(c) && mask_[c];
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return faults_.size(); }
+  [[nodiscard]] const std::vector<Coord>& faults() const noexcept { return faults_; }
+  [[nodiscard]] const Grid<bool>& mask() const noexcept { return mask_; }
+
+  [[nodiscard]] Dist width() const noexcept { return mask_.width(); }
+  [[nodiscard]] Dist height() const noexcept { return mask_.height(); }
+
+ private:
+  Grid<bool> mask_;
+  std::vector<Coord> faults_;
+};
+
+/// Node predicate used to keep designated nodes (e.g. the source) fault-free.
+using CoordPredicate = std::function<bool(Coord)>;
+
+/// `k` distinct faulty nodes sampled uniformly from the mesh (the paper's
+/// "randomly generated faults"), skipping nodes where `exclude` is true.
+/// Throws if fewer than `k` eligible nodes exist.
+[[nodiscard]] FaultSet uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
+                                             const CoordPredicate& exclude = nullptr);
+
+/// Clustered faults: `clusters` seed points, each growing `cluster_size`
+/// faults by a random walk around the seed. Produces the large irregular
+/// fault regions that stress block/MCC construction in tests; not used by
+/// the paper's own experiments.
+[[nodiscard]] FaultSet clustered_faults(const Mesh2D& mesh, std::size_t clusters,
+                                        std::size_t cluster_size, Rng& rng,
+                                        const CoordPredicate& exclude = nullptr);
+
+/// Faults forming the exact rectangle `r` (every node inside faulty).
+/// Deterministic fixture for unit tests.
+[[nodiscard]] FaultSet rectangle_faults(const Mesh2D& mesh, const Rect& r);
+
+}  // namespace meshroute::fault

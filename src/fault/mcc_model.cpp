@@ -1,0 +1,112 @@
+#include "fault/mcc_model.hpp"
+
+#include <array>
+#include <deque>
+#include <numeric>
+
+namespace meshroute::fault {
+namespace {
+
+using mcc_status::kCantReach;
+using mcc_status::kFaulty;
+using mcc_status::kUseless;
+
+/// Directions whose neighbors trigger the `flag` label under `kind`.
+std::array<Direction, 2> trigger_dirs(MccKind kind, std::uint8_t flag) {
+  if (flag == kUseless) {
+    return kind == MccKind::TypeOne
+               ? std::array{Direction::North, Direction::East}
+               : std::array{Direction::North, Direction::West};
+  }
+  // can't-reach uses the opposite corner pair.
+  return kind == MccKind::TypeOne ? std::array{Direction::South, Direction::West}
+                                  : std::array{Direction::South, Direction::East};
+}
+
+/// Propagate one label (useless or can't-reach) to its fixed point.
+/// A fault-free node gains `flag` when BOTH trigger-direction neighbors
+/// exist and are faulty-or-`flag`ged.
+void propagate_label(const Mesh2D& mesh, Grid<std::uint8_t>& status, MccKind kind,
+                     std::uint8_t flag) {
+  const auto dirs = trigger_dirs(kind, flag);
+  const auto qualifies = [&](Coord c) {
+    if (status[c] & (kFaulty | flag)) return false;  // already labeled
+    for (const Direction d : dirs) {
+      const Coord v = neighbor(c, d);
+      if (!mesh.in_bounds(v) || !(status[v] & (kFaulty | flag))) return false;
+    }
+    return true;
+  };
+  std::deque<Coord> work;
+  mesh.for_each_node([&](Coord c) {
+    if (qualifies(c)) work.push_back(c);
+  });
+  while (!work.empty()) {
+    const Coord c = work.front();
+    work.pop_front();
+    if (!qualifies(c)) continue;
+    status[c] |= flag;
+    // Newly labeled c can only enable nodes that look at c through a
+    // trigger direction, i.e. c's neighbors in the opposite directions.
+    for (const Direction d : dirs) {
+      const Coord v = neighbor(c, opposite(d));
+      if (mesh.in_bounds(v) && qualifies(v)) work.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t MccSet::total_disabled() const noexcept {
+  return std::accumulate(components_.begin(), components_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const MccComponent& c) {
+                           return acc + c.disabled_count();
+                         });
+}
+
+MccSet build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind) {
+  Grid<std::uint8_t> status(mesh.width(), mesh.height(), mcc_status::kFaultFree);
+  for (const Coord f : faults.faults()) status[f] = kFaulty;
+
+  // The two labels reference disjoint predicates ("faulty or useless" vs
+  // "faulty or can't-reach"), so their fixed points are independent.
+  propagate_label(mesh, status, kind, kUseless);
+  propagate_label(mesh, status, kind, kCantReach);
+
+  // Connected components of labeled nodes (4-adjacency).
+  Grid<std::int32_t> comp_id(mesh.width(), mesh.height(), kNoMcc);
+  std::vector<MccComponent> components;
+  mesh.for_each_node([&](Coord start) {
+    if (status[start] == 0 || comp_id[start] != kNoMcc) return;
+    const auto id = static_cast<std::int32_t>(components.size());
+    MccComponent comp;
+    comp.bbox = rect_at(start);
+    std::deque<Coord> frontier{start};
+    comp_id[start] = id;
+    while (!frontier.empty()) {
+      const Coord c = frontier.front();
+      frontier.pop_front();
+      comp.bbox = comp.bbox.united(c);
+      ++comp.size;
+      if (status[c] & kFaulty) ++comp.faulty_count;
+      if (status[c] & kUseless) ++comp.useless_count;
+      if (status[c] & kCantReach) ++comp.cant_reach_count;
+      for (const Coord v : mesh.neighbors(c)) {
+        if (status[v] != 0 && comp_id[v] == kNoMcc) {
+          comp_id[v] = id;
+          frontier.push_back(v);
+        }
+      }
+    }
+    components.push_back(comp);
+  });
+
+  return MccSet(kind, std::move(status), std::move(comp_id), std::move(components));
+}
+
+MccModel build_mcc_model(const Mesh2D& mesh, const FaultSet& faults) {
+  return MccModel{build_mcc(mesh, faults, MccKind::TypeOne),
+                  build_mcc(mesh, faults, MccKind::TypeTwo)};
+}
+
+}  // namespace meshroute::fault

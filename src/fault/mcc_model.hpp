@@ -1,0 +1,111 @@
+// Wang's minimal-connected-component (MCC) fault model (Definition 2):
+// a refinement of faulty blocks that only disables nodes whose use provably
+// makes a minimal route impossible for the routing quadrant at hand.
+//
+// Type-one MCCs serve quadrant I/III routing:
+//   useless     := fault-free node whose North and East neighbors are both
+//                  faulty-or-useless (entering it forces a W/S move);
+//   can't-reach := fault-free node whose South and West neighbors are both
+//                  faulty-or-can't-reach (entering it requires a W/S move).
+// Type-two MCCs (quadrant II/IV) swap East and West in the two rules.
+// Connected faulty/useless/can't-reach nodes form an MCC.
+//
+// Mesh edges: a missing (off-mesh) neighbor never triggers a label — the
+// conservative reading of Definition 2 (labels only provably-unusable nodes;
+// soundness of every condition built on top is unaffected).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rect.hpp"
+#include "fault/fault_set.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::fault {
+
+/// Which pair of quadrants an MCC labeling serves.
+enum class MccKind : std::uint8_t { TypeOne = 0, TypeTwo = 1 };
+
+/// The labeling that applies to routes headed into quadrant `q`.
+[[nodiscard]] constexpr MccKind mcc_kind_for(Quadrant q) noexcept {
+  return (q == Quadrant::I || q == Quadrant::III) ? MccKind::TypeOne : MccKind::TypeTwo;
+}
+
+/// Per-node status bits; a node may be simultaneously useless and can't-reach.
+namespace mcc_status {
+inline constexpr std::uint8_t kFaultFree = 0;
+inline constexpr std::uint8_t kFaulty = 1;
+inline constexpr std::uint8_t kUseless = 2;
+inline constexpr std::uint8_t kCantReach = 4;
+}  // namespace mcc_status
+
+/// One connected MCC region (rectilinear-monotone polygon).
+struct MccComponent {
+  Rect bbox;                       ///< bounding box (not the exact shape)
+  std::int32_t faulty_count = 0;
+  std::int32_t useless_count = 0;
+  std::int32_t cant_reach_count = 0;
+  std::int32_t size = 0;           ///< total member nodes
+
+  /// Healthy nodes the model sacrifices in this component.
+  [[nodiscard]] std::int32_t disabled_count() const noexcept { return size - faulty_count; }
+};
+
+/// Identifier of "no component".
+inline constexpr std::int32_t kNoMcc = -1;
+
+/// The MCC labeling of a mesh for one kind, with components extracted.
+class MccSet {
+ public:
+  MccSet(MccKind kind, Grid<std::uint8_t> status, Grid<std::int32_t> comp_id,
+         std::vector<MccComponent> components)
+      : kind_(kind), status_(std::move(status)), comp_id_(std::move(comp_id)),
+        components_(std::move(components)) {}
+
+  [[nodiscard]] MccKind kind() const noexcept { return kind_; }
+
+  /// Bitmask of mcc_status flags at `c`.
+  [[nodiscard]] std::uint8_t status(Coord c) const noexcept { return status_[c]; }
+
+  /// True when `c` belongs to an MCC (faulty, useless, or can't-reach).
+  [[nodiscard]] bool is_mcc_node(Coord c) const noexcept { return status_[c] != 0; }
+
+  /// Component id at `c`, or kNoMcc.
+  [[nodiscard]] std::int32_t component_id(Coord c) const noexcept { return comp_id_[c]; }
+
+  [[nodiscard]] const std::vector<MccComponent>& components() const noexcept {
+    return components_;
+  }
+
+  [[nodiscard]] const Grid<std::uint8_t>& status_grid() const noexcept { return status_; }
+
+  /// Total healthy nodes disabled across all components.
+  [[nodiscard]] std::int64_t total_disabled() const noexcept;
+
+ private:
+  MccKind kind_;
+  Grid<std::uint8_t> status_;
+  Grid<std::int32_t> comp_id_;
+  std::vector<MccComponent> components_;
+};
+
+/// Run Definition 2 to its fixed point for one labeling kind.
+[[nodiscard]] MccSet build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind);
+
+/// Both labelings; every node carries the paper's dual status
+/// (status1 for quadrant I/III, status2 for quadrant II/IV).
+struct MccModel {
+  MccSet type_one;
+  MccSet type_two;
+
+  [[nodiscard]] const MccSet& for_quadrant(Quadrant q) const noexcept {
+    return mcc_kind_for(q) == MccKind::TypeOne ? type_one : type_two;
+  }
+};
+
+[[nodiscard]] MccModel build_mcc_model(const Mesh2D& mesh, const FaultSet& faults);
+
+}  // namespace meshroute::fault

@@ -1,0 +1,133 @@
+#include "hypercube/hypercube.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace meshroute::cube {
+
+Hypercube::Hypercube(int dimension) : n_(dimension) {
+  if (dimension < 1 || dimension > 20) {
+    throw std::invalid_argument("Hypercube dimension must be in [1, 20]");
+  }
+  faulty_.assign(node_count(), 0);
+}
+
+void Hypercube::set_faulty(NodeId u) {
+  if (u >= node_count()) throw std::out_of_range("Hypercube::set_faulty");
+  if (!faulty_[u]) {
+    faulty_[u] = 1;
+    ++fault_count_;
+  }
+}
+
+std::vector<int> compute_safety_levels(const Hypercube& cube) {
+  const int n = cube.dimension();
+  const std::size_t count = cube.node_count();
+  // Start from the optimistic assignment and decrease to the fixed point;
+  // Wu shows convergence within n rounds.
+  std::vector<int> level(count);
+  for (std::size_t u = 0; u < count; ++u) level[u] = cube.faulty(static_cast<NodeId>(u)) ? 0 : n;
+
+  std::vector<int> s(static_cast<std::size_t>(n));
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ <= n + 1) {
+    changed = false;
+    for (std::size_t u = 0; u < count; ++u) {
+      if (cube.faulty(static_cast<NodeId>(u))) continue;
+      for (int d = 0; d < n; ++d) {
+        s[static_cast<std::size_t>(d)] = level[cube.neighbor(static_cast<NodeId>(u), d)];
+      }
+      std::sort(s.begin(), s.end());
+      int k = 0;
+      while (k < n && s[static_cast<std::size_t>(k)] >= k) ++k;
+      if (k < level[u]) {
+        level[u] = k;
+        changed = true;
+      }
+    }
+  }
+  return level;
+}
+
+bool minimal_path_exists(const Hypercube& cube, NodeId s, NodeId d) {
+  if (cube.faulty(s) || cube.faulty(d)) return false;
+  const NodeId diff = s ^ d;
+  const int dist = Hypercube::distance(s, d);
+  if (dist == 0) return true;
+  // Enumerate the dimensions to correct; DP over subsets in popcount order.
+  std::vector<int> dims;
+  for (int b = 0; b < cube.dimension(); ++b) {
+    if (diff & (NodeId{1} << b)) dims.push_back(b);
+  }
+  const std::size_t subsets = std::size_t{1} << dims.size();
+  std::vector<std::uint8_t> reach(subsets, 0);
+  reach[0] = 1;
+  // Iterate subsets grouped by size: any subset's node is reachable iff the
+  // node is fault-free and some one-smaller subset is reachable.
+  std::vector<std::vector<std::uint32_t>> by_size(dims.size() + 1);
+  for (std::uint32_t m = 1; m < subsets; ++m) {
+    by_size[static_cast<std::size_t>(__builtin_popcount(m))].push_back(m);
+  }
+  for (std::size_t size = 1; size <= dims.size(); ++size) {
+    for (const std::uint32_t m : by_size[size]) {
+      NodeId node = s;
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (m & (1u << i)) node ^= NodeId{1} << dims[i];
+      }
+      if (cube.faulty(node)) continue;
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        if ((m & (1u << i)) && reach[m ^ (1u << i)]) {
+          reach[m] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return reach[subsets - 1] != 0;
+}
+
+std::optional<std::vector<NodeId>> route_safety_level(const Hypercube& cube,
+                                                      const std::vector<int>& levels, NodeId s,
+                                                      NodeId d) {
+  if (cube.faulty(s) || cube.faulty(d)) return std::nullopt;
+  std::vector<NodeId> path{s};
+  NodeId cur = s;
+  while (cur != d) {
+    const NodeId diff = cur ^ d;
+    NodeId best = cur;
+    int best_level = -1;
+    for (int b = 0; b < cube.dimension(); ++b) {
+      if (!(diff & (NodeId{1} << b))) continue;
+      const NodeId v = cube.neighbor(cur, b);
+      if (cube.faulty(v)) continue;
+      // Prefer the highest-safety preferred neighbor; the destination
+      // itself is always acceptable.
+      const int lv = v == d ? cube.dimension() + 1 : levels[v];
+      if (lv > best_level) {
+        best_level = lv;
+        best = v;
+      }
+    }
+    if (best == cur) return std::nullopt;  // stuck: no usable preferred neighbor
+    cur = best;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+void inject_random_faults(Hypercube& cube, std::size_t k, Rng& rng,
+                          const std::vector<NodeId>& protect) {
+  std::vector<NodeId> eligible;
+  eligible.reserve(cube.node_count());
+  for (NodeId u = 0; u < cube.node_count(); ++u) {
+    if (std::find(protect.begin(), protect.end(), u) == protect.end()) eligible.push_back(u);
+  }
+  if (k > eligible.size()) throw std::invalid_argument("inject_random_faults: k too large");
+  for (const auto idx : rng.sample_distinct(static_cast<std::int64_t>(eligible.size()),
+                                            static_cast<std::int64_t>(k))) {
+    cube.set_faulty(eligible[static_cast<std::size_t>(idx)]);
+  }
+}
+
+}  // namespace meshroute::cube

@@ -1,0 +1,80 @@
+// Binary-hypercube safety levels — the concept the paper generalizes.
+//
+// Section 1: "in a binary hypercube, if a node's safety level is L, there is
+// at least one Hamming distance (minimal) path from this node to any node
+// within Hamming-distance-L" (Wu, IEEE ToC 46(2), 1997; TPDS 9(4), 1998).
+// The 2-D mesh's extended safety level (E, S, W, N) is the directional
+// refinement of this scalar. Implementing the original substrate both
+// grounds the lineage and provides an independent minimal-routing theory to
+// test the shared machinery against.
+//
+// Definition (Wu): the safety level of a faulty node is 0. For a non-faulty
+// node u in an n-cube whose n neighbors have levels (s1 <= s2 <= ... <= sn)
+// in non-decreasing order, S(u) = k where k is the largest value such that
+// s_i >= i - 1 for every i <= k (equivalently: seq >= (0, 1, ..., k-1)),
+// capped at n. Computed as a decreasing fixed point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/rng.hpp"
+
+namespace meshroute::cube {
+
+/// Node address: an n-bit string.
+using NodeId = std::uint32_t;
+
+/// An n-dimensional binary hypercube with a fault set.
+class Hypercube {
+ public:
+  explicit Hypercube(int dimension);
+
+  [[nodiscard]] int dimension() const noexcept { return n_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return std::size_t{1} << n_; }
+
+  void set_faulty(NodeId u);
+  [[nodiscard]] bool faulty(NodeId u) const { return faulty_[u]; }
+  [[nodiscard]] std::size_t fault_count() const noexcept { return fault_count_; }
+
+  /// Neighbor across dimension d (flip bit d).
+  [[nodiscard]] NodeId neighbor(NodeId u, int d) const noexcept {
+    return u ^ (NodeId{1} << d);
+  }
+
+  /// Hamming distance.
+  [[nodiscard]] static int distance(NodeId a, NodeId b) noexcept {
+    return __builtin_popcount(a ^ b);
+  }
+
+ private:
+  int n_;
+  std::vector<std::uint8_t> faulty_;
+  std::size_t fault_count_ = 0;
+
+  friend std::vector<int> compute_safety_levels(const Hypercube&);
+};
+
+/// Wu's safety levels, run to the (decreasing) fixed point. O(iterations *
+/// nodes * n log n); converges in at most n rounds.
+[[nodiscard]] std::vector<int> compute_safety_levels(const Hypercube& cube);
+
+/// Oracle: does a Hamming-minimal path from s to d exist avoiding faulty
+/// nodes? DP over the subcube spanned by s ^ d (O(2^distance * distance)).
+[[nodiscard]] bool minimal_path_exists(const Hypercube& cube, NodeId s, NodeId d);
+
+/// Wu's safety-level routing: at each hop take a preferred neighbor (one
+/// correcting a differing bit) with the maximum safety level. Guaranteed
+/// minimal when S(source) >= distance or some preferred neighbor has
+/// S >= distance - 1. Returns the hop sequence (including endpoints) or
+/// nullopt if it gets stuck.
+[[nodiscard]] std::optional<std::vector<NodeId>> route_safety_level(
+    const Hypercube& cube, const std::vector<int>& levels, NodeId s, NodeId d);
+
+/// Uniform random fault injection (never the given protected nodes).
+void inject_random_faults(Hypercube& cube, std::size_t k, Rng& rng,
+                          const std::vector<NodeId>& protect = {});
+
+}  // namespace meshroute::cube

@@ -1,0 +1,86 @@
+#include "info/boundary.hpp"
+
+#include <algorithm>
+
+namespace meshroute::info {
+
+BoundaryInfoMap::BoundaryInfoMap(const Mesh2D& mesh, const fault::BlockSet& blocks)
+    : entries_(mesh.width(), mesh.height()) {
+  const auto& blk = blocks.blocks();
+  for (std::size_t b = 0; b < blk.size(); ++b) {
+    const auto id = static_cast<std::int32_t>(b);
+    const Rect r = blk[b].rect;
+    const Rect ring = r.expanded(1);
+
+    // Perimeter ring: nodes adjacent to the block (including the four
+    // diagonal corner nodes, which are the "corners" of Definition 1's
+    // adjacency discussion).
+    for (Dist x = ring.xmin; x <= ring.xmax; ++x) {
+      for (const Dist y : {ring.ymin, ring.ymax}) {
+        if (mesh.in_bounds({x, y})) deposit({x, y}, id);
+      }
+    }
+    for (Dist y = ring.ymin + 1; y <= ring.ymax - 1; ++y) {
+      for (const Dist x : {ring.xmin, ring.xmax}) {
+        if (mesh.in_bounds({x, y})) deposit({x, y}, id);
+      }
+    }
+
+    // Outward trails. Each adjacent line propagates in both directions so
+    // that routing toward any quadrant is served; the slide direction points
+    // away from the owning block, per the turn-and-join rule.
+    const Coord sw{r.xmin - 1, r.ymin - 1};
+    const Coord se{r.xmax + 1, r.ymin - 1};
+    const Coord nw{r.xmin - 1, r.ymax + 1};
+    const Coord ne{r.xmax + 1, r.ymax + 1};
+    // L1 (south row, y = ymin-1): west from SW, east from SE; slide south.
+    walk_trail(mesh, blocks, sw, Direction::West, Direction::South, id);
+    walk_trail(mesh, blocks, se, Direction::East, Direction::South, id);
+    // L2 (north row, y = ymax+1): east from NE, west from NW; slide north.
+    walk_trail(mesh, blocks, ne, Direction::East, Direction::North, id);
+    walk_trail(mesh, blocks, nw, Direction::West, Direction::North, id);
+    // L3 (west column, x = xmin-1): south from SW, north from NW; slide west.
+    walk_trail(mesh, blocks, sw, Direction::South, Direction::West, id);
+    walk_trail(mesh, blocks, nw, Direction::North, Direction::West, id);
+    // L4 (east column, x = xmax+1): north from NE, south from SE; slide east.
+    walk_trail(mesh, blocks, ne, Direction::North, Direction::East, id);
+    walk_trail(mesh, blocks, se, Direction::South, Direction::East, id);
+  }
+}
+
+bool BoundaryInfoMap::knows(Coord c, std::int32_t block) const noexcept {
+  const auto& v = entries_[c];
+  return std::find(v.begin(), v.end(), block) != v.end();
+}
+
+void BoundaryInfoMap::deposit(Coord c, std::int32_t block) {
+  auto& v = entries_[c];
+  if (std::find(v.begin(), v.end(), block) != v.end()) return;
+  if (v.empty()) ++covered_;
+  v.push_back(block);
+  ++deposited_;
+}
+
+void BoundaryInfoMap::walk_trail(const Mesh2D& mesh, const fault::BlockSet& blocks, Coord start,
+                                 Direction primary, Direction slide, std::int32_t block) {
+  if (!mesh.in_bounds(start)) return;
+  Coord cur = start;
+  // The start corner is already deposited by the perimeter ring; walk on.
+  while (true) {
+    const Coord ahead = neighbor(cur, primary);
+    if (!mesh.in_bounds(ahead)) return;
+    if (!blocks.is_block_node(ahead)) {
+      cur = ahead;
+    } else {
+      // Turn toward the encountered block's own line: slide until the
+      // primary direction clears (or the mesh ends). At the disable-rule
+      // fixed point a slide step is never itself blocked; guard anyway.
+      const Coord aside = neighbor(cur, slide);
+      if (!mesh.in_bounds(aside) || blocks.is_block_node(aside)) return;
+      cur = aside;
+    }
+    deposit(cur, block);
+  }
+}
+
+}  // namespace meshroute::info

@@ -1,0 +1,61 @@
+// Faulty-block-information distribution (Section 2, Figures 3 and 6).
+//
+// Each block's corner coordinates are deposited on:
+//   * its perimeter ring (the nodes adjacent to the block — they can sense
+//     the block directly), and
+//   * the four boundary lines L1..L4 extending outward from the SW and NE
+//     corners (and, for full four-quadrant generality, from the SE and NW
+//     corners as well — the paper describes the quadrant-I subset).
+// When a boundary line runs into another block it turns and joins the
+// corresponding line of that block ("turn-and-join", Figure 3 (b)); the walk
+// below realizes that rule by sliding along the encountered block's adjacent
+// line until the primary direction clears, which reproduces the staircase
+// trails of the paper.
+//
+// Routing then needs *only* the block information stored at the node a packet
+// currently occupies (see route/router.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "fault/block_model.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::info {
+
+/// Per-node store of which blocks are known there (ids into BlockSet).
+class BoundaryInfoMap {
+ public:
+  /// Build the full (all-quadrant) distribution for `blocks`.
+  BoundaryInfoMap(const Mesh2D& mesh, const fault::BlockSet& blocks);
+
+  /// Ids of blocks whose information is stored at `c` (unordered, unique).
+  [[nodiscard]] const std::vector<std::int32_t>& known_blocks(Coord c) const noexcept {
+    return entries_[c];
+  }
+
+  [[nodiscard]] bool knows(Coord c, std::int32_t block) const noexcept;
+
+  /// Total (node, block) pairs deposited — the memory cost of the model.
+  [[nodiscard]] std::size_t deposited_entries() const noexcept { return deposited_; }
+
+  /// Number of nodes storing at least one entry.
+  [[nodiscard]] std::size_t covered_nodes() const noexcept { return covered_; }
+
+ private:
+  void deposit(Coord c, std::int32_t block);
+
+  /// Walk a boundary trail from `start` with primary direction `primary`,
+  /// sliding in `slide` around blocks (turn-and-join), depositing `block`.
+  void walk_trail(const Mesh2D& mesh, const fault::BlockSet& blocks, Coord start,
+                  Direction primary, Direction slide, std::int32_t block);
+
+  Grid<std::vector<std::int32_t>> entries_;
+  std::size_t deposited_ = 0;
+  std::size_t covered_ = 0;
+};
+
+}  // namespace meshroute::info

@@ -1,0 +1,69 @@
+#include "info/pivots.hpp"
+
+#include <stdexcept>
+
+namespace meshroute::info {
+namespace {
+
+Coord place(const Rect& area, PivotPlacement placement, Rng* rng, bool need_subdivision) {
+  if (placement == PivotPlacement::Center) {
+    return {(area.xmin + area.xmax) / 2, (area.ymin + area.ymax) / 2};
+  }
+  if (rng == nullptr) throw std::invalid_argument("generate_pivots: Random placement needs rng");
+  // When deeper levels must fit, keep the pivot off the area's edges so all
+  // four sub-areas stay non-empty (when the area is big enough to allow it).
+  Rect r = area;
+  if (need_subdivision) {
+    if (r.width() >= 3) {
+      ++r.xmin;
+      --r.xmax;
+    }
+    if (r.height() >= 3) {
+      ++r.ymin;
+      --r.ymax;
+    }
+  }
+  return {static_cast<Dist>(rng->uniform(r.xmin, r.xmax)),
+          static_cast<Dist>(rng->uniform(r.ymin, r.ymax))};
+}
+
+void recurse(const Rect& area, int levels, PivotPlacement placement, Rng* rng,
+             std::vector<Coord>& out) {
+  if (levels <= 0 || !area.valid()) return;
+  const Coord p = place(area, placement, rng, levels > 1);
+  out.push_back(p);
+  if (levels == 1) return;
+  // The pivot's row and column split the area into four sub-areas.
+  const Rect sw{area.xmin, p.x - 1, area.ymin, p.y - 1};
+  const Rect se{p.x + 1, area.xmax, area.ymin, p.y - 1};
+  const Rect nw{area.xmin, p.x - 1, p.y + 1, area.ymax};
+  const Rect ne{p.x + 1, area.xmax, p.y + 1, area.ymax};
+  for (const Rect& sub : {sw, se, nw, ne}) recurse(sub, levels - 1, placement, rng, out);
+}
+
+}  // namespace
+
+std::vector<Coord> generate_pivots(const Rect& area, int levels, PivotPlacement placement,
+                                   Rng* rng) {
+  std::vector<Coord> out;
+  recurse(area, levels, placement, rng, out);
+  return out;
+}
+
+std::vector<Coord> generate_latin_pivots(const Rect& area, std::size_t count, Rng& rng) {
+  const auto w = static_cast<std::size_t>(area.valid() ? area.width() : 0);
+  const auto h = static_cast<std::size_t>(area.valid() ? area.height() : 0);
+  if (count > w || count > h) {
+    throw std::invalid_argument("generate_latin_pivots: area too small for distinct rows/cols");
+  }
+  const auto xs = rng.sample_distinct(static_cast<std::int64_t>(w), static_cast<std::int64_t>(count));
+  const auto ys = rng.sample_distinct(static_cast<std::int64_t>(h), static_cast<std::int64_t>(count));
+  std::vector<Coord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({area.xmin + static_cast<Dist>(xs[i]), area.ymin + static_cast<Dist>(ys[i])});
+  }
+  return out;
+}
+
+}  // namespace meshroute::info

@@ -1,0 +1,46 @@
+// Pivot-node selection for Extension 3 (Sections 3 and 4).
+//
+// Pivot nodes broadcast their extended safety level to the whole mesh; the
+// source then tries to factor a route through a pivot it is safe with respect
+// to. Selection is recursive: level 1 picks one pivot in the area, which
+// splits the area into four sub-areas; level 2 picks one pivot per sub-area
+// (4 more), and so on — sum 4^(i-1) pivots for i = 1..levels. Figure 11 uses
+// center placement; the strategies of Figure 12 use random placement. A Latin
+// variation (no two pivots sharing a row or column) is provided as the
+// paper's final extension-3 variant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/rect.hpp"
+#include "common/rng.hpp"
+
+namespace meshroute::info {
+
+enum class PivotPlacement : std::uint8_t { Center = 0, Random = 1 };
+
+/// All pivots for partition levels 1..levels over the inclusive area.
+/// `rng` may be null for Center placement; required for Random.
+[[nodiscard]] std::vector<Coord> generate_pivots(const Rect& area, int levels,
+                                                 PivotPlacement placement, Rng* rng = nullptr);
+
+/// Number of pivots at partition level `levels`: sum of 4^(i-1).
+[[nodiscard]] constexpr std::int64_t pivot_count(int levels) noexcept {
+  std::int64_t total = 0;
+  std::int64_t layer = 1;
+  for (int i = 0; i < levels; ++i) {
+    total += layer;
+    layer *= 4;
+  }
+  return total;
+}
+
+/// `count` pivots, evenly scattered with no two on the same row or column
+/// (random Latin placement). Throws when the area cannot host `count` such
+/// pivots.
+[[nodiscard]] std::vector<Coord> generate_latin_pivots(const Rect& area, std::size_t count,
+                                                       Rng& rng);
+
+}  // namespace meshroute::info

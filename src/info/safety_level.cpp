@@ -1,0 +1,62 @@
+#include "info/safety_level.hpp"
+
+namespace meshroute::info {
+namespace {
+
+/// Distance chaining: one hop further from a neighbor's value.
+Dist chain(bool neighbor_is_obstacle, Dist neighbor_value) {
+  if (neighbor_is_obstacle) return 0;
+  return is_infinite(neighbor_value) ? kInfiniteDistance : neighbor_value + 1;
+}
+
+}  // namespace
+
+Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::BlockSet& blocks) {
+  Grid<bool> mask(mesh.width(), mesh.height(), false);
+  mesh.for_each_node([&](Coord c) { mask[c] = blocks.is_block_node(c); });
+  return mask;
+}
+
+Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::MccSet& mcc) {
+  Grid<bool> mask(mesh.width(), mesh.height(), false);
+  mesh.for_each_node([&](Coord c) { mask[c] = mcc.is_mcc_node(c); });
+  return mask;
+}
+
+SafetyGrid compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles) {
+  SafetyGrid grid(mesh.width(), mesh.height());
+  const Dist w = mesh.width();
+  const Dist h = mesh.height();
+
+  // East: sweep each row from the east edge westward.
+  for (Dist y = 0; y < h; ++y) {
+    grid[{w - 1, y}].e = kInfiniteDistance;
+    for (Dist x = w - 2; x >= 0; --x) {
+      grid[{x, y}].e = chain(obstacles[{x + 1, y}], grid[{x + 1, y}].e);
+    }
+  }
+  // West: sweep each row from the west edge eastward.
+  for (Dist y = 0; y < h; ++y) {
+    grid[{0, y}].w = kInfiniteDistance;
+    for (Dist x = 1; x < w; ++x) {
+      grid[{x, y}].w = chain(obstacles[{x - 1, y}], grid[{x - 1, y}].w);
+    }
+  }
+  // North: sweep each column from the north edge southward.
+  for (Dist x = 0; x < w; ++x) {
+    grid[{x, h - 1}].n = kInfiniteDistance;
+    for (Dist y = h - 2; y >= 0; --y) {
+      grid[{x, y}].n = chain(obstacles[{x, y + 1}], grid[{x, y + 1}].n);
+    }
+  }
+  // South: sweep each column from the south edge northward.
+  for (Dist x = 0; x < w; ++x) {
+    grid[{x, 0}].s = kInfiniteDistance;
+    for (Dist y = 1; y < h; ++y) {
+      grid[{x, y}].s = chain(obstacles[{x, y - 1}], grid[{x, y - 1}].s);
+    }
+  }
+  return grid;
+}
+
+}  // namespace meshroute::info

@@ -1,0 +1,61 @@
+// Extended safety levels (Section 2): the 4-tuple (E, S, W, N) at each node,
+// giving the hop distance to the nearest faulty-block (or MCC) node in each
+// direction along the node's row/column. This is the paper's coded
+// limited-global fault information.
+//
+// Semantics: E = number of consecutive obstacle-free nodes immediately east
+// of the node, so that "xd <= E" is exactly "section [0, xd] of the axis is
+// clear". kInfiniteDistance when the row/column is clear to the mesh edge
+// (the paper's default (inf, inf, inf, inf)).
+#pragma once
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "fault/block_model.hpp"
+#include "fault/mcc_model.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::info {
+
+/// The (E, S, W, N) tuple of one node.
+struct ExtendedSafetyLevel {
+  Dist e = kInfiniteDistance;
+  Dist s = kInfiniteDistance;
+  Dist w = kInfiniteDistance;
+  Dist n = kInfiniteDistance;
+
+  [[nodiscard]] constexpr Dist get(Direction d) const noexcept {
+    switch (d) {
+      case Direction::East: return e;
+      case Direction::South: return s;
+      case Direction::West: return w;
+      case Direction::North: return n;
+    }
+    return 0;  // unreachable
+  }
+
+  constexpr void set(Direction d, Dist v) noexcept {
+    switch (d) {
+      case Direction::East: e = v; break;
+      case Direction::South: s = v; break;
+      case Direction::West: w = v; break;
+      case Direction::North: n = v; break;
+    }
+  }
+
+  friend constexpr bool operator==(const ExtendedSafetyLevel&,
+                                   const ExtendedSafetyLevel&) = default;
+};
+
+using SafetyGrid = Grid<ExtendedSafetyLevel>;
+
+/// Obstacle mask of a fault model: true at every node belonging to a block.
+[[nodiscard]] Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::BlockSet& blocks);
+[[nodiscard]] Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::MccSet& mcc);
+
+/// Centralized reference computation of all safety levels by directional
+/// sweeps: O(nodes). The distributed formation protocol in simsub/ converges
+/// to exactly this grid (asserted by integration tests).
+[[nodiscard]] SafetyGrid compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles);
+
+}  // namespace meshroute::info

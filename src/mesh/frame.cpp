@@ -1,0 +1,3 @@
+#include "mesh/frame.hpp"
+
+// QuadrantFrame is header-only; this translation unit anchors the target.

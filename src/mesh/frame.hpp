@@ -1,0 +1,73 @@
+// Quadrant frames: the paper states every result for a source at the origin
+// and a destination in the first quadrant "without loss of generality". A
+// QuadrantFrame is the change of coordinates that realizes that generality:
+// it reflects axes so an arbitrary (source, destination) pair becomes the
+// canonical quadrant-I problem, and maps results (paths, directions) back.
+#pragma once
+
+#include "common/coord.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute {
+
+/// An isometry of the mesh of the form
+///   T(c) = (sx * (c.x - ox), sy * (c.y - oy)),   sx, sy in {+1, -1}
+/// chosen so that T(source) = (0, 0) and T(destination) lies in quadrant I
+/// (both relative coordinates >= 0).
+class QuadrantFrame {
+ public:
+  /// Identity frame at origin.
+  QuadrantFrame() = default;
+
+  /// Frame canonicalizing the routing problem source -> destination.
+  /// Ties (destination sharing the source's row or column) keep the
+  /// positive orientation in the degenerate dimension.
+  QuadrantFrame(Coord source, Coord destination) noexcept
+      : origin_(source),
+        sx_(destination.x >= source.x ? 1 : -1),
+        sy_(destination.y >= source.y ? 1 : -1) {}
+
+  /// Mesh coordinate -> frame-relative coordinate.
+  [[nodiscard]] Coord to_frame(Coord c) const noexcept {
+    return {sx_ * (c.x - origin_.x), sy_ * (c.y - origin_.y)};
+  }
+
+  /// Frame-relative coordinate -> mesh coordinate.
+  [[nodiscard]] Coord to_mesh(Coord rel) const noexcept {
+    return {origin_.x + sx_ * rel.x, origin_.y + sy_ * rel.y};
+  }
+
+  /// Mesh direction corresponding to frame-east / frame-north etc.
+  [[nodiscard]] Direction to_mesh_dir(Direction frame_dir) const noexcept {
+    Direction d = frame_dir;
+    if (sx_ < 0 && is_horizontal(d)) d = opposite(d);
+    if (sy_ < 0 && !is_horizontal(d)) d = opposite(d);
+    return d;
+  }
+
+  /// Inverse of to_mesh_dir (reflections are involutions, so identical).
+  [[nodiscard]] Direction to_frame_dir(Direction mesh_dir) const noexcept {
+    return to_mesh_dir(mesh_dir);
+  }
+
+  /// The quadrant this frame maps onto quadrant I.
+  [[nodiscard]] Quadrant source_quadrant() const noexcept {
+    if (sx_ > 0 && sy_ > 0) return Quadrant::I;
+    if (sx_ < 0 && sy_ > 0) return Quadrant::II;
+    if (sx_ < 0 && sy_ < 0) return Quadrant::III;
+    return Quadrant::IV;
+  }
+
+  /// True when this frame flips the x (resp. y) axis.
+  [[nodiscard]] bool flips_x() const noexcept { return sx_ < 0; }
+  [[nodiscard]] bool flips_y() const noexcept { return sy_ < 0; }
+
+  [[nodiscard]] Coord origin() const noexcept { return origin_; }
+
+ private:
+  Coord origin_{0, 0};
+  Dist sx_ = 1;
+  Dist sy_ = 1;
+};
+
+}  // namespace meshroute

@@ -1,0 +1,39 @@
+#include "mesh/mesh2d.hpp"
+
+#include <stdexcept>
+
+namespace meshroute {
+
+Mesh2D::Mesh2D(Dist width, Dist height) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Mesh2D dimensions must be positive");
+  }
+}
+
+std::vector<Coord> Mesh2D::neighbors(Coord c) const {
+  std::vector<Coord> out;
+  out.reserve(4);
+  for (const Direction d : kAllDirections) {
+    const Coord v = neighbor(c, d);
+    if (in_bounds(v)) out.push_back(v);
+  }
+  return out;
+}
+
+int Mesh2D::degree(Coord c) const noexcept {
+  int deg = 0;
+  for (const Direction d : kAllDirections) {
+    if (in_bounds(neighbor(c, d))) ++deg;
+  }
+  return deg;
+}
+
+void Mesh2D::for_each_node(const std::function<void(Coord)>& fn) const {
+  for (Dist y = 0; y < height_; ++y) {
+    for (Dist x = 0; x < width_; ++x) {
+      fn(Coord{x, y});
+    }
+  }
+}
+
+}  // namespace meshroute

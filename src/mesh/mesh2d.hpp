@@ -1,0 +1,66 @@
+// The 2-D mesh topology substrate: an n x m grid of nodes where two nodes are
+// linked iff their addresses differ by exactly one in exactly one dimension
+// (Section 2 of the paper).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/rect.hpp"
+
+namespace meshroute {
+
+/// Immutable description of an n x m 2-D mesh. Node addresses are
+/// (x, y) with 0 <= x < width and 0 <= y < height.
+class Mesh2D {
+ public:
+  Mesh2D(Dist width, Dist height);
+
+  /// Square n x n mesh.
+  static Mesh2D square(Dist n) { return Mesh2D(n, n); }
+
+  [[nodiscard]] Dist width() const noexcept { return width_; }
+  [[nodiscard]] Dist height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  /// The full node rectangle [0:width-1, 0:height-1].
+  [[nodiscard]] Rect bounds() const noexcept { return Rect{0, width_ - 1, 0, height_ - 1}; }
+
+  [[nodiscard]] bool in_bounds(Coord c) const noexcept {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  /// True when u and v are joined by a mesh link.
+  [[nodiscard]] bool adjacent(Coord u, Coord v) const noexcept {
+    return in_bounds(u) && in_bounds(v) && manhattan(u, v) == 1;
+  }
+
+  /// In-mesh neighbors of c, in (E, S, W, N) order; size <= 4.
+  [[nodiscard]] std::vector<Coord> neighbors(Coord c) const;
+
+  /// Existing neighbor in direction d, or nullopt-like signalling via bool.
+  [[nodiscard]] bool has_neighbor(Coord c, Direction d) const noexcept {
+    return in_bounds(neighbor(c, d));
+  }
+
+  /// Interior degree is 4; edges 3; corners 2.
+  [[nodiscard]] int degree(Coord c) const noexcept;
+
+  /// Visit every node in row-major order.
+  void for_each_node(const std::function<void(Coord)>& fn) const;
+
+  /// Center node (floor division) — the paper's simulations put the source
+  /// at the center of a 200 x 200 mesh.
+  [[nodiscard]] Coord center() const noexcept { return {width_ / 2, height_ / 2}; }
+
+ private:
+  Dist width_;
+  Dist height_;
+};
+
+}  // namespace meshroute

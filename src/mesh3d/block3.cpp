@@ -1,0 +1,173 @@
+#include "mesh3d/block3.hpp"
+
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace meshroute::d3 {
+namespace {
+
+/// Bad neighbors in at least two different dimensions.
+bool disable_condition(const Mesh3D& mesh, const Grid3<bool>& bad, Coord3 c) {
+  int axes = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const Direction3 pos = positive_direction(axis);
+    const Coord3 a = neighbor(c, pos);
+    const Coord3 b = neighbor(c, opposite(pos));
+    if ((mesh.in_bounds(a) && bad[a]) || (mesh.in_bounds(b) && bad[b])) ++axes;
+  }
+  return axes >= 2;
+}
+
+void propagate_disable(const Mesh3D& mesh, Grid3<bool>& bad) {
+  std::deque<Coord3> work;
+  mesh.for_each_node([&](Coord3 c) {
+    if (!bad[c] && disable_condition(mesh, bad, c)) work.push_back(c);
+  });
+  while (!work.empty()) {
+    const Coord3 c = work.front();
+    work.pop_front();
+    if (bad[c] || !disable_condition(mesh, bad, c)) continue;
+    bad[c] = true;
+    for (const Coord3 v : mesh.neighbors(c)) {
+      if (!bad[v] && disable_condition(mesh, bad, v)) work.push_back(v);
+    }
+  }
+}
+
+std::vector<Box> component_boxes(const Mesh3D& mesh, const Grid3<bool>& bad) {
+  Grid3<bool> seen(mesh.nx(), mesh.ny(), mesh.nz(), false);
+  std::vector<Box> boxes;
+  mesh.for_each_node([&](Coord3 start) {
+    if (!bad[start] || seen[start]) return;
+    Box box{start, start};
+    std::deque<Coord3> frontier{start};
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const Coord3 c = frontier.front();
+      frontier.pop_front();
+      box = box.united(c);
+      for (const Coord3 v : mesh.neighbors(c)) {
+        if (bad[v] && !seen[v]) {
+          seen[v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+    boxes.push_back(box);
+  });
+  return boxes;
+}
+
+std::vector<Box> merge_overlapping(std::vector<Box> boxes) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < boxes.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < boxes.size() && !changed; ++j) {
+        if (boxes[i].overlaps(boxes[j])) {
+          boxes[i] = boxes[i].united(boxes[j]);
+          boxes.erase(boxes.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+  return boxes;
+}
+
+void fill_box(Grid3<bool>& mask, const Box& b, bool& grew) {
+  for (Dist z = b.lo.z; z <= b.hi.z; ++z) {
+    for (Dist y = b.lo.y; y <= b.hi.y; ++y) {
+      for (Dist x = b.lo.x; x <= b.hi.x; ++x) {
+        if (!mask[{x, y, z}]) {
+          mask[{x, y, z}] = true;
+          grew = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BlockSet3::BlockSet3(const Mesh3D& mesh, std::vector<FaultyBlock3> blocks,
+                     Grid3<bool> block_mask)
+    : blocks_(std::move(blocks)), mask_(std::move(block_mask)) {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      if (blocks_[i].box.overlaps(blocks_[j].box)) {
+        throw std::invalid_argument("BlockSet3: overlapping blocks");
+      }
+    }
+  }
+  (void)mesh;
+}
+
+std::int64_t BlockSet3::total_disabled() const noexcept {
+  return std::accumulate(blocks_.begin(), blocks_.end(), std::int64_t{0},
+                         [](std::int64_t a, const FaultyBlock3& b) {
+                           return a + b.disabled_count;
+                         });
+}
+
+std::int64_t BlockSet3::total_faulty() const noexcept {
+  return std::accumulate(blocks_.begin(), blocks_.end(), std::int64_t{0},
+                         [](std::int64_t a, const FaultyBlock3& b) {
+                           return a + b.faulty_count;
+                         });
+}
+
+BlockSet3 build_faulty_blocks3(const Mesh3D& mesh, const Grid3<bool>& faults) {
+  Grid3<bool> bad = faults;
+  std::vector<Box> boxes;
+  // In 3-D the labeling fixed point is NOT guaranteed to fill bounding
+  // cuboids (unlike the 2-D rectangle theorem), so the closure loop below
+  // does real work: close each component to its box, merge overlaps,
+  // relabel, repeat to a fixed point.
+  while (true) {
+    propagate_disable(mesh, bad);
+    boxes = merge_overlapping(component_boxes(mesh, bad));
+    bool grew = false;
+    for (const Box& b : boxes) fill_box(bad, b, grew);
+    if (!grew) break;
+  }
+
+  std::vector<FaultyBlock3> blocks;
+  blocks.reserve(boxes.size());
+  for (const Box& b : boxes) {
+    FaultyBlock3 blk{b, 0, 0};
+    for (Dist z = b.lo.z; z <= b.hi.z; ++z) {
+      for (Dist y = b.lo.y; y <= b.hi.y; ++y) {
+        for (Dist x = b.lo.x; x <= b.hi.x; ++x) {
+          if (faults[{x, y, z}]) {
+            ++blk.faulty_count;
+          } else {
+            ++blk.disabled_count;
+          }
+        }
+      }
+    }
+    blocks.push_back(blk);
+  }
+  return BlockSet3(mesh, std::move(blocks), std::move(bad));
+}
+
+Grid3<bool> uniform_random_faults3(const Mesh3D& mesh, std::size_t k, Rng& rng) {
+  if (k > mesh.node_count()) {
+    throw std::invalid_argument("uniform_random_faults3: k exceeds node count");
+  }
+  Grid3<bool> faults(mesh.nx(), mesh.ny(), mesh.nz(), false);
+  for (const auto idx :
+       rng.sample_distinct(static_cast<std::int64_t>(mesh.node_count()),
+                           static_cast<std::int64_t>(k))) {
+    const auto i = static_cast<std::size_t>(idx);
+    const auto nx = static_cast<std::size_t>(mesh.nx());
+    const auto ny = static_cast<std::size_t>(mesh.ny());
+    faults[{static_cast<Dist>(i % nx), static_cast<Dist>((i / nx) % ny),
+            static_cast<Dist>(i / (nx * ny))}] = true;
+  }
+  return faults;
+}
+
+}  // namespace meshroute::d3

@@ -1,0 +1,47 @@
+// 3-D faulty blocks: the natural lift of Definition 1 — a healthy node is
+// disabled when it has faulty/disabled neighbors in at least two DIFFERENT
+// dimensions; connected faulty/disabled nodes form a block, closed to its
+// bounding box (disjoint cuboids).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mesh3d/coord3.hpp"
+#include "mesh3d/mesh3d.hpp"
+
+namespace meshroute::d3 {
+
+struct FaultyBlock3 {
+  Box box;
+  std::int32_t faulty_count = 0;
+  std::int32_t disabled_count = 0;
+};
+
+inline constexpr std::int32_t kNoBlock3 = -1;
+
+class BlockSet3 {
+ public:
+  BlockSet3(const Mesh3D& mesh, std::vector<FaultyBlock3> blocks, Grid3<bool> block_mask);
+
+  [[nodiscard]] const std::vector<FaultyBlock3>& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  [[nodiscard]] bool is_block_node(Coord3 c) const noexcept { return mask_[c] != 0; }
+  [[nodiscard]] const Grid3<bool>& mask() const noexcept { return mask_; }
+
+  [[nodiscard]] std::int64_t total_disabled() const noexcept;
+  [[nodiscard]] std::int64_t total_faulty() const noexcept;
+
+ private:
+  std::vector<FaultyBlock3> blocks_;
+  Grid3<bool> mask_;
+};
+
+/// Definition 1 lifted to 3-D, run to its fixed point with cuboid closure.
+[[nodiscard]] BlockSet3 build_faulty_blocks3(const Mesh3D& mesh, const Grid3<bool>& faults);
+
+/// k distinct uniform random faults.
+[[nodiscard]] Grid3<bool> uniform_random_faults3(const Mesh3D& mesh, std::size_t k, Rng& rng);
+
+}  // namespace meshroute::d3

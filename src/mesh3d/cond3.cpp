@@ -1,0 +1,120 @@
+#include "mesh3d/cond3.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace meshroute::d3 {
+namespace {
+
+/// Sign of each axis step from s toward d (+1, -1, or 0 when aligned).
+std::array<Dist, 3> axis_signs(Coord3 s, Coord3 d) {
+  std::array<Dist, 3> sign{};
+  for (int axis = 0; axis < 3; ++axis) {
+    const Dist delta = d.get(axis) - s.get(axis);
+    sign[static_cast<std::size_t>(axis)] = delta > 0 ? 1 : delta < 0 ? -1 : 0;
+  }
+  return sign;
+}
+
+/// Direction toward the destination along `axis` (positive when aligned —
+/// the degenerate offset is 0, which every safety level satisfies).
+Direction3 toward(int axis, Dist sign) {
+  const Direction3 pos = positive_direction(axis);
+  return sign < 0 ? opposite(pos) : pos;
+}
+
+void check_problem(const RoutingProblem3& p) {
+  if (p.mesh == nullptr || p.obstacles == nullptr || p.safety == nullptr) {
+    throw std::invalid_argument("RoutingProblem3: null field");
+  }
+}
+
+}  // namespace
+
+bool monotone_path_exists3(const Mesh3D& mesh, const Grid3<bool>& blocked, Coord3 s, Coord3 d) {
+  if (!mesh.in_bounds(s) || !mesh.in_bounds(d)) return false;
+  if (blocked[s] || blocked[d]) return false;
+  const auto sign = axis_signs(s, d);
+  const Dist ex = sign[0] == 0 ? 0 : (d.x - s.x) * sign[0];
+  const Dist ey = sign[1] == 0 ? 0 : (d.y - s.y) * sign[1];
+  const Dist ez = sign[2] == 0 ? 0 : (d.z - s.z) * sign[2];
+
+  Grid3<bool> reach(ex + 1, ey + 1, ez + 1, false);
+  const auto mesh_at = [&](Dist x, Dist y, Dist z) {
+    return Coord3{s.x + sign[0] * x, s.y + sign[1] * y, s.z + sign[2] * z};
+  };
+  for (Dist z = 0; z <= ez; ++z) {
+    for (Dist y = 0; y <= ey; ++y) {
+      for (Dist x = 0; x <= ex; ++x) {
+        if (blocked[mesh_at(x, y, z)]) continue;
+        if (x == 0 && y == 0 && z == 0) {
+          reach[{x, y, z}] = true;
+        } else {
+          reach[{x, y, z}] = (x > 0 && reach[{x - 1, y, z}]) ||
+                             (y > 0 && reach[{x, y - 1, z}]) ||
+                             (z > 0 && reach[{x, y, z - 1}]);
+        }
+      }
+    }
+  }
+  return reach[{ex, ey, ez}];
+}
+
+bool safe_with_respect_to3(const RoutingProblem3& p, Coord3 node, Coord3 target) {
+  check_problem(p);
+  const Mesh3D& mesh = *p.mesh;
+  if (!mesh.in_bounds(node) || !mesh.in_bounds(target)) return false;
+  if ((*p.obstacles)[node] || (*p.obstacles)[target]) return false;
+  const auto sign = axis_signs(node, target);
+  for (int axis = 0; axis < 3; ++axis) {
+    const Dist offset = (target.get(axis) - node.get(axis)) * sign[static_cast<std::size_t>(axis)];
+    if (offset > (*p.safety)[node].get(toward(axis, sign[static_cast<std::size_t>(axis)]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool source_safe3(const RoutingProblem3& p) {
+  return safe_with_respect_to3(p, p.source, p.dest);
+}
+
+Decision3 extension1_3d(const RoutingProblem3& p, Coord3* via) {
+  check_problem(p);
+  if (source_safe3(p)) {
+    if (via != nullptr) *via = p.source;
+    return Decision3::Minimal;
+  }
+  const auto sign = axis_signs(p.source, p.dest);
+  bool preferred[6] = {false, false, false, false, false, false};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (sign[static_cast<std::size_t>(axis)] != 0) {
+      preferred[static_cast<std::size_t>(toward(axis, sign[static_cast<std::size_t>(axis)]))] =
+          true;
+    }
+  }
+  for (const Direction3 d : kAllDirections3) {
+    if (!preferred[static_cast<std::size_t>(d)]) continue;
+    const Coord3 v = neighbor(p.source, d);
+    if (p.mesh->in_bounds(v) && safe_with_respect_to3(p, v, p.dest)) {
+      if (via != nullptr) *via = v;
+      return Decision3::Minimal;
+    }
+  }
+  for (const Direction3 d : kAllDirections3) {
+    if (preferred[static_cast<std::size_t>(d)]) continue;
+    const Coord3 v = neighbor(p.source, d);
+    if (p.mesh->in_bounds(v) && safe_with_respect_to3(p, v, p.dest)) {
+      if (via != nullptr) *via = v;
+      return Decision3::SubMinimal;
+    }
+  }
+  return Decision3::Unknown;
+}
+
+std::optional<bool> cond3_safe_implies_reachable(const RoutingProblem3& p) {
+  if (!source_safe3(p)) return std::nullopt;
+  return monotone_path_exists3(*p.mesh, *p.obstacles, p.source, p.dest);
+}
+
+}  // namespace meshroute::d3

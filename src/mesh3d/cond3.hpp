@@ -1,0 +1,53 @@
+// Safe conditions and the ground-truth oracle in 3-D.
+//
+// The candidate generalization of Definition 3 is the natural one: the
+// source is safe w.r.t. the destination when all three axis sections toward
+// it are clear of block nodes (offset <= per-direction safety level).
+//
+// IMPORTANT: unlike the 2-D case, "all axes clear => minimal path exists" is
+// NOT a theorem for arbitrary disjoint cuboids (stacked slabs can seal every
+// monotone staircase while leaving the axes open). Whether the 3-D
+// disable-labeling fixed point excludes those stackings is exactly the open
+// question the paper defers to future work; extension3d tests and the
+// ext_3d bench quantify the condition's empirical soundness against the
+// octant-DP oracle, and cond3_safe_implies_reachable() reports each verdict
+// so counterexamples (if any) surface with coordinates attached.
+#pragma once
+
+#include <optional>
+
+#include "mesh3d/block3.hpp"
+#include "mesh3d/safety3.hpp"
+
+namespace meshroute::d3 {
+
+/// Ground truth: does a monotone (shortest) path from s to d exist avoiding
+/// blocked nodes? O(volume of the s-d box).
+[[nodiscard]] bool monotone_path_exists3(const Mesh3D& mesh, const Grid3<bool>& blocked,
+                                         Coord3 s, Coord3 d);
+
+struct RoutingProblem3 {
+  const Mesh3D* mesh = nullptr;
+  const Grid3<bool>* obstacles = nullptr;
+  const SafetyGrid3* safety = nullptr;
+  Coord3 source;
+  Coord3 dest;
+};
+
+/// All-axes-clear candidate condition (lifted Definition 3).
+[[nodiscard]] bool safe_with_respect_to3(const RoutingProblem3& p, Coord3 node, Coord3 target);
+
+[[nodiscard]] bool source_safe3(const RoutingProblem3& p);
+
+/// Lifted extension 1: source safe, or a preferred neighbor safe (Minimal),
+/// or a spare neighbor safe (SubMinimal).
+enum class Decision3 : std::uint8_t { Minimal = 0, SubMinimal = 1, Unknown = 2 };
+
+[[nodiscard]] Decision3 extension1_3d(const RoutingProblem3& p, Coord3* via = nullptr);
+
+/// One soundness probe: if the condition certifies, does a path exist?
+/// Returns nullopt when the condition does not certify; otherwise whether
+/// the certificate was honored by the oracle.
+[[nodiscard]] std::optional<bool> cond3_safe_implies_reachable(const RoutingProblem3& p);
+
+}  // namespace meshroute::d3

@@ -1,0 +1,28 @@
+#include "mesh3d/coord3.hpp"
+
+namespace meshroute::d3 {
+
+const char* to_string(Direction3 d) noexcept {
+  switch (d) {
+    case Direction3::East: return "+x";
+    case Direction3::West: return "-x";
+    case Direction3::North: return "+y";
+    case Direction3::South: return "-y";
+    case Direction3::Up: return "+z";
+    case Direction3::Down: return "-z";
+  }
+  return "?";
+}
+
+std::string to_string(Coord3 c) {
+  return "(" + std::to_string(c.x) + ", " + std::to_string(c.y) + ", " + std::to_string(c.z) +
+         ")";
+}
+
+std::string Box::to_string() const {
+  return "[" + std::to_string(lo.x) + ":" + std::to_string(hi.x) + ", " + std::to_string(lo.y) +
+         ":" + std::to_string(hi.y) + ", " + std::to_string(lo.z) + ":" + std::to_string(hi.z) +
+         "]";
+}
+
+}  // namespace meshroute::d3

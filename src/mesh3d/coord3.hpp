@@ -1,0 +1,197 @@
+// 3-D mesh primitives — the paper's stated future-work direction
+// ("possible extensions to 3-D meshes", Section 6). Mirrors common/coord.hpp
+// one dimension up: coordinates, the six directions, inclusive boxes, and a
+// dense grid.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/coord.hpp"
+
+namespace meshroute::d3 {
+
+/// A node address or offset in a 3-D mesh.
+struct Coord3 {
+  Dist x = 0;
+  Dist y = 0;
+  Dist z = 0;
+
+  friend constexpr auto operator<=>(const Coord3&, const Coord3&) = default;
+
+  constexpr Coord3 operator+(const Coord3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Coord3 operator-(const Coord3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+
+  [[nodiscard]] constexpr Dist get(int axis) const noexcept {
+    return axis == 0 ? x : axis == 1 ? y : z;
+  }
+  constexpr void set(int axis, Dist v) noexcept {
+    (axis == 0 ? x : axis == 1 ? y : z) = v;
+  }
+};
+
+/// The six mesh directions: +x/-x, +y/-y, +z/-z.
+enum class Direction3 : std::uint8_t {
+  East = 0,   ///< +x
+  West = 1,   ///< -x
+  North = 2,  ///< +y
+  South = 3,  ///< -y
+  Up = 4,     ///< +z
+  Down = 5,   ///< -z
+};
+
+inline constexpr std::array<Direction3, 6> kAllDirections3 = {
+    Direction3::East, Direction3::West, Direction3::North,
+    Direction3::South, Direction3::Up, Direction3::Down};
+
+[[nodiscard]] constexpr int axis_of(Direction3 d) noexcept {
+  switch (d) {
+    case Direction3::East:
+    case Direction3::West: return 0;
+    case Direction3::North:
+    case Direction3::South: return 1;
+    case Direction3::Up:
+    case Direction3::Down: return 2;
+  }
+  return 0;  // unreachable
+}
+
+[[nodiscard]] constexpr bool is_positive(Direction3 d) noexcept {
+  return d == Direction3::East || d == Direction3::North || d == Direction3::Up;
+}
+
+[[nodiscard]] constexpr Direction3 opposite(Direction3 d) noexcept {
+  switch (d) {
+    case Direction3::East: return Direction3::West;
+    case Direction3::West: return Direction3::East;
+    case Direction3::North: return Direction3::South;
+    case Direction3::South: return Direction3::North;
+    case Direction3::Up: return Direction3::Down;
+    case Direction3::Down: return Direction3::Up;
+  }
+  return Direction3::East;  // unreachable
+}
+
+/// Positive direction along `axis`.
+[[nodiscard]] constexpr Direction3 positive_direction(int axis) noexcept {
+  return axis == 0 ? Direction3::East : axis == 1 ? Direction3::North : Direction3::Up;
+}
+
+[[nodiscard]] constexpr Coord3 step(Direction3 d) noexcept {
+  Coord3 s;
+  s.set(axis_of(d), is_positive(d) ? 1 : -1);
+  return s;
+}
+
+[[nodiscard]] constexpr Coord3 neighbor(Coord3 c, Direction3 d) noexcept { return c + step(d); }
+
+[[nodiscard]] constexpr Dist manhattan(Coord3 a, Coord3 b) noexcept {
+  Dist sum = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const Dist delta = a.get(axis) - b.get(axis);
+    sum += delta >= 0 ? delta : -delta;
+  }
+  return sum;
+}
+
+[[nodiscard]] const char* to_string(Direction3 d) noexcept;
+[[nodiscard]] std::string to_string(Coord3 c);
+
+/// Inclusive axis-aligned box of nodes — the 3-D faulty block
+/// [xmin:xmax, ymin:ymax, zmin:zmax].
+struct Box {
+  Coord3 lo{0, 0, 0};
+  Coord3 hi{-1, -1, -1};  // default-constructed Box is invalid/empty
+
+  friend constexpr auto operator<=>(const Box&, const Box&) = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z;
+  }
+  [[nodiscard]] constexpr std::int64_t volume() const noexcept {
+    if (!valid()) return 0;
+    return static_cast<std::int64_t>(hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1);
+  }
+  [[nodiscard]] constexpr bool contains(Coord3 c) const noexcept {
+    return c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y && c.z >= lo.z &&
+           c.z <= hi.z;
+  }
+  [[nodiscard]] constexpr bool overlaps(const Box& o) const noexcept {
+    return valid() && o.valid() && lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y && lo.z <= o.hi.z && o.lo.z <= hi.z;
+  }
+  [[nodiscard]] constexpr Box united(const Box& o) const noexcept {
+    if (!valid()) return o;
+    if (!o.valid()) return *this;
+    return Box{{std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y), std::min(lo.z, o.lo.z)},
+               {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y), std::max(hi.z, o.hi.z)}};
+  }
+  [[nodiscard]] constexpr Box united(Coord3 c) const noexcept { return united(Box{c, c}); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Dense 3-D array keyed by Coord3 (bool stored as uint8_t, as in Grid<T>).
+template <typename T>
+class Grid3 {
+ public:
+  using Cell = std::conditional_t<std::is_same_v<T, bool>, std::uint8_t, T>;
+
+  Grid3() = default;
+  Grid3(Dist nx, Dist ny, Dist nz, const T& fill = T{})
+      : nx_(nx), ny_(ny), nz_(nz),
+        cells_(static_cast<std::size_t>(nx > 0 ? nx : 0) * static_cast<std::size_t>(ny > 0 ? ny : 0) *
+                   static_cast<std::size_t>(nz > 0 ? nz : 0),
+               static_cast<Cell>(fill)) {
+    if (nx <= 0 || ny <= 0 || nz <= 0) {
+      throw std::invalid_argument("Grid3 dimensions must be positive");
+    }
+  }
+
+  [[nodiscard]] Dist nx() const noexcept { return nx_; }
+  [[nodiscard]] Dist ny() const noexcept { return ny_; }
+  [[nodiscard]] Dist nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  [[nodiscard]] bool in_bounds(Coord3 c) const noexcept {
+    return c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_ && c.z >= 0 && c.z < nz_;
+  }
+
+  [[nodiscard]] Cell& operator[](Coord3 c) noexcept { return cells_[index(c)]; }
+  [[nodiscard]] const Cell& operator[](Coord3 c) const noexcept { return cells_[index(c)]; }
+
+  [[nodiscard]] Cell& at(Coord3 c) {
+    if (!in_bounds(c)) throw std::out_of_range("Grid3::at " + d3::to_string(c));
+    return cells_[index(c)];
+  }
+  [[nodiscard]] const Cell& at(Coord3 c) const {
+    if (!in_bounds(c)) throw std::out_of_range("Grid3::at " + d3::to_string(c));
+    return cells_[index(c)];
+  }
+
+  friend bool operator==(const Grid3&, const Grid3&) = default;
+
+ private:
+  [[nodiscard]] std::size_t index(Coord3 c) const noexcept {
+    return (static_cast<std::size_t>(c.z) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(c.y)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(c.x);
+  }
+
+  Dist nx_ = 0;
+  Dist ny_ = 0;
+  Dist nz_ = 0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace meshroute::d3

@@ -1,0 +1,39 @@
+#include "mesh3d/mesh3d.hpp"
+
+#include <stdexcept>
+
+namespace meshroute::d3 {
+
+Mesh3D::Mesh3D(Dist nx, Dist ny, Dist nz) : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    throw std::invalid_argument("Mesh3D dimensions must be positive");
+  }
+}
+
+int Mesh3D::degree(Coord3 c) const noexcept {
+  int deg = 0;
+  for (const Direction3 d : kAllDirections3) {
+    if (in_bounds(neighbor(c, d))) ++deg;
+  }
+  return deg;
+}
+
+std::vector<Coord3> Mesh3D::neighbors(Coord3 c) const {
+  std::vector<Coord3> out;
+  out.reserve(6);
+  for (const Direction3 d : kAllDirections3) {
+    const Coord3 v = neighbor(c, d);
+    if (in_bounds(v)) out.push_back(v);
+  }
+  return out;
+}
+
+void Mesh3D::for_each_node(const std::function<void(Coord3)>& fn) const {
+  for (Dist z = 0; z < nz_; ++z) {
+    for (Dist y = 0; y < ny_; ++y) {
+      for (Dist x = 0; x < nx_; ++x) fn(Coord3{x, y, z});
+    }
+  }
+}
+
+}  // namespace meshroute::d3

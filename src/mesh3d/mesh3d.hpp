@@ -1,0 +1,44 @@
+// 3-D mesh topology: interior node degree 6; nodes connected iff their
+// addresses differ by one in exactly one dimension.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mesh3d/coord3.hpp"
+
+namespace meshroute::d3 {
+
+class Mesh3D {
+ public:
+  Mesh3D(Dist nx, Dist ny, Dist nz);
+
+  static Mesh3D cube(Dist n) { return Mesh3D(n, n, n); }
+
+  [[nodiscard]] Dist nx() const noexcept { return nx_; }
+  [[nodiscard]] Dist ny() const noexcept { return ny_; }
+  [[nodiscard]] Dist nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+           static_cast<std::size_t>(nz_);
+  }
+
+  [[nodiscard]] bool in_bounds(Coord3 c) const noexcept {
+    return c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_ && c.z >= 0 && c.z < nz_;
+  }
+
+  [[nodiscard]] int degree(Coord3 c) const noexcept;
+
+  [[nodiscard]] std::vector<Coord3> neighbors(Coord3 c) const;
+
+  void for_each_node(const std::function<void(Coord3)>& fn) const;
+
+  [[nodiscard]] Coord3 center() const noexcept { return {nx_ / 2, ny_ / 2, nz_ / 2}; }
+
+ private:
+  Dist nx_;
+  Dist ny_;
+  Dist nz_;
+};
+
+}  // namespace meshroute::d3

@@ -1,0 +1,56 @@
+#include "mesh3d/safety3.hpp"
+
+namespace meshroute::d3 {
+namespace {
+
+Dist chain(bool neighbor_is_obstacle, Dist neighbor_value) {
+  if (neighbor_is_obstacle) return 0;
+  return is_infinite(neighbor_value) ? kInfiniteDistance : neighbor_value + 1;
+}
+
+}  // namespace
+
+SafetyGrid3 compute_safety_levels3(const Mesh3D& mesh, const Grid3<bool>& obstacles) {
+  SafetyGrid3 grid(mesh.nx(), mesh.ny(), mesh.nz());
+  // For each direction, sweep from the far edge toward the near edge so the
+  // neighbor in that direction is already final.
+  for (const Direction3 d : kAllDirections3) {
+    const int axis = axis_of(d);
+    const Dist extent = axis == 0 ? mesh.nx() : axis == 1 ? mesh.ny() : mesh.nz();
+    const bool pos = is_positive(d);
+    // Iterate the swept axis from far to near; other two axes freely.
+    const auto sweep_line = [&](Coord3 base) {
+      for (Dist i = 0; i < extent; ++i) {
+        Coord3 c = base;
+        c.set(axis, pos ? extent - 1 - i : i);
+        const Coord3 v = neighbor(c, d);
+        if (!mesh.in_bounds(v)) {
+          grid[c].set(d, kInfiniteDistance);
+        } else {
+          grid[c].set(d, chain(obstacles[v], grid[v].get(d)));
+        }
+      }
+    };
+    const Dist e1 = axis == 0 ? mesh.ny() : mesh.nx();
+    const Dist e2 = axis == 2 ? mesh.ny() : mesh.nz();
+    for (Dist a = 0; a < e1; ++a) {
+      for (Dist b = 0; b < e2; ++b) {
+        Coord3 base{0, 0, 0};
+        if (axis == 0) {
+          base.y = a;
+          base.z = b;
+        } else if (axis == 1) {
+          base.x = a;
+          base.z = b;
+        } else {
+          base.x = a;
+          base.y = b;
+        }
+        sweep_line(base);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace meshroute::d3

@@ -1,0 +1,33 @@
+// Extended safety levels in 3-D: the 6-tuple of per-direction distances to
+// the nearest block node along the node's axis lines — the direct lift of
+// the paper's (E, S, W, N).
+#pragma once
+
+#include <array>
+
+#include "mesh3d/block3.hpp"
+#include "mesh3d/coord3.hpp"
+#include "mesh3d/mesh3d.hpp"
+
+namespace meshroute::d3 {
+
+/// Per-direction safety levels, indexed by Direction3.
+struct SafetyLevel3 {
+  std::array<Dist, 6> level{kInfiniteDistance, kInfiniteDistance, kInfiniteDistance,
+                            kInfiniteDistance, kInfiniteDistance, kInfiniteDistance};
+
+  [[nodiscard]] Dist get(Direction3 d) const noexcept {
+    return level[static_cast<std::size_t>(d)];
+  }
+  void set(Direction3 d, Dist v) noexcept { level[static_cast<std::size_t>(d)] = v; }
+
+  friend bool operator==(const SafetyLevel3&, const SafetyLevel3&) = default;
+};
+
+using SafetyGrid3 = Grid3<SafetyLevel3>;
+
+/// Directional sweeps, O(nodes) per direction.
+[[nodiscard]] SafetyGrid3 compute_safety_levels3(const Mesh3D& mesh,
+                                                 const Grid3<bool>& obstacles);
+
+}  // namespace meshroute::d3

@@ -1,0 +1,375 @@
+#include "netsim/wormhole.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "cond/wang.hpp"
+#include "mesh/frame.hpp"
+
+namespace meshroute::netsim {
+namespace {
+
+constexpr int kMaxVcs = 4;
+constexpr int kInjection = 4;  // input-port index for the local source queue
+
+struct Flit {
+  std::int64_t packet = -1;
+  bool head = false;
+  bool tail = false;
+};
+
+struct PacketInfo {
+  Coord src;
+  Coord dst;
+  std::int64_t inject_cycle = 0;
+  int hops = 0;
+  bool measured = false;
+};
+
+struct InputVc {
+  std::deque<Flit> fifo;
+  int out_dir = -1;  // allocated output while a packet holds the channel
+  int out_vc = -1;
+};
+
+struct OutputVc {
+  int owner_port = -1;  // input (port, vc) holding this output, or -1
+  int owner_vc = -1;
+};
+
+struct Router {
+  InputVc in[5][kMaxVcs];
+  OutputVc out[4][kMaxVcs];
+};
+
+/// Dimension-order next hop (x first, then y).
+Direction xy_direction(Coord cur, Coord dst) {
+  if (cur.x != dst.x) return cur.x < dst.x ? Direction::East : Direction::West;
+  return cur.y < dst.y ? Direction::North : Direction::South;
+}
+
+class Simulator {
+ public:
+  Simulator(const Mesh2D& mesh, const fault::BlockSet* blocks, const SimConfig& cfg)
+      : mesh_(mesh), blocks_(blocks), cfg_(cfg), rng_(cfg.seed),
+        routers_(mesh.node_count()) {
+    if (cfg.vcs < 1 || cfg.vcs > kMaxVcs) throw std::invalid_argument("vcs out of range");
+    if (cfg.mode == RoutingMode::AdaptiveMinimal && cfg.vcs < 2) {
+      throw std::invalid_argument("AdaptiveMinimal needs an escape VC (vcs >= 2)");
+    }
+    if (cfg.packet_length < 1 || cfg.buffer_depth < 1) {
+      throw std::invalid_argument("degenerate packet/buffer size");
+    }
+    if (cfg.pattern == TrafficPattern::Transpose && mesh.width() != mesh.height()) {
+      throw std::invalid_argument("Transpose traffic needs a square mesh");
+    }
+    if (cfg.hotspot_fraction < 0.0 || cfg.hotspot_fraction > 1.0) {
+      throw std::invalid_argument("hotspot_fraction out of [0, 1]");
+    }
+    if (blocks_ != nullptr) {
+      rects_.reserve(blocks_->block_count());
+      for (const auto& b : blocks_->blocks()) rects_.push_back(b.rect);
+    }
+    free_nodes_.reserve(mesh.node_count());
+    mesh.for_each_node([&](Coord c) {
+      if (!is_block(c)) free_nodes_.push_back(c);
+    });
+  }
+
+  SimResult run() {
+    SimResult result;
+    const std::int64_t inject_until = cfg_.warmup_cycles + cfg_.measure_cycles;
+    const std::int64_t hard_limit = inject_until + cfg_.drain_limit;
+    std::int64_t last_progress = 0;
+
+    for (cycle_ = 0; cycle_ < hard_limit; ++cycle_) {
+      bool progress = false;
+      progress |= eject_phase();
+      allocate_phase();
+      progress |= traverse_phase();
+      if (cycle_ < inject_until) progress |= inject_phase();
+
+      if (progress) last_progress = cycle_;
+      if (flits_in_flight_ == 0 && cycle_ >= inject_until) break;
+      if (flits_in_flight_ > 0 && cycle_ - last_progress > 2000) {
+        result.deadlock = true;
+        break;
+      }
+    }
+
+    result.cycles_run = cycle_;
+    result.injected = injected_;
+    result.delivered = delivered_;
+    result.undeliverable = undeliverable_;
+    if (measured_delivered_ > 0) {
+      result.avg_latency =
+          static_cast<double>(measured_latency_sum_) / static_cast<double>(measured_delivered_);
+      result.max_latency = measured_latency_max_;
+      result.avg_hops =
+          static_cast<double>(measured_hops_sum_) / static_cast<double>(measured_delivered_);
+    }
+    result.throughput = static_cast<double>(measured_delivered_ * cfg_.packet_length) /
+                        (static_cast<double>(mesh_.node_count()) *
+                         static_cast<double>(cfg_.measure_cycles));
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool is_block(Coord c) const {
+    return blocks_ != nullptr && blocks_->is_block_node(c);
+  }
+
+  [[nodiscard]] Router& router(Coord c) {
+    return routers_[static_cast<std::size_t>(c.y) * static_cast<std::size_t>(mesh_.width()) +
+                    static_cast<std::size_t>(c.x)];
+  }
+
+  /// Does the mode accept this (src, dst) pair at all?
+  [[nodiscard]] bool feasible(Coord src, Coord dst) {
+    if (cfg_.mode == RoutingMode::AdaptiveMinimal) {
+      return cond::monotone_path_exists_rects(rects_, src, dst);
+    }
+    // XY: the one dimension-order path must be block-free.
+    Coord c = src;
+    while (c != dst) {
+      c = neighbor(c, xy_direction(c, dst));
+      if (is_block(c)) return false;
+    }
+    return true;
+  }
+
+  bool eject_phase() {
+    bool progress = false;
+    for (const Coord n : free_nodes_) {
+      Router& r = router(n);
+      for (int p = 0; p < 5; ++p) {
+        for (int v = 0; v < cfg_.vcs; ++v) {
+          auto& fifo = r.in[p][v].fifo;
+          while (!fifo.empty()) {
+            const Flit& f = fifo.front();
+            PacketInfo& pkt = packets_[static_cast<std::size_t>(f.packet)];
+            if (pkt.dst != n) break;
+            if (f.tail) {
+              ++delivered_;
+              if (pkt.measured) {
+                ++measured_delivered_;
+                const std::int64_t latency = cycle_ - pkt.inject_cycle;
+                measured_latency_sum_ += latency;
+                measured_latency_max_ = std::max(measured_latency_max_, latency);
+                measured_hops_sum_ += pkt.hops;
+              }
+            }
+            fifo.pop_front();
+            --flits_in_flight_;
+            progress = true;
+          }
+        }
+      }
+    }
+    return progress;
+  }
+
+  /// Candidate outputs for a header at `n` heading to `dst`, in preference
+  /// order.
+  void candidates(Coord n, Coord dst, std::vector<std::pair<int, int>>& out) {
+    out.clear();
+    if (cfg_.mode == RoutingMode::XYDeterministic) {
+      const auto dir = static_cast<int>(xy_direction(n, dst));
+      for (int v = 0; v < cfg_.vcs; ++v) out.emplace_back(dir, v);
+      return;
+    }
+    // Adaptive VCs (1..V-1) over admissible preferred directions.
+    const QuadrantFrame frame(n, dst);
+    const Coord rel = frame.to_frame(dst);
+    for (const Direction fd : {Direction::East, Direction::North}) {
+      if ((fd == Direction::East && rel.x < 1) || (fd == Direction::North && rel.y < 1)) {
+        continue;
+      }
+      const Direction md = frame.to_mesh_dir(fd);
+      const Coord next = neighbor(n, md);
+      if (!mesh_.in_bounds(next) || is_block(next)) continue;
+      if (!cond::monotone_path_exists_rects(rects_, next, dst)) continue;
+      for (int v = 1; v < cfg_.vcs; ++v) out.emplace_back(static_cast<int>(md), v);
+    }
+    // Escape VC0: dimension-order, only when its next hop is usable AND
+    // still admits a monotone completion — otherwise the escape hop could
+    // strand the packet in a block's dead region, wedging the channel.
+    const Direction ed = xy_direction(n, dst);
+    const Coord enext = neighbor(n, ed);
+    if (mesh_.in_bounds(enext) && !is_block(enext) &&
+        (rects_.empty() || cond::monotone_path_exists_rects(rects_, enext, dst))) {
+      out.emplace_back(static_cast<int>(ed), 0);
+    }
+  }
+
+  void allocate_phase() {
+    std::vector<std::pair<int, int>> cands;
+    for (const Coord n : free_nodes_) {
+      Router& r = router(n);
+      for (int p = 0; p < 5; ++p) {
+        for (int v = 0; v < cfg_.vcs; ++v) {
+          InputVc& ivc = r.in[p][v];
+          if (ivc.fifo.empty() || ivc.out_dir != -1) continue;
+          const Flit& f = ivc.fifo.front();
+          if (!f.head) continue;
+          const PacketInfo& pkt = packets_[static_cast<std::size_t>(f.packet)];
+          if (pkt.dst == n) continue;  // ejection's job
+          candidates(n, pkt.dst, cands);
+          for (const auto& [dir, vc] : cands) {
+            OutputVc& ovc = r.out[dir][vc];
+            if (ovc.owner_port != -1) continue;
+            // Atomic VC allocation: a header may claim a downstream VC only
+            // once the previous packet's flits have fully drained from its
+            // buffer. Non-atomic reuse (two packets resident in one VC)
+            // adds channel dependencies outside Duato's model and really
+            // does deadlock the adaptive mode under load.
+            const Coord to = neighbor(n, static_cast<Direction>(dir));
+            if (!router(to).in[static_cast<int>(opposite(static_cast<Direction>(dir)))][vc]
+                     .fifo.empty()) {
+              continue;
+            }
+            ovc.owner_port = p;
+            ovc.owner_vc = v;
+            ivc.out_dir = dir;
+            ivc.out_vc = vc;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  bool traverse_phase() {
+    // Capacity snapshot: a flit moves only into space that existed at cycle
+    // start (conservative, avoids same-cycle pass-through).
+    struct Move {
+      Coord from;
+      int port;
+      int vc;
+      Coord to;
+      int to_port;
+      int to_vc;
+    };
+    std::vector<Move> moves;
+    for (const Coord n : free_nodes_) {
+      Router& r = router(n);
+      for (int dir = 0; dir < 4; ++dir) {
+        const Direction d = static_cast<Direction>(dir);
+        const Coord to = neighbor(n, d);
+        if (!mesh_.in_bounds(to) || is_block(to)) continue;
+        Router& peer = router(to);
+        const int to_port = static_cast<int>(opposite(d));
+        // One flit per physical link per cycle; scan VCs in order.
+        for (int vc = 0; vc < cfg_.vcs; ++vc) {
+          OutputVc& ovc = r.out[dir][vc];
+          if (ovc.owner_port == -1) continue;
+          InputVc& ivc = r.in[ovc.owner_port][ovc.owner_vc];
+          if (ivc.fifo.empty()) continue;
+          if (peer.in[to_port][vc].fifo.size() >=
+              static_cast<std::size_t>(cfg_.buffer_depth)) {
+            continue;
+          }
+          moves.push_back(Move{n, ovc.owner_port, ovc.owner_vc, to, to_port, vc});
+          break;  // link busy this cycle
+        }
+      }
+    }
+    for (const Move& m : moves) {
+      Router& r = router(m.from);
+      InputVc& ivc = r.in[m.port][m.vc];
+      Flit f = ivc.fifo.front();
+      ivc.fifo.pop_front();
+      PacketInfo& pkt = packets_[static_cast<std::size_t>(f.packet)];
+      if (f.head) ++pkt.hops;
+      if (f.tail) {
+        // Release the channel end to end.
+        r.out[ivc.out_dir][ivc.out_vc] = OutputVc{};
+        ivc.out_dir = -1;
+        ivc.out_vc = -1;
+      }
+      router(m.to).in[m.to_port][m.to_vc].fifo.push_back(f);
+    }
+    return !moves.empty();
+  }
+
+  /// Destination for a packet injected at `n` under the configured pattern,
+  /// or n itself to signal "no packet this time".
+  Coord pick_destination(Coord n) {
+    switch (cfg_.pattern) {
+      case TrafficPattern::Uniform:
+        return free_nodes_[static_cast<std::size_t>(
+            rng_.uniform(0, static_cast<std::int64_t>(free_nodes_.size()) - 1))];
+      case TrafficPattern::Transpose:
+        return Coord{n.y, n.x};
+      case TrafficPattern::BitComplement:
+        return Coord{mesh_.width() - 1 - n.x, mesh_.height() - 1 - n.y};
+      case TrafficPattern::Hotspot:
+        if (rng_.chance(cfg_.hotspot_fraction)) {
+          const Coord hot = mesh_.center();
+          if (!is_block(hot)) return hot;
+        }
+        return free_nodes_[static_cast<std::size_t>(
+            rng_.uniform(0, static_cast<std::int64_t>(free_nodes_.size()) - 1))];
+    }
+    return n;  // unreachable
+  }
+
+  bool inject_phase() {
+    bool progress = false;
+    for (const Coord n : free_nodes_) {
+      if (!rng_.chance(cfg_.injection_rate)) continue;
+      const Coord dst = pick_destination(n);
+      if (dst == n || is_block(dst)) continue;
+      if (!feasible(n, dst)) {
+        ++undeliverable_;
+        continue;
+      }
+      const auto id = static_cast<std::int64_t>(packets_.size());
+      PacketInfo pkt;
+      pkt.src = n;
+      pkt.dst = dst;
+      pkt.inject_cycle = cycle_;
+      pkt.measured = cycle_ >= cfg_.warmup_cycles;
+      packets_.push_back(pkt);
+      auto& fifo = router(n).in[kInjection][0].fifo;
+      for (int i = 0; i < cfg_.packet_length; ++i) {
+        fifo.push_back(Flit{id, i == 0, i == cfg_.packet_length - 1});
+        ++flits_in_flight_;
+      }
+      ++injected_;
+      progress = true;
+    }
+    return progress;
+  }
+
+  const Mesh2D& mesh_;
+  const fault::BlockSet* blocks_;
+  SimConfig cfg_;
+  Rng rng_;
+  std::vector<Router> routers_;
+  std::vector<Rect> rects_;
+  std::vector<Coord> free_nodes_;
+  std::vector<PacketInfo> packets_;
+
+  std::int64_t cycle_ = 0;
+  std::int64_t flits_in_flight_ = 0;
+  std::int64_t injected_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t undeliverable_ = 0;
+  std::int64_t measured_delivered_ = 0;
+  std::int64_t measured_latency_sum_ = 0;
+  std::int64_t measured_latency_max_ = 0;
+  std::int64_t measured_hops_sum_ = 0;
+};
+
+}  // namespace
+
+SimResult run_wormhole(const Mesh2D& mesh, const fault::BlockSet* blocks,
+                       const SimConfig& config) {
+  Simulator sim(mesh, blocks, config);
+  return sim.run();
+}
+
+}  // namespace meshroute::netsim

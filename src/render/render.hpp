@@ -1,0 +1,85 @@
+// Figure rendering: fault maps, MCC labelings, safety-level heatmaps and
+// routed paths as ASCII art or binary PPM (P6) images — the pictures of the
+// paper's Figures 1-3, regenerable from any live configuration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "fault/block_model.hpp"
+#include "fault/fault_set.hpp"
+#include "fault/mcc_model.hpp"
+#include "info/safety_level.hpp"
+#include "mesh/mesh2d.hpp"
+#include "route/path.hpp"
+
+namespace meshroute::render {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend constexpr bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// The stock palette used by the canned renderers.
+namespace palette {
+inline constexpr Rgb kFree{245, 245, 245};
+inline constexpr Rgb kFaulty{20, 20, 20};
+inline constexpr Rgb kDisabled{150, 150, 150};
+inline constexpr Rgb kUseless{215, 130, 60};
+inline constexpr Rgb kCantReach{90, 120, 200};
+inline constexpr Rgb kBoth{160, 80, 160};
+inline constexpr Rgb kPath{200, 40, 40};
+inline constexpr Rgb kEndpoint{30, 140, 60};
+}  // namespace palette
+
+/// One pixel per mesh node, addressed in mesh coordinates (y grows north;
+/// the PPM writer flips rows so images match the paper's orientation).
+class Image {
+ public:
+  Image(Dist width, Dist height, Rgb fill = palette::kFree);
+
+  [[nodiscard]] Dist width() const noexcept { return pixels_.width(); }
+  [[nodiscard]] Dist height() const noexcept { return pixels_.height(); }
+
+  void set(Coord c, Rgb color) { pixels_.at(c) = color; }
+  [[nodiscard]] Rgb get(Coord c) const { return pixels_.at(c); }
+
+  /// Nearest-neighbor upscale (each node becomes factor x factor pixels).
+  [[nodiscard]] Image scaled(int factor) const;
+
+  /// Binary PPM (P6).
+  void write_ppm(std::ostream& os) const;
+  [[nodiscard]] std::string to_ppm() const;
+
+ private:
+  Grid<Rgb> pixels_;
+};
+
+/// Node status map: free / faulty / disabled-by-block.
+[[nodiscard]] Image render_blocks(const Mesh2D& mesh, const fault::FaultSet& faults,
+                                  const fault::BlockSet& blocks);
+
+/// Node status map under an MCC labeling (useless / can't-reach / both).
+[[nodiscard]] Image render_mcc(const Mesh2D& mesh, const fault::MccSet& mcc);
+
+/// Heatmap of safety levels in one direction: white = infinite, darker =
+/// closer to a block.
+[[nodiscard]] Image render_safety(const Mesh2D& mesh, const info::SafetyGrid& safety,
+                                  Direction direction);
+
+/// Draw a path over an image (endpoints highlighted).
+void overlay_path(Image& image, const route::Path& path);
+
+/// ASCII art with the quickstart legend: '#' faulty, 'o' disabled,
+/// '*' path, 'S'/'D' endpoints, '.' free. y grows upward.
+[[nodiscard]] std::string ascii_map(const Mesh2D& mesh, const fault::FaultSet& faults,
+                                    const fault::BlockSet& blocks,
+                                    const route::Path* path = nullptr);
+
+}  // namespace meshroute::render

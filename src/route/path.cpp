@@ -1,0 +1,42 @@
+#include "route/path.hpp"
+
+#include <unordered_set>
+
+namespace meshroute::route {
+
+bool path_is_connected(const Mesh2D& mesh, const Path& path) {
+  if (path.hops.empty()) return false;
+  if (!mesh.in_bounds(path.hops.front())) return false;
+  for (std::size_t i = 1; i < path.hops.size(); ++i) {
+    if (!mesh.in_bounds(path.hops[i])) return false;
+    if (manhattan(path.hops[i - 1], path.hops[i]) != 1) return false;
+  }
+  return true;
+}
+
+bool path_avoids(const Grid<bool>& blocked, const Path& path) {
+  for (const Coord c : path.hops) {
+    if (!blocked.in_bounds(c) || blocked[c]) return false;
+  }
+  return true;
+}
+
+bool path_is_minimal(const Path& path) {
+  if (path.hops.empty()) return false;
+  return path.length() == manhattan(path.source(), path.destination());
+}
+
+bool path_is_sub_minimal(const Path& path) {
+  if (path.hops.empty()) return false;
+  return path.length() == manhattan(path.source(), path.destination()) + 2;
+}
+
+bool path_is_simple(const Path& path) {
+  std::unordered_set<Coord> seen;
+  for (const Coord c : path.hops) {
+    if (!seen.insert(c).second) return false;
+  }
+  return true;
+}
+
+}  // namespace meshroute::route

@@ -1,0 +1,42 @@
+// Paths and their validation: connectivity, fault avoidance, minimality and
+// sub-minimality. Tests and benchmarks judge every router through these
+// predicates rather than trusting the router's own bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::route {
+
+/// A hop-by-hop path including both endpoints.
+struct Path {
+  std::vector<Coord> hops;
+
+  [[nodiscard]] bool empty() const noexcept { return hops.empty(); }
+  [[nodiscard]] Dist length() const noexcept {
+    return hops.empty() ? 0 : static_cast<Dist>(hops.size() - 1);
+  }
+  [[nodiscard]] Coord source() const { return hops.front(); }
+  [[nodiscard]] Coord destination() const { return hops.back(); }
+};
+
+/// Every consecutive pair is a mesh link and all hops are in bounds.
+[[nodiscard]] bool path_is_connected(const Mesh2D& mesh, const Path& path);
+
+/// No hop touches a node where `blocked` is true.
+[[nodiscard]] bool path_avoids(const Grid<bool>& blocked, const Path& path);
+
+/// Path length equals the Manhattan distance between its endpoints.
+[[nodiscard]] bool path_is_minimal(const Path& path);
+
+/// Path length equals Manhattan distance + 2 (exactly one detour) — the
+/// paper's sub-minimal path.
+[[nodiscard]] bool path_is_sub_minimal(const Path& path);
+
+/// No node visited twice.
+[[nodiscard]] bool path_is_simple(const Path& path);
+
+}  // namespace meshroute::route

@@ -1,0 +1,236 @@
+#include "simsub/protocols.hpp"
+
+#include <algorithm>
+
+#include "info/regions.hpp"
+
+namespace meshroute::simsub {
+namespace {
+
+/// Safety-level chain message: which tuple field it carries and its value at
+/// the sender.
+struct LevelMsg {
+  Direction field;
+  Dist value;
+};
+
+/// Boundary trail message: the block record plus the trail geometry.
+struct TrailMsg {
+  std::int32_t block;
+  Direction primary;
+  Direction slide;
+};
+
+}  // namespace
+
+DistributedSafetyLevels distributed_safety_levels(const Mesh2D& mesh,
+                                                  const Grid<bool>& obstacles) {
+  SyncNetwork<info::ExtendedSafetyLevel, LevelMsg> net(mesh, &obstacles);
+
+  // Sensing phase: a node with a block neighbor in direction d knows its
+  // level there is 0 and pushes the chain one hop away from the block.
+  mesh.for_each_node([&](Coord c) {
+    if (obstacles[c]) return;
+    for (const Direction d : kAllDirections) {
+      const Coord v = neighbor(c, d);
+      if (mesh.in_bounds(v) && obstacles[v]) {
+        net.state(c).set(d, 0);
+        net.send(c, opposite(d), LevelMsg{d, 0});
+      }
+    }
+  });
+
+  // Chain phase: "upon receiving (E', ...) from East neighbor: u's E is
+  // E' + 1; forward to West neighbor (if any)".
+  const auto handler = [&](Coord self, info::ExtendedSafetyLevel& st, Direction from,
+                           const LevelMsg& msg) {
+    if (from != msg.field) return;  // chain messages only flow along their axis
+    const Dist updated = msg.value + 1;
+    st.set(msg.field, updated);
+    net.send(self, opposite(msg.field), LevelMsg{msg.field, updated});
+  };
+
+  const auto max_rounds = static_cast<std::int64_t>(mesh.width()) + mesh.height() + 4;
+  const ProtocolStats stats = net.run(handler, max_rounds);
+  return DistributedSafetyLevels{net.states(), stats};
+}
+
+DistributedBoundaryInfo distributed_boundary_info(const Mesh2D& mesh,
+                                                  const fault::BlockSet& blocks) {
+  Grid<bool> inactive(mesh.width(), mesh.height(), false);
+  mesh.for_each_node([&](Coord c) { inactive[c] = blocks.is_block_node(c); });
+
+  SyncNetwork<std::vector<std::int32_t>, TrailMsg> net(mesh, &inactive);
+
+  const auto deposit = [&](Coord c, std::int32_t id) {
+    auto& v = net.state(c);
+    if (std::find(v.begin(), v.end(), id) == v.end()) v.push_back(id);
+  };
+
+  // Ring sensing + trail seeding. Ring nodes learn the block by adjacency;
+  // the four corner pairs originate the eight outward trails.
+  const auto& blist = blocks.blocks();
+  for (std::size_t b = 0; b < blist.size(); ++b) {
+    const auto id = static_cast<std::int32_t>(b);
+    const Rect ring = blist[b].rect.expanded(1);
+    for (Dist x = ring.xmin; x <= ring.xmax; ++x) {
+      for (const Dist y : {ring.ymin, ring.ymax}) {
+        if (mesh.in_bounds({x, y})) deposit({x, y}, id);
+      }
+    }
+    for (Dist y = ring.ymin + 1; y <= ring.ymax - 1; ++y) {
+      for (const Dist x : {ring.xmin, ring.xmax}) {
+        if (mesh.in_bounds({x, y})) deposit({x, y}, id);
+      }
+    }
+
+    const Coord sw{ring.xmin, ring.ymin};
+    const Coord se{ring.xmax, ring.ymin};
+    const Coord nw{ring.xmin, ring.ymax};
+    const Coord ne{ring.xmax, ring.ymax};
+    struct Seed {
+      Coord corner;
+      Direction primary;
+      Direction slide;
+    };
+    const Seed seeds[] = {
+        {sw, Direction::West, Direction::South},  {se, Direction::East, Direction::South},
+        {ne, Direction::East, Direction::North},  {nw, Direction::West, Direction::North},
+        {sw, Direction::South, Direction::West},  {nw, Direction::North, Direction::West},
+        {ne, Direction::North, Direction::East},  {se, Direction::South, Direction::East},
+    };
+    for (const Seed& s : seeds) {
+      if (!mesh.in_bounds(s.corner) || inactive[s.corner]) continue;
+      // The corner relays the trail outward; the send models its first hop.
+      // If the way ahead is blocked the corner slides, mirroring the
+      // turn-and-join rule from the very first step.
+      const Coord ahead = neighbor(s.corner, s.primary);
+      if (mesh.in_bounds(ahead) && !inactive[ahead]) {
+        net.send(s.corner, s.primary, TrailMsg{id, s.primary, s.slide});
+      } else if (mesh.in_bounds(ahead)) {
+        net.send(s.corner, s.slide, TrailMsg{id, s.primary, s.slide});
+      }
+    }
+  }
+
+  // Relay: deposit and forward — straight ahead when clear, slide when the
+  // neighbor ahead is a block node (local 1-hop sensing only).
+  const auto handler = [&](Coord self, std::vector<std::int32_t>& st, Direction /*from*/,
+                           const TrailMsg& msg) {
+    if (std::find(st.begin(), st.end(), msg.block) == st.end()) st.push_back(msg.block);
+    const Coord ahead = neighbor(self, msg.primary);
+    if (!mesh.in_bounds(ahead)) return;  // trail ends at the mesh edge
+    if (!inactive[ahead]) {
+      net.send(self, msg.primary, msg);
+    } else {
+      const Coord aside = neighbor(self, msg.slide);
+      if (mesh.in_bounds(aside) && !inactive[aside]) net.send(self, msg.slide, msg);
+    }
+  };
+
+  const auto max_rounds =
+      2 * (static_cast<std::int64_t>(mesh.width()) + mesh.height()) * 8 + 16;
+  const ProtocolStats stats = net.run(handler, max_rounds);
+  return DistributedBoundaryInfo{net.states(), stats};
+}
+
+DistributedRegionExchange distributed_region_exchange(const Mesh2D& mesh,
+                                                      const Grid<bool>& obstacles,
+                                                      const info::SafetyGrid& levels) {
+  // Message: the accumulated levels of every node the wave passed so far,
+  // flowing in one direction; receivers keep a copy and forward the grown
+  // list. Row waves run East/West, column waves North/South; a wave stops
+  // at an obstacle or the mesh edge (the region boundary).
+  struct Accumulated {
+    std::vector<RegionEntry> entries;
+  };
+  struct State {
+    std::vector<RegionEntry> row;
+    std::vector<RegionEntry> col;
+  };
+
+  SyncNetwork<State, Accumulated> net(mesh, &obstacles);
+  std::int64_t payload = 0;
+
+  // Only nodes on affected rows/columns participate (Section 4: nodes and
+  // only nodes on affected rows and columns need to collect the levels).
+  const std::vector<Dist> rows = info::affected_rows(mesh, obstacles);
+  const std::vector<Dist> cols = info::affected_columns(mesh, obstacles);
+  Grid<bool> row_active(mesh.width(), mesh.height(), false);
+  Grid<bool> col_active(mesh.width(), mesh.height(), false);
+  for (const Dist y : rows) {
+    for (Dist x = 0; x < mesh.width(); ++x) row_active[{x, y}] = true;
+  }
+  for (const Dist x : cols) {
+    for (Dist y = 0; y < mesh.height(); ++y) col_active[{x, y}] = true;
+  }
+
+  // Seed at the two ends of each region only (the paper's two-end scheme):
+  // the node bordering the region boundary in direction d starts the wave
+  // flowing toward opposite(d), carrying just its own level. Interior nodes
+  // never seed — they grow and forward the passing accumulation.
+  const auto is_region_end = [&](Coord c, Direction d) {
+    const Coord v = neighbor(c, d);
+    return !mesh.in_bounds(v) || obstacles[v];
+  };
+  mesh.for_each_node([&](Coord c) {
+    if (obstacles[c]) return;
+    const Accumulated self{{RegionEntry{c, levels[c]}}};
+    if (row_active[c]) {
+      if (is_region_end(c, Direction::East)) net.send(c, Direction::West, self);
+      if (is_region_end(c, Direction::West)) net.send(c, Direction::East, self);
+    }
+    if (col_active[c]) {
+      if (is_region_end(c, Direction::North)) net.send(c, Direction::South, self);
+      if (is_region_end(c, Direction::South)) net.send(c, Direction::North, self);
+    }
+  });
+
+  const auto handler = [&](Coord self, State& st, Direction from, const Accumulated& msg) {
+    payload += static_cast<std::int64_t>(msg.entries.size());
+    auto& bucket = is_horizontal(from) ? st.row : st.col;
+    // Entries arrive from one side in strictly growing distance; a node
+    // never sees duplicates, so append wholesale.
+    bucket.insert(bucket.end(), msg.entries.begin(), msg.entries.end());
+    // Forward the grown accumulation away from the sender.
+    Accumulated grown = msg;
+    grown.entries.push_back(RegionEntry{self, levels[self]});
+    net.send(self, opposite(from), grown);
+  };
+
+  const auto max_rounds = static_cast<std::int64_t>(mesh.width()) + mesh.height() + 4;
+  const ProtocolStats stats = net.run(handler, max_rounds);
+
+  DistributedRegionExchange result{
+      Grid<std::vector<RegionEntry>>(mesh.width(), mesh.height()),
+      Grid<std::vector<RegionEntry>>(mesh.width(), mesh.height()), stats, payload};
+  mesh.for_each_node([&](Coord c) {
+    if (obstacles[c]) return;
+    result.row_peers[c] = net.state(c).row;
+    result.col_peers[c] = net.state(c).col;
+  });
+  return result;
+}
+
+BroadcastResult broadcast_from(const Mesh2D& mesh, const Grid<bool>& obstacles,
+                               Coord payload_origin) {
+  SyncNetwork<std::uint8_t, std::uint8_t> net(mesh, &obstacles, 0);
+  if (!net.active(payload_origin)) return BroadcastResult{0, net.stats()};
+
+  net.state(payload_origin) = 1;
+  for (const Direction d : kAllDirections) net.send(payload_origin, d, 0);
+
+  std::int64_t reached = 1;
+  const auto handler = [&](Coord self, std::uint8_t& seen, Direction /*from*/,
+                           const std::uint8_t&) {
+    if (seen) return;
+    seen = true;
+    ++reached;
+    for (const Direction d : kAllDirections) net.send(self, d, 0);
+  };
+  const auto max_rounds = static_cast<std::int64_t>(mesh.width()) + mesh.height() + 4;
+  const ProtocolStats stats = net.run(handler, max_rounds);
+  return BroadcastResult{reached, stats};
+}
+
+}  // namespace meshroute::simsub

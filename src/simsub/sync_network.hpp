@@ -1,0 +1,109 @@
+// A synchronous message-passing substrate over a 2-D mesh.
+//
+// The paper's information model is distributed: nodes sense adjacent faults
+// and propagate coded information hop by hop ("the distribution and update
+// process of such information is simple and converges quickly", Section 4).
+// SyncNetwork executes such protocols honestly: per round, every queued
+// message crosses exactly one link and is handled at its receiver, which may
+// update local state and emit further messages. Inactive nodes (faulty /
+// block nodes) silently drop traffic. The run reports rounds-to-quiescence
+// and total link traversals, the two convergence costs the paper argues are
+// small.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute::simsub {
+
+/// Cost accounting for one protocol execution.
+struct ProtocolStats {
+  std::int64_t rounds = 0;    ///< synchronous rounds until no message in flight
+  std::int64_t messages = 0;  ///< total link traversals (dropped ones included)
+  std::int64_t delivered = 0; ///< messages actually handled by an active node
+};
+
+/// Synchronous network of per-node State exchanging Msg values.
+template <typename State, typename Msg>
+class SyncNetwork {
+ public:
+  /// Handler invoked at the receiving node. `from` is the direction the
+  /// message arrived from (i.e. the side of the sender as seen by the
+  /// receiver). The handler may call send() to emit next-round messages.
+  using Handler =
+      std::function<void(Coord self, State& state, Direction from, const Msg& msg)>;
+
+  /// `inactive` marks nodes that neither handle nor originate messages
+  /// (faulty/block nodes); null means all nodes active.
+  SyncNetwork(const Mesh2D& mesh, const Grid<bool>* inactive, State init = State{})
+      : mesh_(mesh), states_(mesh.width(), mesh.height(), std::move(init)) {
+    if (inactive != nullptr) {
+      if (inactive->width() != mesh.width() || inactive->height() != mesh.height()) {
+        throw std::invalid_argument("SyncNetwork: inactive mask size mismatch");
+      }
+      inactive_ = *inactive;
+    } else {
+      inactive_ = Grid<bool>(mesh.width(), mesh.height(), false);
+    }
+  }
+
+  [[nodiscard]] auto& state(Coord c) { return states_.at(c); }
+  [[nodiscard]] const auto& state(Coord c) const { return states_.at(c); }
+  [[nodiscard]] const Grid<State>& states() const noexcept { return states_; }
+
+  [[nodiscard]] bool active(Coord c) const noexcept {
+    return mesh_.in_bounds(c) && !inactive_[c];
+  }
+
+  /// Queue a message from `from` across the link in direction `d`; it is
+  /// delivered next round. Messages addressed off-mesh or to inactive nodes
+  /// are counted and dropped (a send onto a dead link).
+  void send(Coord from, Direction d, Msg msg) {
+    const Coord to = neighbor(from, d);
+    ++stats_.messages;
+    if (!active(to)) return;
+    pending_.push_back(Envelope{to, opposite(d), std::move(msg)});
+  }
+
+  /// Run `handler` until quiescence (no messages in flight). Seed messages
+  /// must have been queued via send() beforehand. Throws if the protocol has
+  /// not converged after `max_rounds` — a liveness bug in the protocol.
+  ProtocolStats run(const Handler& handler, std::int64_t max_rounds) {
+    while (!pending_.empty()) {
+      if (++stats_.rounds > max_rounds) {
+        throw std::runtime_error("SyncNetwork: protocol did not converge");
+      }
+      std::vector<Envelope> inflight;
+      inflight.swap(pending_);
+      for (const Envelope& env : inflight) {
+        ++stats_.delivered;
+        handler(env.to, states_[env.to], env.from, env.msg);
+      }
+    }
+    return stats_;
+  }
+
+  [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Envelope {
+    Coord to;
+    Direction from;
+    Msg msg;
+  };
+
+  const Mesh2D& mesh_;
+  Grid<State> states_;
+  Grid<bool> inactive_;
+  std::vector<Envelope> pending_;
+  ProtocolStats stats_;
+};
+
+}  // namespace meshroute::simsub

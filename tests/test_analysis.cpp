@@ -1,0 +1,82 @@
+// Tests for Theorem 2's analytical model and the statistics helpers.
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+#include "analysis/theorem2.hpp"
+
+namespace meshroute::analysis {
+namespace {
+
+TEST(Theorem2, ZeroAndSmallK) {
+  EXPECT_EQ(expected_affected_rows(200, 0), 0);
+  // With k << n nearly every fault hits a clean row.
+  EXPECT_EQ(expected_affected_rows(200, 1), 1);
+  EXPECT_EQ(expected_affected_rows(200, 2), 2);
+  const int x10 = expected_affected_rows(200, 10);
+  EXPECT_GE(x10, 9);
+  EXPECT_LE(x10, 10);
+}
+
+TEST(Theorem2, PaperAnchorsAtN200) {
+  // Section 4: "about 20% of rows are affected when the number of faults
+  // reaches 50, 40% when 100, and 60% when 200" (n = 200).
+  EXPECT_NEAR(expected_affected_fraction(200, 50), 0.20, 0.035);
+  EXPECT_NEAR(expected_affected_fraction(200, 100), 0.40, 0.035);
+  EXPECT_NEAR(expected_affected_fraction(200, 200), 0.60, 0.045);
+}
+
+TEST(Theorem2, MonotoneInK) {
+  int prev = 0;
+  for (int k = 0; k <= 400; k += 10) {
+    const int x = expected_affected_rows(200, k);
+    EXPECT_GE(x, prev);
+    EXPECT_LE(x, 200);
+    prev = x;
+  }
+}
+
+TEST(Theorem2, SmoothCompanionTracksStagedModel) {
+  for (int k = 10; k <= 200; k += 10) {
+    const double staged = expected_affected_rows(200, k);
+    const double smooth = smooth_expected_affected_rows(200, k);
+    EXPECT_NEAR(staged, smooth, 4.0) << "k=" << k;
+  }
+}
+
+TEST(Theorem2, InvalidNThrows) {
+  EXPECT_THROW((void)expected_affected_rows(0, 5), std::invalid_argument);
+  EXPECT_THROW((void)smooth_expected_affected_rows(-1, 5), std::invalid_argument);
+}
+
+TEST(Accumulator, WelfordMatchesClosedForm) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, SingleValueHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Proportion, ValueAndConfidence) {
+  Proportion p;
+  for (int i = 0; i < 100; ++i) p.add(i < 75);
+  EXPECT_EQ(p.trials(), 100);
+  EXPECT_DOUBLE_EQ(p.value(), 0.75);
+  EXPECT_NEAR(p.ci95_half_width(), 1.96 * std::sqrt(0.75 * 0.25 / 100.0), 1e-12);
+  Proportion empty;
+  EXPECT_THROW((void)empty.value(), std::logic_error);
+  EXPECT_DOUBLE_EQ(empty.ci95_half_width(), 0.0);
+}
+
+}  // namespace
+}  // namespace meshroute::analysis

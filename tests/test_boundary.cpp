@@ -1,0 +1,144 @@
+// Unit tests for faulty-block-information distribution (boundary lines).
+#include <gtest/gtest.h>
+
+#include "fault/block_model.hpp"
+#include "fault/fault_set.hpp"
+#include "info/boundary.hpp"
+
+namespace meshroute::info {
+namespace {
+
+using fault::BlockSet;
+using fault::build_faulty_blocks;
+using fault::FaultSet;
+
+BlockSet single_block(const Mesh2D& mesh, const Rect& r) {
+  return build_faulty_blocks(mesh, fault::rectangle_faults(mesh, r));
+}
+
+TEST(Boundary, PerimeterRingKnowsTheBlock) {
+  const Mesh2D mesh(12, 12);
+  const BlockSet blocks = single_block(mesh, Rect{4, 6, 4, 6});
+  const BoundaryInfoMap info(mesh, blocks);
+  const Rect ring = Rect{4, 6, 4, 6}.expanded(1);
+  for (Dist x = ring.xmin; x <= ring.xmax; ++x) {
+    EXPECT_TRUE(info.knows({x, ring.ymin}, 0));
+    EXPECT_TRUE(info.knows({x, ring.ymax}, 0));
+  }
+  for (Dist y = ring.ymin; y <= ring.ymax; ++y) {
+    EXPECT_TRUE(info.knows({ring.xmin, y}, 0));
+    EXPECT_TRUE(info.knows({ring.xmax, y}, 0));
+  }
+}
+
+TEST(Boundary, TrailsReachTheMeshEdges) {
+  // With a single block the four boundary lines run straight to the edges
+  // in both directions (full-line coverage of L1, L2, L3, L4).
+  const Mesh2D mesh(12, 12);
+  const BlockSet blocks = single_block(mesh, Rect{4, 6, 4, 6});
+  const BoundaryInfoMap info(mesh, blocks);
+  for (Dist x = 0; x <= 11; ++x) {
+    EXPECT_TRUE(info.knows({x, 3}, 0)) << "L1 at x=" << x;   // y = ymin-1
+    EXPECT_TRUE(info.knows({x, 7}, 0)) << "L2 at x=" << x;   // y = ymax+1
+  }
+  for (Dist y = 0; y <= 11; ++y) {
+    EXPECT_TRUE(info.knows({3, y}, 0)) << "L3 at y=" << y;   // x = xmin-1
+    EXPECT_TRUE(info.knows({7, y}, 0)) << "L4 at y=" << y;   // x = xmax+1
+  }
+}
+
+TEST(Boundary, OffLineNodesKnowNothing) {
+  const Mesh2D mesh(12, 12);
+  const BlockSet blocks = single_block(mesh, Rect{4, 6, 4, 6});
+  const BoundaryInfoMap info(mesh, blocks);
+  EXPECT_TRUE(info.known_blocks({0, 0}).empty());
+  EXPECT_TRUE(info.known_blocks({1, 9}).empty());
+  EXPECT_TRUE(info.known_blocks({9, 1}).empty());
+  // Inside the block: trails never enter it.
+  EXPECT_TRUE(info.known_blocks({5, 5}).empty());
+}
+
+TEST(Boundary, BlockAtMeshCornerClipsGracefully) {
+  const Mesh2D mesh(8, 8);
+  const BlockSet blocks = single_block(mesh, Rect{0, 1, 0, 1});
+  const BoundaryInfoMap info(mesh, blocks);
+  // Only the NE-side lines exist.
+  for (Dist x = 0; x <= 7; ++x) EXPECT_TRUE(info.knows({x, 2}, 0));
+  for (Dist y = 0; y <= 7; ++y) EXPECT_TRUE(info.knows({2, y}, 0));
+  EXPECT_FALSE(info.knows({4, 4}, 0));
+}
+
+TEST(Boundary, TurnAndJoinStaircase) {
+  // Block i's L3 (west column) runs south into block j and must slide west
+  // along j's north row, then join j's own west column — the Figure 3 (b)
+  // staircase.
+  const Mesh2D mesh(16, 16);
+  FaultSet fs(mesh);
+  // Block i = [5:7, 9:10]; L3 of i is column 4 heading south from (4, 8).
+  for (Dist x = 5; x <= 7; ++x)
+    for (Dist y = 9; y <= 10; ++y) fs.add({x, y});
+  // Block j = [3:5, 4:5]: column 4 runs into it at y = 5.
+  for (Dist x = 3; x <= 5; ++x)
+    for (Dist y = 4; y <= 5; ++y) fs.add({x, y});
+  const BlockSet blocks = build_faulty_blocks(mesh, fs);
+  ASSERT_EQ(blocks.block_count(), 2u);
+  // Identify ids.
+  const std::int32_t bi = blocks.block_id({5, 9});
+  const std::int32_t bj = blocks.block_id({3, 4});
+  ASSERT_NE(bi, bj);
+
+  const BoundaryInfoMap info(mesh, blocks);
+  // Straight part of i's L3 above j.
+  EXPECT_TRUE(info.knows({4, 8}, bi));
+  EXPECT_TRUE(info.knows({4, 7}, bi));
+  EXPECT_TRUE(info.knows({4, 6}, bi));
+  // Slide west along j's north row (y = 6).
+  EXPECT_TRUE(info.knows({3, 6}, bi));
+  EXPECT_TRUE(info.knows({2, 6}, bi));
+  // Join j's L3 (column 2) and continue south to the edge.
+  EXPECT_TRUE(info.knows({2, 5}, bi));
+  EXPECT_TRUE(info.knows({2, 0}, bi));
+  // The abandoned original column below j does NOT carry i's info.
+  EXPECT_FALSE(info.knows({4, 2}, bi));
+  // j's own L3 nodes know j as well -> shared staircase knows both blocks.
+  EXPECT_TRUE(info.knows({2, 3}, bj));
+  EXPECT_TRUE(info.knows({2, 3}, bi));
+}
+
+TEST(Boundary, DepositStatsAreConsistent) {
+  const Mesh2D mesh(20, 20);
+  Rng rng(3);
+  const FaultSet fs = fault::uniform_random_faults(mesh, 12, rng);
+  const BlockSet blocks = build_faulty_blocks(mesh, fs);
+  const BoundaryInfoMap info(mesh, blocks);
+  std::size_t entries = 0;
+  std::size_t covered = 0;
+  mesh.for_each_node([&](Coord c) {
+    const auto& v = info.known_blocks(c);
+    entries += v.size();
+    if (!v.empty()) ++covered;
+    // No duplicates.
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t j = i + 1; j < v.size(); ++j) EXPECT_NE(v[i], v[j]);
+    }
+  });
+  EXPECT_EQ(entries, info.deposited_entries());
+  EXPECT_EQ(covered, info.covered_nodes());
+  EXPECT_GT(covered, 0u);
+}
+
+TEST(Boundary, NoInfoEverDepositedOnBlockNodes) {
+  const Mesh2D mesh(24, 24);
+  Rng rng(9);
+  const FaultSet fs = fault::uniform_random_faults(mesh, 40, rng);
+  const BlockSet blocks = build_faulty_blocks(mesh, fs);
+  const BoundaryInfoMap info(mesh, blocks);
+  mesh.for_each_node([&](Coord c) {
+    if (blocks.is_block_node(c)) {
+      EXPECT_TRUE(info.known_blocks(c).empty()) << to_string(c);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace meshroute::info

@@ -1,0 +1,210 @@
+// Unit tests for the geometry primitives: Coord, Direction, Rect, Grid, Rng.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rect.hpp"
+#include "common/rng.hpp"
+
+namespace meshroute {
+namespace {
+
+TEST(Direction, OppositeIsInvolution) {
+  for (const Direction d : kAllDirections) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+}
+
+TEST(Direction, StepsAreUnitAndOpposite) {
+  for (const Direction d : kAllDirections) {
+    const Coord s = step(d);
+    EXPECT_EQ(std::abs(s.x) + std::abs(s.y), 1);
+    const Coord o = step(opposite(d));
+    EXPECT_EQ(s + o, (Coord{0, 0}));
+  }
+}
+
+TEST(Direction, HorizontalClassification) {
+  EXPECT_TRUE(is_horizontal(Direction::East));
+  EXPECT_TRUE(is_horizontal(Direction::West));
+  EXPECT_FALSE(is_horizontal(Direction::North));
+  EXPECT_FALSE(is_horizontal(Direction::South));
+}
+
+TEST(Direction, NorthIncreasesY) {
+  // The paper's axes: x grows East, y grows North.
+  EXPECT_EQ(step(Direction::North), (Coord{0, 1}));
+  EXPECT_EQ(step(Direction::East), (Coord{1, 0}));
+}
+
+TEST(Coord, ManhattanMatchesPaperDefinition) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {2, -5}), 14);
+  EXPECT_EQ(manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(Coord, StreamsReadably) {
+  std::ostringstream os;
+  os << Coord{3, -1} << " " << Direction::South;
+  EXPECT_EQ(os.str(), "(3, -1) S");
+}
+
+TEST(Coord, HashDistinguishesAxes) {
+  // (a, b) and (b, a) must not collide systematically.
+  const std::hash<Coord> h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+}
+
+TEST(Quadrant, FourQuadrantsAndTies) {
+  const Coord s{5, 5};
+  EXPECT_EQ(quadrant_of(s, {7, 8}), Quadrant::I);
+  EXPECT_EQ(quadrant_of(s, {2, 8}), Quadrant::II);
+  EXPECT_EQ(quadrant_of(s, {2, 2}), Quadrant::III);
+  EXPECT_EQ(quadrant_of(s, {7, 2}), Quadrant::IV);
+  // Ties fold toward the non-strict side.
+  EXPECT_EQ(quadrant_of(s, {5, 8}), Quadrant::I);
+  EXPECT_EQ(quadrant_of(s, {8, 5}), Quadrant::I);
+  EXPECT_EQ(quadrant_of(s, s), Quadrant::I);
+}
+
+TEST(Quadrant, PreferredDirections) {
+  const auto q1 = preferred_directions(Quadrant::I);
+  EXPECT_EQ(q1[0], Direction::East);
+  EXPECT_EQ(q1[1], Direction::North);
+  const auto q3 = preferred_directions(Quadrant::III);
+  EXPECT_EQ(q3[0], Direction::West);
+  EXPECT_EQ(q3[1], Direction::South);
+}
+
+TEST(Dist, InfiniteSentinelSurvivesSmallArithmetic) {
+  EXPECT_TRUE(is_infinite(kInfiniteDistance));
+  EXPECT_TRUE(is_infinite(kInfiniteDistance + 1000));
+  EXPECT_FALSE(is_infinite(kInfiniteDistance - 1));
+  EXPECT_GT(kInfiniteDistance + 1000, 0) << "sentinel arithmetic must not overflow";
+}
+
+TEST(Rect, PaperNotationRoundTrip) {
+  const Rect r{2, 6, 3, 6};
+  EXPECT_EQ(r.to_string(), "[2:6, 3:6]");
+  EXPECT_EQ(r.width(), 5);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.area(), 20);
+}
+
+TEST(Rect, ContainsAndOverlaps) {
+  const Rect r{2, 6, 3, 6};
+  EXPECT_TRUE(r.contains(Coord{2, 3}));
+  EXPECT_TRUE(r.contains(Coord{6, 6}));
+  EXPECT_FALSE(r.contains(Coord{1, 3}));
+  EXPECT_FALSE(r.contains(Coord{2, 7}));
+  EXPECT_TRUE(r.overlaps(Rect{6, 8, 6, 9}));
+  EXPECT_FALSE(r.overlaps(Rect{7, 8, 3, 6}));
+  EXPECT_TRUE(r.touches(Rect{7, 8, 3, 6}, 1));
+  EXPECT_FALSE(r.touches(Rect{8, 9, 3, 6}, 1));
+}
+
+TEST(Rect, DefaultIsInvalidAndUnitesAsIdentity) {
+  const Rect none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(none.area(), 0);
+  const Rect r{0, 1, 0, 1};
+  EXPECT_EQ(none.united(r), r);
+  EXPECT_EQ(r.united(none), r);
+}
+
+TEST(Rect, UnitedAndIntersected) {
+  const Rect a{0, 2, 0, 2};
+  const Rect b{4, 5, 1, 6};
+  EXPECT_EQ(a.united(b), (Rect{0, 5, 0, 6}));
+  EXPECT_FALSE(a.intersected(b).valid());
+  EXPECT_EQ(a.intersected(Rect{1, 5, 1, 6}), (Rect{1, 2, 1, 2}));
+}
+
+TEST(Rect, ExpandedMakesBoundaryRing) {
+  const Rect r{3, 4, 5, 6};
+  EXPECT_EQ(r.expanded(1), (Rect{2, 5, 4, 7}));
+}
+
+TEST(Grid, FillAndAccess) {
+  Grid<int> g(3, 2, 7);
+  EXPECT_EQ(g.width(), 3);
+  EXPECT_EQ(g.height(), 2);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ((g[{2, 1}]), 7);
+  g[Coord{2, 1}] = 9;
+  EXPECT_EQ(g.at(Coord{2, 1}), 9);
+}
+
+TEST(Grid, BoundsChecking) {
+  Grid<int> g(3, 2);
+  EXPECT_TRUE(g.in_bounds({0, 0}));
+  EXPECT_TRUE(g.in_bounds({2, 1}));
+  EXPECT_FALSE(g.in_bounds({3, 0}));
+  EXPECT_FALSE(g.in_bounds({0, 2}));
+  EXPECT_FALSE(g.in_bounds({-1, 0}));
+  EXPECT_THROW((void)g.at({3, 0}), std::out_of_range);
+}
+
+TEST(Grid, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Grid<int>(0, 5), std::invalid_argument);
+  EXPECT_THROW(Grid<int>(5, -1), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_THROW((void)rng.uniform(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, SampleDistinctIsDistinctAndComplete) {
+  Rng rng(11);
+  const auto sample = rng.sample_distinct(50, 50);
+  const std::set<std::int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 49);
+  EXPECT_THROW((void)rng.sample_distinct(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SampleDistinctIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> hits(10, 0);
+  for (int rep = 0; rep < 2000; ++rep) {
+    for (const auto v : rng.sample_distinct(10, 3)) ++hits[static_cast<std::size_t>(v)];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 450);  // expectation 600 each; generous slack
+    EXPECT_LT(h, 750);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The fork consumed one draw; both streams must still be deterministic.
+  Rng b(5);
+  Rng child_b = b.fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child.uniform(0, 1 << 20), child_b.uniform(0, 1 << 20));
+  }
+}
+
+}  // namespace
+}  // namespace meshroute

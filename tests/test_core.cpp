@@ -1,0 +1,181 @@
+// Tests for the FaultTolerantMesh facade.
+#include <gtest/gtest.h>
+
+#include "core/fault_tolerant_mesh.hpp"
+#include "info/pivots.hpp"
+#include "route/path.hpp"
+
+namespace meshroute {
+namespace {
+
+TEST(FaultTolerantMesh, FreshMeshHasNoBlocks) {
+  const FaultTolerantMesh ftm(20, 20);
+  EXPECT_EQ(ftm.blocks().block_count(), 0u);
+  EXPECT_TRUE(ftm.mcc().type_one.components().empty());
+  EXPECT_EQ(ftm.decide({1, 1}, {15, 15}, FaultModel::FaultyBlock), cond::Decision::Minimal);
+  const auto r = ftm.route({1, 1}, {15, 15});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_TRUE(route::path_is_minimal(r.path));
+}
+
+TEST(FaultTolerantMesh, InjectionInvalidatesDerivedState) {
+  FaultTolerantMesh ftm(20, 20);
+  EXPECT_EQ(ftm.blocks().block_count(), 0u);
+  ftm.inject_fault({10, 10});
+  EXPECT_EQ(ftm.blocks().block_count(), 1u);
+  const std::vector<Coord> more{{3, 3}, {16, 4}};
+  ftm.inject_faults(more);
+  EXPECT_EQ(ftm.blocks().block_count(), 3u);
+  EXPECT_EQ(ftm.faults().count(), 3u);
+}
+
+TEST(FaultTolerantMesh, SafetyGridsDifferPerModelAndQuadrant) {
+  FaultTolerantMesh ftm(20, 20);
+  // A NE-facing notch: (10,11) and (11,10) faulty; (10,10) is useless under
+  // type-one but fault-free under type-two.
+  ftm.inject_fault({10, 11});
+  ftm.inject_fault({11, 10});
+  const auto& fb = ftm.obstacles(FaultModel::FaultyBlock, Quadrant::I);
+  const auto& m1 = ftm.obstacles(FaultModel::Mcc, Quadrant::I);
+  const auto& m2 = ftm.obstacles(FaultModel::Mcc, Quadrant::II);
+  EXPECT_TRUE((fb[{10, 10}]));  // block fills the 2x2 square
+  EXPECT_TRUE((m1[{10, 10}]));
+  EXPECT_FALSE((m2[{10, 10}]));
+  EXPECT_EQ(&ftm.safety(FaultModel::Mcc, Quadrant::III),
+            &ftm.safety(FaultModel::Mcc, Quadrant::I));
+}
+
+TEST(FaultTolerantMesh, DecideUsesConfiguredExtensions) {
+  FaultTolerantMesh ftm(16, 16);
+  // Pinch the source corner as in the extension-3 unit test.
+  for (Dist x = 4; x <= 5; ++x)
+    for (Dist y = 0; y <= 2; ++y) ftm.inject_fault({x, y});
+  for (Dist x = 0; x <= 2; ++x)
+    for (Dist y = 4; y <= 5; ++y) ftm.inject_fault({x, y});
+  const Coord s{1, 1};
+  const Coord d{10, 10};
+  DecideOptions base;
+  base.use_extension1 = false;
+  base.use_extension2 = false;
+  EXPECT_EQ(ftm.decide(s, d, FaultModel::FaultyBlock, base), cond::Decision::Unknown);
+  DecideOptions with_pivot = base;
+  with_pivot.pivots = {{3, 3}};
+  EXPECT_EQ(ftm.decide(s, d, FaultModel::FaultyBlock, with_pivot), cond::Decision::Minimal);
+}
+
+TEST(FaultTolerantMesh, DecideStrategyAndGroundTruth) {
+  FaultTolerantMesh ftm(30, 30);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const Coord c{static_cast<Dist>(rng.uniform(0, 29)), static_cast<Dist>(rng.uniform(0, 29))};
+    if (c != Coord{2, 2} && c != Coord{27, 27}) ftm.inject_fault(c);
+  }
+  const Coord s{2, 2};
+  const Coord d{27, 27};
+  if (!ftm.obstacles(FaultModel::FaultyBlock, Quadrant::I)[s] &&
+      !ftm.obstacles(FaultModel::FaultyBlock, Quadrant::I)[d]) {
+    const auto pivots =
+        info::generate_pivots(Rect{2, 27, 2, 27}, 3, info::PivotPlacement::Center);
+    const auto dec =
+        ftm.decide_strategy(s, d, FaultModel::FaultyBlock, cond::StrategyId::S4, pivots);
+    if (dec == cond::Decision::Minimal) {
+      EXPECT_TRUE(ftm.minimal_path_exists(s, d));
+      const auto r = ftm.route(s, d);
+      EXPECT_TRUE(r.delivered());
+    }
+  }
+}
+
+TEST(FaultTolerantMesh, RouteViaCompletesTwoPhase) {
+  FaultTolerantMesh ftm(14, 14);
+  for (Dist x = 4; x <= 6; ++x)
+    for (Dist y = 3; y <= 4; ++y) ftm.inject_fault({x, y});
+  const auto r = ftm.route_via({3, 3}, {3, 2}, {6, 9});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.path.length(), manhattan(Coord{3, 3}, Coord{6, 9}) + 2);
+}
+
+TEST(FaultTolerantMesh, ExplainNamesTheCertifyingExtension) {
+  FaultTolerantMesh ftm(16, 16);
+  // Clear mesh: base condition.
+  const Certificate clear = ftm.explain({1, 1}, {10, 10}, FaultModel::FaultyBlock);
+  EXPECT_EQ(clear.decision, cond::Decision::Minimal);
+  EXPECT_EQ(clear.method, Method::BaseSafe);
+  EXPECT_EQ(clear.via, (Coord{1, 1}));
+
+  // Extension 1 via a preferred neighbor (the test_conditions fixture).
+  FaultTolerantMesh e1(12, 12);
+  for (Dist x = 3; x <= 4; ++x)
+    for (Dist y = 4; y <= 5; ++y) e1.inject_fault({x, y});
+  const Certificate c1 = e1.explain({2, 5}, {6, 9}, FaultModel::FaultyBlock);
+  EXPECT_EQ(c1.method, Method::Ext1Preferred);
+  EXPECT_EQ(c1.via, (Coord{2, 6}));
+  const auto r1 = e1.route_certified({2, 5}, {6, 9}, c1);
+  ASSERT_TRUE(r1.delivered());
+  EXPECT_TRUE(route::path_is_minimal(r1.path));
+
+  // Extension 1's spare-neighbor sub-minimal certificate.
+  FaultTolerantMesh e2(14, 14);
+  for (Dist x = 4; x <= 6; ++x)
+    for (Dist y = 3; y <= 4; ++y) e2.inject_fault({x, y});
+  DecideOptions ext1_only;
+  ext1_only.use_extension2 = false;
+  const Certificate c2 = e2.explain({3, 3}, {6, 9}, FaultModel::FaultyBlock, ext1_only);
+  EXPECT_EQ(c2.method, Method::Ext1Spare);
+  EXPECT_EQ(c2.decision, cond::Decision::SubMinimal);
+  const auto r2 = e2.route_certified({3, 3}, {6, 9}, c2);
+  ASSERT_TRUE(r2.delivered());
+  EXPECT_TRUE(route::path_is_sub_minimal(r2.path));
+
+  // Method::None certificates refuse to route.
+  Certificate none;
+  EXPECT_FALSE(e2.route_certified({3, 3}, {6, 9}, none).delivered());
+  EXPECT_STREQ(to_string(Method::Ext2Axis), "extension 2 (axis representative)");
+}
+
+TEST(FaultTolerantMesh, ExplainPrefersMinimalOverSubMinimal) {
+  // Extension 2 can upgrade an Ext1Spare sub-minimal certificate to a
+  // minimal one; explain() must return the minimal certificate.
+  FaultTolerantMesh ftm(14, 14);
+  for (Dist x = 4; x <= 6; ++x)
+    for (Dist y = 3; y <= 4; ++y) ftm.inject_fault({x, y});
+  const Certificate cert = ftm.explain({3, 3}, {6, 9}, FaultModel::FaultyBlock);
+  // Axis candidates northward from (3,3) rescue this instance minimally.
+  EXPECT_EQ(cert.decision, cond::Decision::Minimal);
+  EXPECT_EQ(cert.method, Method::Ext2Axis);
+  const auto r = ftm.route_certified({3, 3}, {6, 9}, cert);
+  ASSERT_TRUE(r.delivered());
+  EXPECT_TRUE(route::path_is_minimal(r.path));
+}
+
+TEST(FaultTolerantMesh, MccDecisionsAreAtLeastAsStrongAsBlockDecisions) {
+  // MCC blocks are subsets of faulty blocks, so safety levels only grow and
+  // every FB certificate remains valid under MCC.
+  Rng rng(11);
+  FaultTolerantMesh ftm(40, 40);
+  for (int i = 0; i < 60; ++i) {
+    ftm.inject_fault(
+        {static_cast<Dist>(rng.uniform(0, 39)), static_cast<Dist>(rng.uniform(0, 39))});
+  }
+  int checked = 0;
+  for (int t = 0; t < 200 && checked < 60; ++t) {
+    const Coord s{static_cast<Dist>(rng.uniform(0, 19)), static_cast<Dist>(rng.uniform(0, 19))};
+    const Coord d{static_cast<Dist>(rng.uniform(20, 39)), static_cast<Dist>(rng.uniform(20, 39))};
+    const Quadrant q = quadrant_of(s, d);
+    if (ftm.obstacles(FaultModel::FaultyBlock, q)[s] ||
+        ftm.obstacles(FaultModel::FaultyBlock, q)[d]) {
+      continue;
+    }
+    ++checked;
+    const auto fb = ftm.decide(s, d, FaultModel::FaultyBlock);
+    const auto mcc = ftm.decide(s, d, FaultModel::Mcc);
+    if (fb == cond::Decision::Minimal) {
+      EXPECT_EQ(mcc, cond::Decision::Minimal)
+          << "s=" << to_string(s) << " d=" << to_string(d);
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace meshroute

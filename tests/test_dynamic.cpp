@@ -1,0 +1,168 @@
+// Tests for incremental fault-information maintenance: after every single
+// injection the dynamic state must equal a from-scratch rebuild, while doing
+// only locally-bounded work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dynamic/dynamic_state.hpp"
+#include "fault/block_model.hpp"
+#include "info/safety_level.hpp"
+
+namespace meshroute::dynamic {
+namespace {
+
+/// Full rebuild reference for the current fault set.
+struct Reference {
+  fault::BlockSet blocks;
+  Grid<bool> mask;
+  info::SafetyGrid safety;
+
+  Reference(const Mesh2D& mesh, const fault::FaultSet& faults)
+      : blocks(fault::build_faulty_blocks(mesh, faults)),
+        mask(info::obstacle_mask(mesh, blocks)),
+        safety(info::compute_safety_levels(mesh, mask)) {}
+};
+
+void expect_equal_to_rebuild(const DynamicMeshState& dyn) {
+  const Reference ref(dyn.mesh(), dyn.faults());
+  // Masks identical.
+  dyn.mesh().for_each_node([&](Coord c) {
+    ASSERT_EQ(static_cast<bool>(dyn.obstacle_mask()[c]), static_cast<bool>(ref.mask[c]))
+        << to_string(c);
+  });
+  // Block rectangles identical as sets.
+  std::vector<Rect> got = dyn.blocks();
+  std::vector<Rect> want;
+  for (const auto& b : ref.blocks.blocks()) want.push_back(b.rect);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  ASSERT_EQ(got, want);
+  // Safety levels identical on non-block nodes.
+  dyn.mesh().for_each_node([&](Coord c) {
+    if (ref.mask[c]) return;
+    for (const Direction d : kAllDirections) {
+      const Dist a = dyn.safety()[c].get(d);
+      const Dist b = ref.safety[c].get(d);
+      ASSERT_EQ(is_infinite(a), is_infinite(b)) << to_string(c) << " " << to_string(d);
+      if (!is_infinite(b)) {
+        ASSERT_EQ(a, b) << to_string(c) << " " << to_string(d);
+      }
+    }
+  });
+}
+
+TEST(DynamicState, EmptyStateMatchesRebuild) {
+  const Mesh2D mesh(12, 12);
+  const DynamicMeshState dyn(mesh);
+  EXPECT_TRUE(dyn.blocks().empty());
+  expect_equal_to_rebuild(dyn);
+}
+
+TEST(DynamicState, SingleInjection) {
+  const Mesh2D mesh(12, 12);
+  DynamicMeshState dyn(mesh);
+  const UpdateStats s = dyn.inject_fault({5, 5});
+  EXPECT_EQ(s.relabeled_nodes, 1);
+  EXPECT_EQ(s.absorbed_blocks, 0);
+  EXPECT_EQ(s.rows_resweeped, 1);
+  EXPECT_EQ(s.cols_resweeped, 1);
+  EXPECT_EQ(dyn.blocks().size(), 1u);
+  expect_equal_to_rebuild(dyn);
+}
+
+TEST(DynamicState, DuplicateInjectionIsNoOp) {
+  const Mesh2D mesh(10, 10);
+  DynamicMeshState dyn(mesh);
+  (void)dyn.inject_fault({3, 3});
+  const UpdateStats s = dyn.inject_fault({3, 3});
+  EXPECT_EQ(s.relabeled_nodes, 0);
+  EXPECT_EQ(dyn.faults().count(), 1u);
+  expect_equal_to_rebuild(dyn);
+}
+
+TEST(DynamicState, FaultInsideBlockKeepsStructure) {
+  const Mesh2D mesh(10, 10);
+  DynamicMeshState dyn(mesh);
+  (void)dyn.inject_fault({4, 4});
+  (void)dyn.inject_fault({5, 5});  // merges into [4:5,4:5]; (4,5) disabled
+  ASSERT_EQ(dyn.blocks().size(), 1u);
+  const UpdateStats s = dyn.inject_fault({4, 5});
+  EXPECT_EQ(s.relabeled_nodes, 0);
+  EXPECT_EQ(dyn.blocks().size(), 1u);
+  expect_equal_to_rebuild(dyn);
+}
+
+TEST(DynamicState, DiagonalMergeAbsorbsBlock) {
+  const Mesh2D mesh(12, 12);
+  DynamicMeshState dyn(mesh);
+  (void)dyn.inject_fault({4, 4});
+  const UpdateStats s = dyn.inject_fault({5, 5});
+  EXPECT_EQ(s.absorbed_blocks, 1);
+  EXPECT_GE(s.relabeled_nodes, 3);  // (5,5) + two disabled bridge nodes
+  ASSERT_EQ(dyn.blocks().size(), 1u);
+  EXPECT_EQ(dyn.blocks()[0], (Rect{4, 5, 4, 5}));
+  expect_equal_to_rebuild(dyn);
+}
+
+TEST(DynamicState, BridgingFaultMergesTwoBlocks) {
+  const Mesh2D mesh(14, 14);
+  DynamicMeshState dyn(mesh);
+  (void)dyn.inject_fault({4, 4});
+  (void)dyn.inject_fault({6, 6});
+  ASSERT_EQ(dyn.blocks().size(), 2u);
+  const UpdateStats s = dyn.inject_fault({5, 5});  // diagonal to both
+  EXPECT_EQ(s.absorbed_blocks, 2);
+  ASSERT_EQ(dyn.blocks().size(), 1u);
+  EXPECT_EQ(dyn.blocks()[0], (Rect{4, 6, 4, 6}));
+  expect_equal_to_rebuild(dyn);
+}
+
+TEST(DynamicState, PaperExampleIncrementally) {
+  // Figure 1 (a)'s eight faults injected one by one must land on the same
+  // [2:6, 3:6] block the batch builder produces.
+  const Mesh2D mesh(10, 10);
+  DynamicMeshState dyn(mesh);
+  for (const Coord f : {Coord{3, 3}, Coord{3, 4}, Coord{4, 4}, Coord{5, 4}, Coord{6, 4},
+                        Coord{2, 5}, Coord{5, 5}, Coord{3, 6}}) {
+    (void)dyn.inject_fault(f);
+    expect_equal_to_rebuild(dyn);
+  }
+  ASSERT_EQ(dyn.blocks().size(), 1u);
+  EXPECT_EQ(dyn.blocks()[0], (Rect{2, 6, 3, 6}));
+}
+
+class DynamicRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicRandom, LongInjectionSequencesStayConsistent) {
+  Rng rng(GetParam());
+  const Mesh2D mesh(30, 30);
+  DynamicMeshState dyn(mesh);
+  for (int i = 0; i < 120; ++i) {
+    const Coord c{static_cast<Dist>(rng.uniform(0, 29)), static_cast<Dist>(rng.uniform(0, 29))};
+    (void)dyn.inject_fault(c);
+    if (i % 10 == 9) expect_equal_to_rebuild(dyn);  // spot-check every 10th
+  }
+  expect_equal_to_rebuild(dyn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicRandom, ::testing::Values(1u, 7u, 13u, 29u));
+
+TEST(DynamicState, WorkIsLocallyBounded) {
+  // Scattered faults on a big mesh: each injection re-sweeps only the
+  // handful of lines it touched, never the whole grid.
+  Rng rng(55);
+  const Mesh2D mesh(100, 100);
+  DynamicMeshState dyn(mesh);
+  for (int i = 0; i < 150; ++i) {
+    const Coord c{static_cast<Dist>(rng.uniform(0, 99)), static_cast<Dist>(rng.uniform(0, 99))};
+    const UpdateStats s = dyn.inject_fault(c);
+    EXPECT_LE(s.rows_resweeped, 8);
+    EXPECT_LE(s.cols_resweeped, 8);
+    EXPECT_LE(s.relabeled_nodes, 64);
+  }
+  expect_equal_to_rebuild(dyn);
+}
+
+}  // namespace
+}  // namespace meshroute::dynamic

@@ -1,0 +1,105 @@
+// Tests for the simulation-trial harness and the table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiment/table.hpp"
+#include "experiment/trial.hpp"
+
+namespace meshroute::experiment {
+namespace {
+
+TEST(Trial, SetupMatchesPaperSection5) {
+  Rng rng(1);
+  const Trial t = make_trial({.n = 50, .faults = 30}, rng);
+  EXPECT_EQ(t.mesh.width(), 50);
+  EXPECT_EQ(t.source, (Coord{25, 25}));
+  EXPECT_EQ(t.faults.count(), 30u);
+  // Source outside every block under both models.
+  EXPECT_FALSE((t.fb_mask[t.source]));
+  EXPECT_FALSE((t.mcc_mask[t.source]));
+  // The first-quadrant submesh has the right extent.
+  EXPECT_EQ(t.quadrant1_area(), (Rect{26, 49, 26, 49}));
+}
+
+TEST(Trial, MasksAreConsistentWithModels) {
+  Rng rng(2);
+  const Trial t = make_trial({.n = 40, .faults = 60}, rng);
+  t.mesh.for_each_node([&](Coord c) {
+    EXPECT_EQ(static_cast<bool>(t.fb_mask[c]), t.blocks.is_block_node(c));
+    EXPECT_EQ(static_cast<bool>(t.mcc_mask[c]), t.mcc1.is_mcc_node(c));
+    if (t.faulty_mask[c]) {
+      EXPECT_TRUE((t.fb_mask[c]));
+      EXPECT_TRUE((t.mcc_mask[c]));
+    }
+  });
+}
+
+TEST(Trial, ProblemsWireTheRightMasks) {
+  Rng rng(3);
+  const Trial t = make_trial({.n = 40, .faults = 20}, rng);
+  const Coord d{35, 35};
+  const auto fb = t.fb_problem(d);
+  EXPECT_EQ(fb.obstacles, &t.fb_mask);
+  EXPECT_EQ(fb.safety, &t.fb_safety);
+  EXPECT_EQ(fb.source, t.source);
+  const auto mcc = t.mcc_problem(d);
+  EXPECT_EQ(mcc.obstacles, &t.mcc_mask);
+}
+
+TEST(Trial, CustomSourcePlacement) {
+  Rng rng(4);
+  const Trial t = make_trial({.n = 30, .faults = 10, .source = Coord{5, 5}}, rng);
+  EXPECT_EQ(t.source, (Coord{5, 5}));
+  EXPECT_EQ(t.quadrant1_area(), (Rect{6, 29, 6, 29}));
+}
+
+TEST(Trial, DeterministicUnderSameSeed) {
+  Rng a(77);
+  Rng b(77);
+  const Trial ta = make_trial({.n = 30, .faults = 25}, a);
+  const Trial tb = make_trial({.n = 30, .faults = 25}, b);
+  EXPECT_EQ(ta.faults.faults(), tb.faults.faults());
+}
+
+TEST(Trial, DestinationSamplingRespectsConstraints) {
+  Rng rng(5);
+  const Trial t = make_trial({.n = 60, .faults = 80}, rng);
+  const Rect area = t.quadrant1_area();
+  for (int i = 0; i < 200; ++i) {
+    const Coord d = sample_quadrant1_dest(t, rng);
+    EXPECT_TRUE(area.contains(d));
+    EXPECT_FALSE((t.fb_mask[d]));
+    EXPECT_FALSE((t.mcc_mask[d]));
+  }
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"k", "safe", "ext1"});
+  t.add_row({10, 0.97531, 1.0});
+  t.add_row({200, 0.6, 0.75});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("0.9753"), std::string::npos);
+  EXPECT_NE(out.find("200"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEcho) {
+  Table t({"k", "v"});
+  t.add_row({1, 0.5});
+  std::ostringstream os;
+  t.print_csv(os, "fig");
+  EXPECT_EQ(os.str(), "tag,k,v\nfig,1,0.5000\n");
+}
+
+TEST(Table, RejectsBadShapes) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace meshroute::experiment

@@ -1,0 +1,88 @@
+// Unit tests for fault injection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/fault_set.hpp"
+
+namespace meshroute::fault {
+namespace {
+
+TEST(FaultSet, AddIsIdempotentAndTracked) {
+  const Mesh2D mesh(10, 10);
+  FaultSet fs(mesh);
+  EXPECT_EQ(fs.count(), 0u);
+  fs.add({3, 4});
+  fs.add({3, 4});
+  fs.add({5, 5});
+  EXPECT_EQ(fs.count(), 2u);
+  EXPECT_TRUE(fs.contains({3, 4}));
+  EXPECT_FALSE(fs.contains({4, 3}));
+  EXPECT_FALSE(fs.contains({-1, 0}));
+}
+
+TEST(FaultSet, AddOutOfRangeThrows) {
+  const Mesh2D mesh(4, 4);
+  FaultSet fs(mesh);
+  EXPECT_THROW(fs.add({4, 0}), std::out_of_range);
+  EXPECT_THROW(fs.add({0, -1}), std::out_of_range);
+}
+
+TEST(UniformRandomFaults, ExactCountDistinct) {
+  const Mesh2D mesh(20, 20);
+  Rng rng(1);
+  const FaultSet fs = uniform_random_faults(mesh, 50, rng);
+  EXPECT_EQ(fs.count(), 50u);
+  std::set<Coord> unique(fs.faults().begin(), fs.faults().end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(UniformRandomFaults, HonorsExclusion) {
+  const Mesh2D mesh(10, 10);
+  Rng rng(2);
+  const Coord protect{5, 5};
+  for (int rep = 0; rep < 20; ++rep) {
+    const FaultSet fs =
+        uniform_random_faults(mesh, 99, rng, [&](Coord c) { return c == protect; });
+    EXPECT_FALSE(fs.contains(protect));
+    EXPECT_EQ(fs.count(), 99u);
+  }
+}
+
+TEST(UniformRandomFaults, RejectsOversizedK) {
+  const Mesh2D mesh(3, 3);
+  Rng rng(3);
+  EXPECT_THROW((void)uniform_random_faults(mesh, 10, rng), std::invalid_argument);
+  EXPECT_NO_THROW((void)uniform_random_faults(mesh, 9, rng));
+}
+
+TEST(UniformRandomFaults, CoversTheMeshOverManyDraws) {
+  const Mesh2D mesh(5, 5);
+  Rng rng(4);
+  Grid<int> hits(5, 5, 0);
+  for (int rep = 0; rep < 400; ++rep) {
+    const FaultSet fs = uniform_random_faults(mesh, 5, rng);
+    for (const Coord f : fs.faults()) ++hits[f];
+  }
+  mesh.for_each_node([&](Coord c) { EXPECT_GT(hits[c], 0) << to_string(c); });
+}
+
+TEST(ClusteredFaults, ProducesRequestedMagnitude) {
+  const Mesh2D mesh(40, 40);
+  Rng rng(5);
+  const FaultSet fs = clustered_faults(mesh, 3, 10, rng);
+  EXPECT_GE(fs.count(), 15u);  // random walk may clip at edges; most placed
+  EXPECT_LE(fs.count(), 30u);
+}
+
+TEST(RectangleFaults, FillsExactRectangle) {
+  const Mesh2D mesh(10, 10);
+  const Rect r{2, 4, 3, 5};
+  const FaultSet fs = rectangle_faults(mesh, r);
+  EXPECT_EQ(fs.count(), 9u);
+  mesh.for_each_node([&](Coord c) { EXPECT_EQ(fs.contains(c), r.contains(c)); });
+  EXPECT_THROW((void)rectangle_faults(mesh, Rect{8, 10, 0, 0}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace meshroute::fault

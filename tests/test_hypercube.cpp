@@ -1,0 +1,176 @@
+// Tests for the binary-hypercube safety-level substrate (Wu 1997/1998) —
+// the concept the paper's extended safety levels generalize.
+#include <gtest/gtest.h>
+
+#include "hypercube/hypercube.hpp"
+
+namespace meshroute::cube {
+namespace {
+
+TEST(Hypercube, TopologyBasics) {
+  const Hypercube cube(4);
+  EXPECT_EQ(cube.node_count(), 16u);
+  EXPECT_EQ(cube.neighbor(0b0000, 0), 0b0001u);
+  EXPECT_EQ(cube.neighbor(0b1010, 2), 0b1110u);
+  EXPECT_EQ(Hypercube::distance(0b0000, 0b1111), 4);
+  EXPECT_EQ(Hypercube::distance(0b1010, 0b1010), 0);
+  EXPECT_THROW(Hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Hypercube(21), std::invalid_argument);
+}
+
+TEST(Hypercube, FaultBookkeeping) {
+  Hypercube cube(3);
+  EXPECT_EQ(cube.fault_count(), 0u);
+  cube.set_faulty(5);
+  cube.set_faulty(5);
+  EXPECT_EQ(cube.fault_count(), 1u);
+  EXPECT_TRUE(cube.faulty(5));
+  EXPECT_FALSE(cube.faulty(4));
+  EXPECT_THROW(cube.set_faulty(8), std::out_of_range);
+}
+
+TEST(SafetyLevels, FaultFreeCubeIsFullySafe) {
+  const Hypercube cube(5);
+  const auto levels = compute_safety_levels(cube);
+  for (const int l : levels) EXPECT_EQ(l, 5);
+}
+
+TEST(SafetyLevels, SingleFaultNeighborhood) {
+  // One fault in a 4-cube: its neighbors see the sequence (0, 4, 4, 4),
+  // which satisfies >= (0, 1, 2, 3) — a single fault costs nobody any
+  // safety (the theorem only promises non-faulty destinations).
+  Hypercube cube(4);
+  cube.set_faulty(0b0000);
+  const auto levels = compute_safety_levels(cube);
+  EXPECT_EQ(levels[0b0000], 0);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(levels[cube.neighbor(0, d)], 4);
+  }
+  EXPECT_EQ(levels[0b1111], 4);
+}
+
+TEST(SafetyLevels, TwoFaultsDegradeTheCommonNeighbors) {
+  // Faults 0000 and 0011: their common neighbors 0001 and 0010 see two
+  // zeros — sequence (0, 0, 4, 4) fails at position 2 -> level 1.
+  Hypercube cube(4);
+  cube.set_faulty(0b0000);
+  cube.set_faulty(0b0011);
+  const auto levels = compute_safety_levels(cube);
+  EXPECT_EQ(levels[0b0001], 1);
+  EXPECT_EQ(levels[0b0010], 1);
+  // A neighbor of a single fault still sees (0, 4, 4, 4) -> level 4.
+  EXPECT_EQ(levels[0b0100], 4);
+  EXPECT_EQ(levels[0b0111], 4);
+}
+
+TEST(SafetyLevels, MatchDefinitionPointwise) {
+  // The fixed point must satisfy Wu's equation at every node.
+  Rng rng(9);
+  for (int rep = 0; rep < 10; ++rep) {
+    Hypercube cube(7);
+    inject_random_faults(cube, 12, rng);
+    const auto levels = compute_safety_levels(cube);
+    for (NodeId u = 0; u < cube.node_count(); ++u) {
+      if (cube.faulty(u)) {
+        EXPECT_EQ(levels[u], 0);
+        continue;
+      }
+      std::vector<int> s;
+      for (int d = 0; d < 7; ++d) s.push_back(levels[cube.neighbor(u, d)]);
+      std::sort(s.begin(), s.end());
+      int k = 0;
+      while (k < 7 && s[static_cast<std::size_t>(k)] >= k) ++k;
+      EXPECT_EQ(levels[u], k) << "node " << u;
+    }
+  }
+}
+
+TEST(MinimalPathOracle, BasicAndBlocked) {
+  Hypercube cube(3);
+  EXPECT_TRUE(minimal_path_exists(cube, 0b000, 0b111));
+  cube.set_faulty(0b001);
+  cube.set_faulty(0b010);
+  cube.set_faulty(0b100);
+  // All three distance-1 stepping stones dead: no minimal path 000 -> 111.
+  EXPECT_FALSE(minimal_path_exists(cube, 0b000, 0b111));
+  // But 000 -> 011 was also sealed (001 and 010 dead).
+  EXPECT_FALSE(minimal_path_exists(cube, 0b000, 0b011));
+  EXPECT_TRUE(minimal_path_exists(cube, 0b011, 0b111));
+  EXPECT_FALSE(minimal_path_exists(cube, 0b000, 0b001));  // faulty endpoint
+}
+
+class SafetyTheorem : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SafetyTheorem, LevelLGuaranteesMinimalPathsWithinDistanceL) {
+  // The defining property (Section 1 of the paper): safety level L at u
+  // implies a minimal path from u to EVERY non-faulty node within Hamming
+  // distance L. Exhaustive over an 8-cube with random faults.
+  Rng rng(100 + GetParam());
+  Hypercube cube(8);
+  inject_random_faults(cube, GetParam(), rng);
+  const auto levels = compute_safety_levels(cube);
+  for (NodeId u = 0; u < cube.node_count(); ++u) {
+    if (cube.faulty(u) || levels[u] == 0) continue;
+    for (NodeId v = 0; v < cube.node_count(); ++v) {
+      if (cube.faulty(v) || v == u) continue;
+      if (Hypercube::distance(u, v) <= levels[u]) {
+        EXPECT_TRUE(minimal_path_exists(cube, u, v))
+            << "u=" << u << " (level " << levels[u] << ") v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VaryFaultCount, SafetyTheorem, ::testing::Values(4u, 12u, 30u, 60u));
+
+TEST(SafetyRouting, DeliversMinimallyWhenSafe) {
+  Rng rng(77);
+  for (int rep = 0; rep < 20; ++rep) {
+    Hypercube cube(8);
+    inject_random_faults(cube, 25, rng);
+    const auto levels = compute_safety_levels(cube);
+    int routed = 0;
+    for (int t = 0; t < 200 && routed < 60; ++t) {
+      const auto s = static_cast<NodeId>(rng.uniform(0, 255));
+      const auto d = static_cast<NodeId>(rng.uniform(0, 255));
+      if (cube.faulty(s) || cube.faulty(d) || s == d) continue;
+      if (levels[s] < Hypercube::distance(s, d)) continue;
+      ++routed;
+      const auto path = route_safety_level(cube, levels, s, d);
+      ASSERT_TRUE(path.has_value()) << "safe source failed: s=" << s << " d=" << d;
+      EXPECT_EQ(path->size(), static_cast<std::size_t>(Hypercube::distance(s, d)) + 1);
+      for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+        EXPECT_EQ(Hypercube::distance((*path)[i], (*path)[i + 1]), 1);
+        EXPECT_FALSE(cube.faulty((*path)[i]));
+      }
+    }
+    EXPECT_GT(routed, 0);
+  }
+}
+
+TEST(SafetyRouting, StuckWhenSealed) {
+  Hypercube cube(3);
+  cube.set_faulty(0b001);
+  cube.set_faulty(0b010);
+  cube.set_faulty(0b100);
+  const auto levels = compute_safety_levels(cube);
+  // All neighbors faulty: sequence (0,0,0) -> level 1, a vacuous promise
+  // (no non-faulty node within distance 1 exists).
+  EXPECT_EQ(levels[0b000], 1);
+  EXPECT_FALSE(route_safety_level(cube, levels, 0b000, 0b111).has_value());
+  EXPECT_FALSE(route_safety_level(cube, levels, 0b001, 0b111).has_value());  // faulty src
+}
+
+TEST(InjectRandomFaults, RespectsProtection) {
+  Rng rng(3);
+  Hypercube cube(6);
+  inject_random_faults(cube, 30, rng, {0, 63});
+  EXPECT_EQ(cube.fault_count(), 30u);
+  EXPECT_FALSE(cube.faulty(0));
+  EXPECT_FALSE(cube.faulty(63));
+  Hypercube small(2);
+  EXPECT_THROW(inject_random_faults(small, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace meshroute::cube

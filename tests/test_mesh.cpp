@@ -1,0 +1,140 @@
+// Unit tests for the 2-D mesh topology and quadrant frames.
+#include <gtest/gtest.h>
+
+#include "common/grid.hpp"
+#include "mesh/frame.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace meshroute {
+namespace {
+
+TEST(Mesh2D, DimensionsAndBounds) {
+  const Mesh2D mesh(5, 3);
+  EXPECT_EQ(mesh.width(), 5);
+  EXPECT_EQ(mesh.height(), 3);
+  EXPECT_EQ(mesh.node_count(), 15u);
+  EXPECT_EQ(mesh.bounds(), (Rect{0, 4, 0, 2}));
+  EXPECT_TRUE(mesh.in_bounds({4, 2}));
+  EXPECT_FALSE(mesh.in_bounds({5, 0}));
+  EXPECT_FALSE(mesh.in_bounds({0, 3}));
+  EXPECT_FALSE(mesh.in_bounds({-1, 0}));
+}
+
+TEST(Mesh2D, RejectsDegenerate) {
+  EXPECT_THROW(Mesh2D(0, 3), std::invalid_argument);
+  EXPECT_THROW(Mesh2D(3, -2), std::invalid_argument);
+}
+
+TEST(Mesh2D, InteriorDegreeIsFour) {
+  // "An n x m 2-D mesh ... has an interior node degree of 4" (Section 2).
+  const Mesh2D mesh(4, 4);
+  EXPECT_EQ(mesh.degree({1, 1}), 4);
+  EXPECT_EQ(mesh.degree({0, 1}), 3);
+  EXPECT_EQ(mesh.degree({0, 0}), 2);
+  EXPECT_EQ(mesh.degree({3, 3}), 2);
+}
+
+TEST(Mesh2D, NeighborsRespectEdges) {
+  const Mesh2D mesh(3, 3);
+  const auto corner = mesh.neighbors({0, 0});
+  EXPECT_EQ(corner.size(), 2u);
+  const auto center = mesh.neighbors({1, 1});
+  EXPECT_EQ(center.size(), 4u);
+}
+
+TEST(Mesh2D, AdjacencyIsUnitDistance) {
+  // "Two nodes are connected if their addresses differ by one in one and
+  // only one dimension."
+  const Mesh2D mesh(4, 4);
+  EXPECT_TRUE(mesh.adjacent({1, 1}, {2, 1}));
+  EXPECT_TRUE(mesh.adjacent({1, 1}, {1, 0}));
+  EXPECT_FALSE(mesh.adjacent({1, 1}, {2, 2}));
+  EXPECT_FALSE(mesh.adjacent({1, 1}, {3, 1}));
+  EXPECT_FALSE(mesh.adjacent({1, 1}, {1, 1}));
+}
+
+TEST(Mesh2D, ForEachNodeVisitsAllOnce) {
+  const Mesh2D mesh(6, 4);
+  Grid<int> visits(6, 4, 0);
+  mesh.for_each_node([&](Coord c) { ++visits[c]; });
+  mesh.for_each_node([&](Coord c) { EXPECT_EQ(visits[c], 1) << to_string(c); });
+}
+
+TEST(Mesh2D, CenterOfEvenMesh) {
+  EXPECT_EQ(Mesh2D::square(200).center(), (Coord{100, 100}));
+}
+
+TEST(QuadrantFrame, IdentityForQuadrantI) {
+  const QuadrantFrame f({10, 10}, {15, 13});
+  EXPECT_EQ(f.to_frame({10, 10}), (Coord{0, 0}));
+  EXPECT_EQ(f.to_frame({15, 13}), (Coord{5, 3}));
+  EXPECT_EQ(f.to_mesh({5, 3}), (Coord{15, 13}));
+  EXPECT_EQ(f.to_mesh_dir(Direction::East), Direction::East);
+  EXPECT_EQ(f.to_mesh_dir(Direction::North), Direction::North);
+  EXPECT_EQ(f.source_quadrant(), Quadrant::I);
+}
+
+TEST(QuadrantFrame, ReflectsQuadrantII) {
+  const QuadrantFrame f({10, 10}, {6, 13});
+  EXPECT_EQ(f.to_frame({6, 13}), (Coord{4, 3}));
+  EXPECT_EQ(f.to_mesh_dir(Direction::East), Direction::West);
+  EXPECT_EQ(f.to_mesh_dir(Direction::North), Direction::North);
+  EXPECT_EQ(f.source_quadrant(), Quadrant::II);
+  EXPECT_TRUE(f.flips_x());
+  EXPECT_FALSE(f.flips_y());
+}
+
+TEST(QuadrantFrame, ReflectsQuadrantIII) {
+  const QuadrantFrame f({10, 10}, {6, 4});
+  EXPECT_EQ(f.to_frame({6, 4}), (Coord{4, 6}));
+  EXPECT_EQ(f.to_mesh_dir(Direction::East), Direction::West);
+  EXPECT_EQ(f.to_mesh_dir(Direction::North), Direction::South);
+  EXPECT_EQ(f.source_quadrant(), Quadrant::III);
+}
+
+TEST(QuadrantFrame, ReflectsQuadrantIV) {
+  const QuadrantFrame f({10, 10}, {13, 4});
+  EXPECT_EQ(f.to_frame({13, 4}), (Coord{3, 6}));
+  EXPECT_EQ(f.to_mesh_dir(Direction::East), Direction::East);
+  EXPECT_EQ(f.to_mesh_dir(Direction::North), Direction::South);
+  EXPECT_EQ(f.source_quadrant(), Quadrant::IV);
+}
+
+TEST(QuadrantFrame, RoundTripsEveryDirection) {
+  for (const Coord dest : {Coord{3, 7}, Coord{-3, 7}, Coord{-3, -7}, Coord{3, -7}}) {
+    const QuadrantFrame f({0, 0}, dest);
+    for (const Direction d : kAllDirections) {
+      EXPECT_EQ(f.to_frame_dir(f.to_mesh_dir(d)), d);
+    }
+    // Frame-relative destination lies in quadrant I.
+    const Coord rd = f.to_frame(dest);
+    EXPECT_GE(rd.x, 0);
+    EXPECT_GE(rd.y, 0);
+    // Round trip of arbitrary points.
+    for (const Coord c : {Coord{1, 2}, Coord{-4, 5}, Coord{0, 0}}) {
+      EXPECT_EQ(f.to_frame(f.to_mesh(c)), c);
+      EXPECT_EQ(f.to_mesh(f.to_frame(c)), c);
+    }
+  }
+}
+
+TEST(QuadrantFrame, FrameStepMatchesMeshStep) {
+  // Walking one frame-east hop from a frame point corresponds to one mesh
+  // hop in the mapped direction.
+  const QuadrantFrame f({10, 10}, {4, 2});  // quadrant III
+  const Coord rel{3, 3};
+  const Coord mesh_pos = f.to_mesh(rel);
+  const Coord moved = neighbor(mesh_pos, f.to_mesh_dir(Direction::East));
+  EXPECT_EQ(f.to_frame(moved), neighbor(rel, Direction::East));
+}
+
+TEST(QuadrantFrame, DegenerateAxisKeepsPositiveOrientation) {
+  const QuadrantFrame f({5, 5}, {5, 9});
+  EXPECT_FALSE(f.flips_x());
+  EXPECT_EQ(f.to_frame({5, 9}), (Coord{0, 4}));
+  const QuadrantFrame g({5, 5}, {5, 5});
+  EXPECT_EQ(g.source_quadrant(), Quadrant::I);
+}
+
+}  // namespace
+}  // namespace meshroute

@@ -1,0 +1,224 @@
+// Tests for the flit-level wormhole simulator: conservation, latency sanity,
+// deadlock freedom in the guaranteed regimes, and fault behaviour.
+#include <gtest/gtest.h>
+
+#include "fault/fault_set.hpp"
+#include "netsim/wormhole.hpp"
+
+namespace meshroute::netsim {
+namespace {
+
+SimConfig quiet_config(RoutingMode mode) {
+  SimConfig cfg;
+  cfg.mode = mode;
+  cfg.injection_rate = 0.002;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 1500;
+  cfg.drain_limit = 20000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Wormhole, RejectsBadConfigs) {
+  const Mesh2D mesh(8, 8);
+  SimConfig cfg;
+  cfg.vcs = 0;
+  EXPECT_THROW((void)run_wormhole(mesh, nullptr, cfg), std::invalid_argument);
+  cfg.vcs = 1;
+  cfg.mode = RoutingMode::AdaptiveMinimal;
+  EXPECT_THROW((void)run_wormhole(mesh, nullptr, cfg), std::invalid_argument);
+  cfg.mode = RoutingMode::XYDeterministic;
+  cfg.packet_length = 0;
+  EXPECT_THROW((void)run_wormhole(mesh, nullptr, cfg), std::invalid_argument);
+}
+
+TEST(Wormhole, FaultFreeXyDeliversEverything) {
+  const Mesh2D mesh(8, 8);
+  const SimResult r = run_wormhole(mesh, nullptr, quiet_config(RoutingMode::XYDeterministic));
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_GT(r.injected, 0);
+  EXPECT_EQ(r.delivered, r.injected);
+  EXPECT_EQ(r.undeliverable, 0);
+  // Latency at low load: at least hops + serialization of the packet.
+  EXPECT_GE(r.avg_latency, r.avg_hops);
+  EXPECT_LT(r.avg_latency, 200.0);
+  // Average hop count of uniform traffic on an 8x8 mesh is ~2*8/3+ per axis;
+  // wide sanity bounds only (includes the ejection-side hops).
+  EXPECT_GT(r.avg_hops, 2.0);
+  EXPECT_LT(r.avg_hops, 16.0);
+}
+
+TEST(Wormhole, FaultFreeAdaptiveDeliversEverything) {
+  const Mesh2D mesh(8, 8);
+  const SimResult r = run_wormhole(mesh, nullptr, quiet_config(RoutingMode::AdaptiveMinimal));
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_EQ(r.delivered, r.injected);
+  EXPECT_GT(r.delivered, 0);
+}
+
+TEST(Wormhole, AdaptiveSurvivesHighLoadWithoutDeadlock) {
+  // Duato-style escape: even near saturation the fault-free network must
+  // not deadlock (packets may be slow, never wedged).
+  const Mesh2D mesh(8, 8);
+  SimConfig cfg = quiet_config(RoutingMode::AdaptiveMinimal);
+  cfg.injection_rate = 0.05;
+  cfg.measure_cycles = 1000;
+  cfg.drain_limit = 60000;
+  const SimResult r = run_wormhole(mesh, nullptr, cfg);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_EQ(r.delivered, r.injected);
+}
+
+TEST(Wormhole, LatencyGrowsWithLoad) {
+  const Mesh2D mesh(8, 8);
+  SimConfig lo = quiet_config(RoutingMode::AdaptiveMinimal);
+  SimConfig hi = lo;
+  hi.injection_rate = 0.03;
+  const SimResult rlo = run_wormhole(mesh, nullptr, lo);
+  const SimResult rhi = run_wormhole(mesh, nullptr, hi);
+  EXPECT_FALSE(rhi.deadlock);
+  EXPECT_GT(rhi.avg_latency, rlo.avg_latency);
+  EXPECT_GT(rhi.throughput, rlo.throughput);
+}
+
+TEST(Wormhole, FaultsMakeXyRefuseAndAdaptiveDeliver) {
+  const Mesh2D mesh(12, 12);
+  Rng rng(7);
+  const auto fs = fault::rectangle_faults(mesh, Rect{5, 7, 4, 7});
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+
+  SimConfig cfg = quiet_config(RoutingMode::XYDeterministic);
+  const SimResult xy = run_wormhole(mesh, &blocks, cfg);
+  EXPECT_EQ(xy.delivered, xy.injected);
+  EXPECT_GT(xy.undeliverable, 0) << "XY must refuse pairs whose DO path crosses the block";
+
+  cfg.mode = RoutingMode::AdaptiveMinimal;
+  const SimResult ad = run_wormhole(mesh, &blocks, cfg);
+  EXPECT_EQ(ad.delivered, ad.injected);
+  // Adaptive refuses only pairs with no minimal path at all — far fewer.
+  EXPECT_LT(ad.undeliverable, xy.undeliverable);
+  EXPECT_FALSE(ad.deadlock);
+}
+
+TEST(Wormhole, PacketsNeverEnterBlockNodes) {
+  // Conservation under faults: everything injected is eventually delivered
+  // (the simulator would wedge or miscount otherwise).
+  const Mesh2D mesh(10, 10);
+  fault::FaultSet fs(mesh);
+  fs.add({4, 4});
+  fs.add({5, 5});
+  fs.add({8, 2});
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+  for (const RoutingMode mode :
+       {RoutingMode::XYDeterministic, RoutingMode::AdaptiveMinimal}) {
+    const SimResult r = run_wormhole(mesh, &blocks, quiet_config(mode));
+    EXPECT_EQ(r.delivered, r.injected);
+    EXPECT_FALSE(r.deadlock);
+  }
+}
+
+TEST(Wormhole, TrafficPatternsDeliverAndDiffer) {
+  const Mesh2D mesh(8, 8);
+  SimConfig cfg = quiet_config(RoutingMode::AdaptiveMinimal);
+  cfg.injection_rate = 0.01;
+  double uniform_hops = 0.0;
+  for (const TrafficPattern p : {TrafficPattern::Uniform, TrafficPattern::Transpose,
+                                 TrafficPattern::BitComplement, TrafficPattern::Hotspot}) {
+    cfg.pattern = p;
+    const SimResult r = run_wormhole(mesh, nullptr, cfg);
+    EXPECT_FALSE(r.deadlock) << static_cast<int>(p);
+    EXPECT_EQ(r.delivered, r.injected) << static_cast<int>(p);
+    EXPECT_GE(r.max_latency, static_cast<std::int64_t>(r.avg_latency));
+    if (p == TrafficPattern::Uniform) uniform_hops = r.avg_hops;
+    if (p == TrafficPattern::BitComplement) {
+      // Bit-complement always crosses the mesh center: longest average
+      // distance of the standard patterns.
+      EXPECT_GT(r.avg_hops, uniform_hops);
+    }
+  }
+}
+
+TEST(Wormhole, TransposeSkipsDiagonalSources) {
+  // Diagonal nodes map to themselves under transpose: they inject nothing,
+  // so a diagonal-only... every packet that IS injected gets delivered.
+  const Mesh2D mesh(6, 6);
+  SimConfig cfg = quiet_config(RoutingMode::XYDeterministic);
+  cfg.pattern = TrafficPattern::Transpose;
+  const SimResult r = run_wormhole(mesh, nullptr, cfg);
+  EXPECT_EQ(r.delivered, r.injected);
+  EXPECT_GT(r.injected, 0);
+}
+
+TEST(Wormhole, TransposeRequiresSquareMesh) {
+  const Mesh2D mesh(6, 4);
+  SimConfig cfg;
+  cfg.pattern = TrafficPattern::Transpose;
+  EXPECT_THROW((void)run_wormhole(mesh, nullptr, cfg), std::invalid_argument);
+  SimConfig bad;
+  bad.hotspot_fraction = 1.5;
+  EXPECT_THROW((void)run_wormhole(Mesh2D(4, 4), nullptr, bad), std::invalid_argument);
+}
+
+TEST(Wormhole, HotspotConcentratesTraffic) {
+  // With a high hotspot fraction the center saturates far below the uniform
+  // saturation point: latency at the same injection rate must be higher.
+  const Mesh2D mesh(8, 8);
+  SimConfig cfg = quiet_config(RoutingMode::AdaptiveMinimal);
+  cfg.injection_rate = 0.02;
+  cfg.drain_limit = 120000;
+  const SimResult uniform = run_wormhole(mesh, nullptr, cfg);
+  cfg.pattern = TrafficPattern::Hotspot;
+  cfg.hotspot_fraction = 0.5;
+  const SimResult hotspot = run_wormhole(mesh, nullptr, cfg);
+  EXPECT_GT(hotspot.avg_latency, uniform.avg_latency);
+}
+
+TEST(Wormhole, DeterministicUnderSeed) {
+  const Mesh2D mesh(8, 8);
+  const SimResult a = run_wormhole(mesh, nullptr, quiet_config(RoutingMode::AdaptiveMinimal));
+  const SimResult b = run_wormhole(mesh, nullptr, quiet_config(RoutingMode::AdaptiveMinimal));
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+}
+
+TEST(Wormhole, DeeperBuffersHelpUnderLoad) {
+  const Mesh2D mesh(8, 8);
+  SimConfig shallow = quiet_config(RoutingMode::AdaptiveMinimal);
+  shallow.injection_rate = 0.03;
+  shallow.buffer_depth = 1;
+  SimConfig deep = shallow;
+  deep.buffer_depth = 8;
+  const SimResult rs = run_wormhole(mesh, nullptr, shallow);
+  const SimResult rd = run_wormhole(mesh, nullptr, deep);
+  EXPECT_FALSE(rs.deadlock);
+  EXPECT_FALSE(rd.deadlock);
+  EXPECT_LT(rd.avg_latency, rs.avg_latency);
+}
+
+TEST(Wormhole, MoreVcsHelpUnderLoad) {
+  const Mesh2D mesh(8, 8);
+  SimConfig two = quiet_config(RoutingMode::AdaptiveMinimal);
+  two.injection_rate = 0.03;
+  SimConfig four = two;
+  four.vcs = 4;
+  const SimResult r2 = run_wormhole(mesh, nullptr, two);
+  const SimResult r4 = run_wormhole(mesh, nullptr, four);
+  EXPECT_FALSE(r4.deadlock);
+  EXPECT_LE(r4.avg_latency, r2.avg_latency * 1.05);  // never meaningfully worse
+  EXPECT_EQ(r4.delivered, r4.injected);
+}
+
+TEST(Wormhole, LongerPacketsRaiseLatency) {
+  const Mesh2D mesh(8, 8);
+  SimConfig shortp = quiet_config(RoutingMode::XYDeterministic);
+  SimConfig longp = shortp;
+  shortp.packet_length = 3;
+  longp.packet_length = 9;
+  const SimResult rs = run_wormhole(mesh, nullptr, shortp);
+  const SimResult rl = run_wormhole(mesh, nullptr, longp);
+  EXPECT_GT(rl.avg_latency, rs.avg_latency + 3.0);
+}
+
+}  // namespace
+}  // namespace meshroute::netsim

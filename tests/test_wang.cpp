@@ -1,0 +1,187 @@
+// Tests for the minimal-path existence oracles: the monotone DP, the
+// rect-obstacle DP, and Wang's necessary-and-sufficient coverage condition.
+#include <gtest/gtest.h>
+
+#include "cond/wang.hpp"
+#include "fault/block_model.hpp"
+#include "fault/fault_set.hpp"
+
+namespace meshroute::cond {
+namespace {
+
+Grid<bool> mask_with(const Mesh2D& mesh, std::initializer_list<Coord> cs) {
+  Grid<bool> m(mesh.width(), mesh.height(), false);
+  for (const Coord c : cs) m[c] = true;
+  return m;
+}
+
+TEST(MonotoneDp, TrivialAndDegenerateCases) {
+  const Mesh2D mesh(10, 10);
+  const Grid<bool> empty(10, 10, false);
+  EXPECT_TRUE(monotone_path_exists(mesh, empty, {0, 0}, {9, 9}));
+  EXPECT_TRUE(monotone_path_exists(mesh, empty, {3, 3}, {3, 3}));
+  EXPECT_TRUE(monotone_path_exists(mesh, empty, {9, 9}, {0, 0}));
+  EXPECT_FALSE(monotone_path_exists(mesh, empty, {0, 0}, {10, 0}));  // out of bounds
+}
+
+TEST(MonotoneDp, BlockedEndpoints) {
+  const Mesh2D mesh(5, 5);
+  const Grid<bool> m = mask_with(mesh, {{0, 0}, {4, 4}});
+  EXPECT_FALSE(monotone_path_exists(mesh, m, {0, 0}, {2, 2}));
+  EXPECT_FALSE(monotone_path_exists(mesh, m, {2, 2}, {4, 4}));
+}
+
+TEST(MonotoneDp, WallBlocksOnlyWhenSpanningTheRectangle) {
+  const Mesh2D mesh(10, 10);
+  // Horizontal wall y=5, x in [0..6].
+  Grid<bool> m(10, 10, false);
+  for (Dist x = 0; x <= 6; ++x) m[{x, 5}] = true;
+  EXPECT_FALSE(monotone_path_exists(mesh, m, {0, 0}, {5, 9}));  // dest column inside wall
+  EXPECT_TRUE(monotone_path_exists(mesh, m, {0, 0}, {8, 9}));   // can pass east of the wall
+  EXPECT_TRUE(monotone_path_exists(mesh, m, {0, 0}, {6, 4}));   // below the wall
+}
+
+TEST(MonotoneDp, WorksInAllQuadrants) {
+  const Mesh2D mesh(10, 10);
+  const Grid<bool> m = mask_with(mesh, {{5, 5}});
+  EXPECT_TRUE(monotone_path_exists(mesh, m, {2, 2}, {8, 8}));
+  EXPECT_TRUE(monotone_path_exists(mesh, m, {8, 8}, {2, 2}));
+  EXPECT_TRUE(monotone_path_exists(mesh, m, {2, 8}, {8, 2}));
+  // Degenerate straight line through the obstacle.
+  EXPECT_FALSE(monotone_path_exists(mesh, m, {2, 5}, {8, 5}));
+  EXPECT_FALSE(monotone_path_exists(mesh, m, {5, 8}, {5, 2}));
+  EXPECT_TRUE(monotone_path_exists(mesh, m, {2, 4}, {8, 4}));
+}
+
+TEST(MonotoneDpRects, MatchesGridDp) {
+  Rng rng(3);
+  const Mesh2D mesh(30, 30);
+  for (int rep = 0; rep < 50; ++rep) {
+    // Random disjoint-ish rects (overlap allowed; both oracles must agree).
+    std::vector<Rect> rects;
+    const int nrects = static_cast<int>(rng.uniform(0, 5));
+    Grid<bool> mask(30, 30, false);
+    for (int i = 0; i < nrects; ++i) {
+      const Dist x0 = static_cast<Dist>(rng.uniform(0, 27));
+      const Dist y0 = static_cast<Dist>(rng.uniform(0, 27));
+      const Rect r{x0, static_cast<Dist>(x0 + rng.uniform(0, 4)), y0,
+                   static_cast<Dist>(y0 + rng.uniform(0, 4))};
+      const Rect clipped = r.intersected(mesh.bounds());
+      rects.push_back(clipped);
+      for (Dist y = clipped.ymin; y <= clipped.ymax; ++y) {
+        for (Dist x = clipped.xmin; x <= clipped.xmax; ++x) mask[{x, y}] = true;
+      }
+    }
+    const Coord s{static_cast<Dist>(rng.uniform(0, 29)), static_cast<Dist>(rng.uniform(0, 29))};
+    const Coord d{static_cast<Dist>(rng.uniform(0, 29)), static_cast<Dist>(rng.uniform(0, 29))};
+    EXPECT_EQ(monotone_path_exists_rects(rects, s, d), monotone_path_exists(mesh, mask, s, d))
+        << "s=" << to_string(s) << " d=" << to_string(d) << " rep=" << rep;
+  }
+}
+
+TEST(CountMinimalPaths, BinomialOnFaultFreeMesh) {
+  const Mesh2D mesh(12, 12);
+  const Grid<bool> empty(12, 12, false);
+  // C(dx+dy, dx) monotone paths.
+  EXPECT_EQ(count_minimal_paths(mesh, empty, {0, 0}, {0, 0}), 1u);
+  EXPECT_EQ(count_minimal_paths(mesh, empty, {0, 0}, {3, 0}), 1u);
+  EXPECT_EQ(count_minimal_paths(mesh, empty, {0, 0}, {2, 2}), 6u);
+  EXPECT_EQ(count_minimal_paths(mesh, empty, {0, 0}, {5, 5}), 252u);
+  EXPECT_EQ(count_minimal_paths(mesh, empty, {10, 10}, {5, 5}), 252u);  // any quadrant
+  EXPECT_EQ(count_minimal_paths(mesh, empty, {10, 0}, {5, 5}), 252u);
+}
+
+TEST(CountMinimalPaths, ConsistentWithExistenceOracle) {
+  Rng rng(12);
+  const Mesh2D mesh(25, 25);
+  for (int rep = 0; rep < 30; ++rep) {
+    Grid<bool> mask(25, 25, false);
+    for (int i = 0; i < 60; ++i) {
+      mask[{static_cast<Dist>(rng.uniform(0, 24)), static_cast<Dist>(rng.uniform(0, 24))}] =
+          true;
+    }
+    const Coord s{static_cast<Dist>(rng.uniform(0, 24)), static_cast<Dist>(rng.uniform(0, 24))};
+    const Coord d{static_cast<Dist>(rng.uniform(0, 24)), static_cast<Dist>(rng.uniform(0, 24))};
+    EXPECT_EQ(count_minimal_paths(mesh, mask, s, d) > 0, monotone_path_exists(mesh, mask, s, d));
+  }
+}
+
+TEST(CountMinimalPaths, ObstaclesOnlyReduceDiversity) {
+  const Mesh2D mesh(10, 10);
+  Grid<bool> mask(10, 10, false);
+  const std::uint64_t free_count = count_minimal_paths(mesh, mask, {0, 0}, {7, 7});
+  mask[{3, 3}] = true;
+  const std::uint64_t with_one = count_minimal_paths(mesh, mask, {0, 0}, {7, 7});
+  EXPECT_LT(with_one, free_count);
+  mask[{4, 4}] = true;
+  EXPECT_LT(count_minimal_paths(mesh, mask, {0, 0}, {7, 7}), with_one);
+}
+
+TEST(CountMinimalPaths, SaturatesInsteadOfOverflowing) {
+  // A 200x200 span has C(398,199) >> 2^62 paths; the count must clamp.
+  const Mesh2D mesh(200, 200);
+  const Grid<bool> empty(200, 200, false);
+  EXPECT_EQ(count_minimal_paths(mesh, empty, {0, 0}, {199, 199}), kMaxPathCount);
+}
+
+TEST(Wang, SingleBlockingBlock) {
+  // One block spanning both the source and destination columns, strictly
+  // between their rows: covered on y -> no minimal path.
+  const std::vector<Rect> blocks{{-2, 8, 3, 4}};
+  EXPECT_FALSE(wang_minimal_path_exists(blocks, {0, 0}, {5, 9}));
+  // Destination east of the block: passable.
+  EXPECT_TRUE(wang_minimal_path_exists(blocks, {0, 0}, {9, 9}));
+  // Destination below the block: passable.
+  EXPECT_TRUE(wang_minimal_path_exists(blocks, {0, 0}, {5, 2}));
+}
+
+TEST(Wang, TwoBlockStaircaseBarrier) {
+  // Figure 4 (a): a sequence of two blocks covering s and d on y.
+  const std::vector<Rect> blocks{{-3, 3, 2, 4}, {2, 8, 6, 7}};
+  EXPECT_FALSE(wang_minimal_path_exists(blocks, {0, 0}, {7, 10}));
+  // Push the destination east of the top block: escapes.
+  EXPECT_TRUE(wang_minimal_path_exists(blocks, {0, 0}, {10, 10}));
+}
+
+TEST(Wang, AbuttingSpansStillSeal) {
+  // The "+1" reading of covers: upper block starting exactly one column
+  // after the lower block's end still seals the passage.
+  const std::vector<Rect> blocks{{-3, 3, 2, 4}, {4, 8, 7, 8}};
+  EXPECT_FALSE(wang_minimal_path_exists(blocks, {0, 0}, {6, 12}));
+  // With a one-column gap (xmin = xmax_lower + 2) a path slips through.
+  const std::vector<Rect> gap{{-3, 3, 2, 4}, {5, 8, 7, 8}};
+  EXPECT_TRUE(wang_minimal_path_exists(gap, {0, 0}, {6, 12}));
+}
+
+TEST(Wang, CoverageOnXAxis) {
+  const std::vector<Rect> blocks{{2, 4, -3, 3}, {6, 7, 2, 8}};
+  EXPECT_FALSE(wang_minimal_path_exists(blocks, {0, 0}, {10, 7}));
+  EXPECT_TRUE(wang_minimal_path_exists(blocks, {0, 0}, {10, 10}));
+}
+
+class WangVsDp : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WangVsDp, AgreesWithGroundTruthOnBlockModel) {
+  // Wang's condition is necessary AND sufficient: it must coincide with the
+  // monotone DP over the block mask for every (s, d) outside blocks.
+  Rng rng(101 + GetParam());
+  const Mesh2D mesh(40, 40);
+  const auto fs = fault::uniform_random_faults(mesh, GetParam(), rng);
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+  Grid<bool> mask(40, 40, false);
+  mesh.for_each_node([&](Coord c) { mask[c] = blocks.is_block_node(c); });
+
+  for (int rep = 0; rep < 200; ++rep) {
+    const Coord s{static_cast<Dist>(rng.uniform(0, 39)), static_cast<Dist>(rng.uniform(0, 39))};
+    const Coord d{static_cast<Dist>(rng.uniform(0, 39)), static_cast<Dist>(rng.uniform(0, 39))};
+    if (mask[s] || mask[d]) continue;
+    EXPECT_EQ(wang_minimal_path_exists(blocks, s, d), monotone_path_exists(mesh, mask, s, d))
+        << "s=" << to_string(s) << " d=" << to_string(d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VaryFaultCount, WangVsDp,
+                         ::testing::Values(1u, 10u, 30u, 60u, 120u, 200u));
+
+}  // namespace
+}  // namespace meshroute::cond

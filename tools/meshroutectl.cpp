@@ -1,0 +1,192 @@
+// meshroutectl — command-line driver for the library.
+//
+//   meshroutectl map    --n 32 --faults 40 --seed 7 [--ppm out.ppm]
+//   meshroutectl decide --n 32 --faults 40 --seed 7 --src 2,2 --dst 28,30
+//                       [--model fb|mcc] [--segment 1] [--pivot-levels 3]
+//   meshroutectl route  --n 32 --faults 40 --seed 7 --src 2,2 --dst 28,30
+//                       [--policy boundary|global] [--ppm out.ppm]
+//
+// Every invocation is deterministic under --seed.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault_tolerant_mesh.hpp"
+#include "fault/fault_set.hpp"
+#include "info/pivots.hpp"
+#include "render/render.hpp"
+#include "route/path.hpp"
+
+using namespace meshroute;
+
+namespace {
+
+struct Options {
+  std::string command;
+  Dist n = 32;
+  std::size_t faults = 0;
+  std::uint64_t seed = 1;
+  std::optional<Coord> src;
+  std::optional<Coord> dst;
+  FaultModel model = FaultModel::FaultyBlock;
+  Dist segment = 1;
+  int pivot_levels = 0;
+  route::InfoPolicy policy = route::InfoPolicy::BoundaryInfo;
+  std::optional<std::string> ppm;
+};
+
+std::optional<Coord> parse_coord(const std::string& s) {
+  const auto comma = s.find(',');
+  if (comma == std::string::npos) return std::nullopt;
+  try {
+    return Coord{static_cast<Dist>(std::stol(s.substr(0, comma))),
+                 static_cast<Dist>(std::stol(s.substr(comma + 1)))};
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+int usage() {
+  std::cerr << "usage: meshroutectl <map|decide|route> --n N --faults K --seed S\n"
+               "                    [--src x,y --dst x,y] [--model fb|mcc]\n"
+               "                    [--segment S] [--pivot-levels L]\n"
+               "                    [--policy boundary|global] [--ppm FILE]\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options opt;
+  opt.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--n") {
+      opt.n = static_cast<Dist>(std::stol(value));
+    } else if (key == "--faults") {
+      opt.faults = static_cast<std::size_t>(std::stoul(value));
+    } else if (key == "--seed") {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--src") {
+      opt.src = parse_coord(value);
+      if (!opt.src) return std::nullopt;
+    } else if (key == "--dst") {
+      opt.dst = parse_coord(value);
+      if (!opt.dst) return std::nullopt;
+    } else if (key == "--model") {
+      if (value == "fb") {
+        opt.model = FaultModel::FaultyBlock;
+      } else if (value == "mcc") {
+        opt.model = FaultModel::Mcc;
+      } else {
+        return std::nullopt;
+      }
+    } else if (key == "--segment") {
+      opt.segment = static_cast<Dist>(std::stol(value));
+    } else if (key == "--pivot-levels") {
+      opt.pivot_levels = static_cast<int>(std::stol(value));
+    } else if (key == "--policy") {
+      if (value == "boundary") {
+        opt.policy = route::InfoPolicy::BoundaryInfo;
+      } else if (value == "global") {
+        opt.policy = route::InfoPolicy::GlobalInfo;
+      } else {
+        return std::nullopt;
+      }
+    } else if (key == "--ppm") {
+      opt.ppm = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+void save_ppm(const render::Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  img.scaled(std::max(1, 512 / std::max<Dist>(1, img.width()))).write_ppm(out);
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return usage();
+  const Options& opt = *parsed;
+
+  FaultTolerantMesh ftm(opt.n, opt.n);
+  Rng rng(opt.seed);
+  const auto exclude = [&](Coord c) {
+    return (opt.src && c == *opt.src) || (opt.dst && c == *opt.dst);
+  };
+  const auto faults = fault::uniform_random_faults(ftm.mesh(), opt.faults, rng, exclude);
+  ftm.inject_faults(faults.faults());
+
+  std::cout << "mesh " << opt.n << "x" << opt.n << ", " << opt.faults << " faults, "
+            << ftm.blocks().block_count() << " blocks ("
+            << ftm.blocks().total_disabled() << " disabled nodes), "
+            << ftm.mcc().type_one.components().size() << " type-one MCCs\n";
+
+  if (opt.command == "map") {
+    render::Image img = render::render_blocks(ftm.mesh(), ftm.faults(), ftm.blocks());
+    if (opt.ppm) save_ppm(img, *opt.ppm);
+    if (opt.n <= 64) {
+      std::cout << render::ascii_map(ftm.mesh(), ftm.faults(), ftm.blocks());
+    }
+    return 0;
+  }
+
+  if (!opt.src || !opt.dst) return usage();
+  const Coord s = *opt.src;
+  const Coord d = *opt.dst;
+
+  DecideOptions dopts;
+  dopts.segment_size = opt.segment;
+  if (opt.pivot_levels > 0) {
+    dopts.pivots = info::generate_pivots(ftm.mesh().bounds(), opt.pivot_levels,
+                                         info::PivotPlacement::Random, &rng);
+  }
+
+  if (opt.command == "decide") {
+    const Certificate cert = ftm.explain(s, d, opt.model, dopts);
+    std::cout << "decision: "
+              << (cert.decision == cond::Decision::Minimal
+                      ? "minimal path guaranteed"
+                      : cert.decision == cond::Decision::SubMinimal
+                            ? "sub-minimal path guaranteed"
+                            : "unknown (sufficient conditions cannot tell)")
+              << "\n  method: " << to_string(cert.method);
+    if (cert.method != Method::None) std::cout << "\n  via: " << to_string(cert.via);
+    std::cout << "\n  ground truth: minimal path "
+              << (ftm.minimal_path_exists(s, d) ? "exists" : "does not exist") << "\n";
+    return 0;
+  }
+
+  if (opt.command == "route") {
+    const auto r = ftm.route(s, d, opt.policy, &rng);
+    if (!r.delivered()) {
+      std::cout << "routing failed (" << (r.status == route::RouteStatus::SourceBlocked
+                                              ? "endpoint inside a block"
+                                              : "stuck: no admissible preferred move")
+                << ")\n";
+      return 1;
+    }
+    std::cout << "delivered in " << r.path.length() << " hops (Manhattan "
+              << manhattan(s, d) << ", minimal="
+              << (route::path_is_minimal(r.path) ? "yes" : "no") << ")\n";
+    if (opt.ppm) {
+      render::Image img = render::render_blocks(ftm.mesh(), ftm.faults(), ftm.blocks());
+      render::overlay_path(img, r.path);
+      save_ppm(img, *opt.ppm);
+    }
+    if (opt.n <= 64) {
+      std::cout << render::ascii_map(ftm.mesh(), ftm.faults(), ftm.blocks(), &r.path);
+    }
+    return 0;
+  }
+
+  return usage();
+}
