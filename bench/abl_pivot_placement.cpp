@@ -3,54 +3,49 @@
 // and the paper's "no two pivots share a row or column" Latin variation.
 #include <iostream>
 
-#include "analysis/stats.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
-#include "fig_common.hpp"
 #include "info/pivots.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
   using cond::Decision;
-  bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  opt.fault_counts = {25, 50, 100, 150, 200};
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
-  Rng rng(opt.seed);
-  experiment::Table table(
-      {"faults", "safe_source", "center21", "random21", "latin21", "existence"});
+  enum : std::size_t { kSafe, kCenter, kRandom, kLatin, kExist };
+  experiment::SweepRunner runner(cfg, {"safe_source", "center21", "random21", "latin21",
+                                       "existence"});
+  const auto result = runner.run(
+      experiment::fault_count_points({25, 50, 100, 150, 200}),
+      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialCounters& out) {
+        const experiment::Trial trial =
+            experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+        const Rect area = trial.quadrant1_area();
+        const auto center_p = info::generate_pivots(area, 3, info::PivotPlacement::Center);
+        const auto random_p =
+            info::generate_pivots(area, 3, info::PivotPlacement::Random, &rng);
+        const auto latin_p = info::generate_latin_pivots(area, info::pivot_count(3), rng);
+        for (int s = 0; s < cfg.dests; ++s) {
+          const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+          const cond::RoutingProblem p = trial.fb_problem(d);
+          out.count(kSafe, cond::source_safe(p));
+          out.count(kCenter, cond::extension3(p, center_p) == Decision::Minimal);
+          out.count(kRandom, cond::extension3(p, random_p) == Decision::Minimal);
+          out.count(kLatin, cond::extension3(p, latin_p) == Decision::Minimal);
+          out.count(kExist, cond::monotone_path_exists(trial.mesh, trial.faulty_mask,
+                                                       trial.source, d));
+        }
+      });
 
-  for (const std::size_t k : opt.fault_counts) {
-    analysis::Proportion safe;
-    analysis::Proportion center;
-    analysis::Proportion random;
-    analysis::Proportion latin;
-    analysis::Proportion exist;
-    for (int t = 0; t < opt.trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
-      const Rect area = trial.quadrant1_area();
-      const auto center_p = info::generate_pivots(area, 3, info::PivotPlacement::Center);
-      const auto random_p =
-          info::generate_pivots(area, 3, info::PivotPlacement::Random, &rng);
-      const auto latin_p = info::generate_latin_pivots(area, info::pivot_count(3), rng);
-      for (int s = 0; s < opt.dests; ++s) {
-        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-        const cond::RoutingProblem p = trial.fb_problem(d);
-        safe.add(cond::source_safe(p));
-        center.add(cond::extension3(p, center_p) == Decision::Minimal);
-        random.add(cond::extension3(p, random_p) == Decision::Minimal);
-        latin.add(cond::extension3(p, latin_p) == Decision::Minimal);
-        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
-      }
-    }
-    table.add_row({static_cast<double>(k), safe.value(), center.value(), random.value(),
-                   latin.value(), exist.value()});
-  }
-
+  const experiment::Table table =
+      result.table("faults", {"safe_source", "center21", "random21", "latin21", "existence"});
   table.print(std::cout,
               "Ablation — extension 3 pivot placement at 21 pivots (level 3), n=" +
-                  std::to_string(opt.n));
+                  std::to_string(cfg.n));
   table.print_csv(std::cout, "abl_pivots");
+  experiment::write_sweep_json(cfg, {{"abl_pivots", &table}}, result.wall_ms());
   return 0;
 }

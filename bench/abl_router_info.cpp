@@ -11,14 +11,14 @@
 // between limited and global information can actually show.
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "analysis/stats.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
-#include "fig_common.hpp"
 #include "info/boundary.hpp"
 #include "info/safety_level.hpp"
 #include "route/router.hpp"
@@ -39,67 +39,83 @@ struct World {
         safety(info::compute_safety_levels(mesh, mask)) {}
 };
 
-void run_workload(const std::string& name, bool clustered, const bench::SweepOptions& opt,
-                  Rng& rng, std::ostream& os) {
-  experiment::Table table({"faults", "safe_boundary_min", "safe_global_min",
-                           "unsafe_boundary_min", "unsafe_global_min", "unsafe_existence"});
-  const Mesh2D mesh = Mesh2D::square(opt.n);
-  for (const std::size_t k : {25u, 50u, 100u, 150u, 200u}) {
-    analysis::Proportion safe_boundary;
-    analysis::Proportion safe_global;
-    analysis::Proportion unsafe_boundary;
-    analysis::Proportion unsafe_global;
-    analysis::Proportion unsafe_exist;
-    for (int t = 0; t < opt.trials; ++t) {
-      const Coord source = mesh.center();
-      const auto fs =
-          clustered
-              ? fault::clustered_faults(mesh, std::max<std::size_t>(1, k / 10), 10, rng,
-                                        [&](Coord c) { return c == source; })
-              : fault::uniform_random_faults(mesh, k, rng,
-                                             [&](Coord c) { return c == source; });
-      const World w(mesh, fs);
-      if (w.mask[source]) continue;
-      const route::MinimalRouter br(mesh, w.blocks, &w.boundary,
-                                    route::InfoPolicy::BoundaryInfo);
-      const route::MinimalRouter gr(mesh, w.blocks, nullptr, route::InfoPolicy::GlobalInfo);
-      for (int s = 0; s < opt.dests; ++s) {
-        Coord d{static_cast<Dist>(rng.uniform(source.x + 1, opt.n - 1)),
-                static_cast<Dist>(rng.uniform(source.y + 1, opt.n - 1))};
-        if (w.mask[d]) continue;
-        const cond::RoutingProblem p{&mesh, &w.mask, &w.safety, source, d};
-        const bool safe = cond::source_safe(p);
-        const bool b_min = br.route(source, d, &rng).delivered();
-        const bool g_min = gr.route(source, d, &rng).delivered();
-        if (safe) {
-          safe_boundary.add(b_min);
-          safe_global.add(g_min);
-        } else {
-          unsafe_boundary.add(b_min);
-          unsafe_global.add(g_min);
-          unsafe_exist.add(cond::monotone_path_exists(mesh, w.mask, source, d));
+enum : std::size_t { kSafeBoundary, kSafeGlobal, kUnsafeBoundary, kUnsafeGlobal, kUnsafeExist };
+
+constexpr const char* kColumns[] = {"safe_boundary_min", "safe_global_min",
+                                    "unsafe_boundary_min", "unsafe_global_min",
+                                    "unsafe_existence"};
+
+experiment::Table run_workload(const experiment::SweepRunner& runner, bool clustered,
+                               const experiment::SweepConfig& cfg, const Mesh2D& mesh,
+                               double* wall_ms) {
+  const auto result = runner.run(
+      experiment::fault_count_points({25, 50, 100, 150, 200}),
+      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialCounters& out) {
+        const Coord source = mesh.center();
+        const std::size_t k = cell.faults();
+        const auto fs =
+            clustered
+                ? fault::clustered_faults(mesh, std::max<std::size_t>(1, k / 10), 10, rng,
+                                          [&](Coord c) { return c == source; })
+                : fault::uniform_random_faults(mesh, k, rng,
+                                               [&](Coord c) { return c == source; });
+        const World w(mesh, fs);
+        if (w.mask[source]) return;
+        const route::MinimalRouter br(mesh, w.blocks, &w.boundary,
+                                      route::InfoPolicy::BoundaryInfo);
+        const route::MinimalRouter gr(mesh, w.blocks, nullptr, route::InfoPolicy::GlobalInfo);
+        for (int s = 0; s < cfg.dests; ++s) {
+          const Coord d{static_cast<Dist>(rng.uniform(source.x + 1, cfg.n - 1)),
+                        static_cast<Dist>(rng.uniform(source.y + 1, cfg.n - 1))};
+          if (w.mask[d]) continue;
+          const cond::RoutingProblem p{&mesh, &w.mask, &w.safety, source, d};
+          const bool safe = cond::source_safe(p);
+          const bool b_min = br.route(source, d, &rng).delivered();
+          const bool g_min = gr.route(source, d, &rng).delivered();
+          if (safe) {
+            out.count(kSafeBoundary, b_min);
+            out.count(kSafeGlobal, g_min);
+          } else {
+            out.count(kUnsafeBoundary, b_min);
+            out.count(kUnsafeGlobal, g_min);
+            out.count(kUnsafeExist, cond::monotone_path_exists(mesh, w.mask, source, d));
+          }
         }
-      }
-    }
-    table.add_row({static_cast<double>(k),
-                   safe_boundary.trials() ? safe_boundary.value() : 1.0,
-                   safe_global.trials() ? safe_global.value() : 1.0,
-                   unsafe_boundary.trials() ? unsafe_boundary.value() : 1.0,
-                   unsafe_global.trials() ? unsafe_global.value() : 1.0,
-                   unsafe_exist.trials() ? unsafe_exist.value() : 1.0});
+      });
+
+  *wall_ms += result.wall_ms();
+  // Fault levels with no safe (or no unsafe) pairs report the vacuous 1.0.
+  experiment::Table table({"faults", kColumns[0], kColumns[1], kColumns[2], kColumns[3],
+                           kColumns[4]});
+  for (std::size_t p = 0; p < result.points().size(); ++p) {
+    std::vector<double> row{result.points()[p].x};
+    for (const char* column : kColumns) row.push_back(result.mean_or(p, column, 1.0));
+    table.add_row(row);
   }
-  table.print(os, "Ablation — router success by information policy, " + name + " faults, n=" +
-                      std::to_string(opt.n));
-  table.print_csv(os, clustered ? "abl_router_clustered" : "abl_router_uniform");
-  os << "\n";
+  return table;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
-  run_workload("uniform", false, opt, rng, std::cout);
-  run_workload("clustered (walks of 10)", true, opt, rng, std::cout);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
+  const Mesh2D mesh = Mesh2D::square(cfg.n);
+  const experiment::SweepRunner runner(
+      cfg, {kColumns[0], kColumns[1], kColumns[2], kColumns[3], kColumns[4]});
+
+  double wall_ms = 0;
+  const experiment::Table uniform = run_workload(runner, false, cfg, mesh, &wall_ms);
+  const experiment::Table clustered = run_workload(runner, true, cfg, mesh, &wall_ms);
+
+  uniform.print(std::cout, "Ablation — router success by information policy, uniform faults, "
+                           "n=" + std::to_string(cfg.n));
+  uniform.print_csv(std::cout, "abl_router_uniform");
+  std::cout << "\n";
+  clustered.print(std::cout, "Ablation — router success by information policy, clustered "
+                             "(walks of 10) faults, n=" + std::to_string(cfg.n));
+  clustered.print_csv(std::cout, "abl_router_clustered");
+  std::cout << "\n";
+  experiment::write_sweep_json(
+      cfg, {{"abl_router_uniform", &uniform}, {"abl_router_clustered", &clustered}}, wall_ms);
   return 0;
 }

@@ -6,10 +6,10 @@
 // condition (expected 1.0; any deficit would be a counterexample to the
 // 3-D generalization).
 #include <iostream>
+#include <vector>
 
-#include "analysis/stats.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "fig_common.hpp"
 #include "mesh3d/block3.hpp"
 #include "mesh3d/cond3.hpp"
 #include "mesh3d/safety3.hpp"
@@ -17,49 +17,56 @@
 int main(int argc, char** argv) {
   using namespace meshroute;
   using namespace meshroute::d3;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
   constexpr Dist kSide = 40;
   const Mesh3D mesh = Mesh3D::cube(kSide);
   const Coord3 source = mesh.center();
 
+  std::vector<experiment::SweepPoint> points =
+      experiment::fault_count_points({25, 50, 100, 200, 400, 800});
+  for (auto& p : points) p.trials = cfg.trials / 2 + 1;
+
+  enum : std::size_t { kSafe, kExt1, kExt1Sub, kExist, kSound };
+  experiment::SweepRunner runner(cfg, {"safe_source", "ext1_min", "ext1_submin", "existence",
+                                       "soundness"});
+  const auto result = runner.run(
+      points, [&](const experiment::SweepCell& cell, Rng& rng,
+                  experiment::TrialCounters& out) {
+        const auto faults = uniform_random_faults3(mesh, cell.faults(), rng);
+        const BlockSet3 blocks = build_faulty_blocks3(mesh, faults);
+        if (blocks.is_block_node(source)) return;
+        const SafetyGrid3 safety = compute_safety_levels3(mesh, blocks.mask());
+        for (int s = 0; s < cfg.dests; ++s) {
+          const Coord3 d{static_cast<Dist>(rng.uniform(source.x + 1, kSide - 1)),
+                         static_cast<Dist>(rng.uniform(source.y + 1, kSide - 1)),
+                         static_cast<Dist>(rng.uniform(source.z + 1, kSide - 1))};
+          if (blocks.is_block_node(d)) continue;
+          const RoutingProblem3 p{&mesh, &blocks.mask(), &safety, source, d};
+          const bool is_safe = source_safe3(p);
+          out.count(kSafe, is_safe);
+          const Decision3 dec = extension1_3d(p);
+          out.count(kExt1, dec == Decision3::Minimal);
+          out.count(kExt1Sub, dec != Decision3::Unknown);
+          out.count(kExist, monotone_path_exists3(mesh, faults, source, d));
+          if (is_safe) {
+            out.count(kSound, monotone_path_exists3(mesh, blocks.mask(), source, d));
+          }
+        }
+      });
+
+  // Fault levels where no source was ever safe report the vacuous 1.0.
   experiment::Table table({"faults", "safe_source", "ext1_min", "ext1_submin", "existence",
                            "soundness"});
-  for (const std::size_t k : {25u, 50u, 100u, 200u, 400u, 800u}) {
-    analysis::Proportion safe;
-    analysis::Proportion ext1;
-    analysis::Proportion ext1_sub;
-    analysis::Proportion exist;
-    analysis::Proportion sound;
-    for (int t = 0; t < opt.trials / 2 + 1; ++t) {
-      const auto faults = uniform_random_faults3(mesh, k, rng);
-      const BlockSet3 blocks = build_faulty_blocks3(mesh, faults);
-      if (blocks.is_block_node(source)) continue;
-      const SafetyGrid3 safety = compute_safety_levels3(mesh, blocks.mask());
-      for (int s = 0; s < opt.dests; ++s) {
-        const Coord3 d{static_cast<Dist>(rng.uniform(source.x + 1, kSide - 1)),
-                       static_cast<Dist>(rng.uniform(source.y + 1, kSide - 1)),
-                       static_cast<Dist>(rng.uniform(source.z + 1, kSide - 1))};
-        if (blocks.is_block_node(d)) continue;
-        const RoutingProblem3 p{&mesh, &blocks.mask(), &safety, source, d};
-        const bool is_safe = source_safe3(p);
-        safe.add(is_safe);
-        const Decision3 dec = extension1_3d(p);
-        ext1.add(dec == Decision3::Minimal);
-        ext1_sub.add(dec != Decision3::Unknown);
-        exist.add(monotone_path_exists3(mesh, faults, source, d));
-        if (is_safe) {
-          sound.add(monotone_path_exists3(mesh, blocks.mask(), source, d));
-        }
-      }
-    }
-    table.add_row({static_cast<double>(k), safe.value(), ext1.value(), ext1_sub.value(),
-                   exist.value(), sound.trials() ? sound.value() : 1.0});
+  for (std::size_t p = 0; p < result.points().size(); ++p) {
+    table.add_row({result.points()[p].x, result.mean(p, "safe_source"),
+                   result.mean(p, "ext1_min"), result.mean(p, "ext1_submin"),
+                   result.mean(p, "existence"), result.mean_or(p, "soundness", 1.0)});
   }
 
   table.print(std::cout, "Extension — safe condition and extension 1 in a 40^3 3-D mesh");
   table.print_csv(std::cout, "ext3d");
+  experiment::write_sweep_json(cfg, {{"ext3d", &table}}, result.wall_ms());
   std::cout << "\n'soundness' = P(minimal path exists | source certified safe); the 2-D\n"
                "theorem's 3-D lift holds empirically when this column is 1.\n";
   return 0;

@@ -5,46 +5,57 @@
 // while the existence of a minimal path stays near 1 — quantifying how much
 // heavier the extensions' job gets at scale.
 #include <iostream>
+#include <vector>
 
-#include "analysis/stats.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
-#include "fig_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
   using cond::Decision;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
-  experiment::Table table(
-      {"n", "faults", "safe_source", "ext1_min", "ext2_seg1", "existence"});
+  // One point per mesh side; k tracks 0.5% density and the trial budget is
+  // a quarter of the configured one (the meshes get big).
+  std::vector<experiment::SweepPoint> points;
   for (const Dist n : {50, 100, 200, 300}) {
-    const auto k = static_cast<std::size_t>(n) * static_cast<std::size_t>(n) / 200;
-    analysis::Proportion safe;
-    analysis::Proportion ext1;
-    analysis::Proportion ext2;
-    analysis::Proportion exist;
-    const int trials = std::max(4, opt.trials / 4);
-    for (int t = 0; t < trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = n, .faults = k}, rng);
-      for (int s = 0; s < opt.dests; ++s) {
-        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-        const cond::RoutingProblem p = trial.fb_problem(d);
-        safe.add(cond::source_safe(p));
-        ext1.add(cond::extension1(p) == Decision::Minimal);
-        ext2.add(cond::extension2(p, 1) == Decision::Minimal);
-        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
-      }
-    }
-    table.add_row({static_cast<double>(n), static_cast<double>(k), safe.value(), ext1.value(),
-                   ext2.value(), exist.value()});
+    points.push_back({.x = static_cast<double>(n),
+                      .faults = static_cast<std::size_t>(n) * static_cast<std::size_t>(n) / 200,
+                      .n = n,
+                      .trials = std::max(4, cfg.trials / 4)});
+  }
+
+  enum : std::size_t { kSafe, kExt1, kExt2, kExist };
+  experiment::SweepRunner runner(cfg, {"safe_source", "ext1_min", "ext2_seg1", "existence"});
+  const auto result = runner.run(
+      points, [&](const experiment::SweepCell& cell, Rng& rng,
+                  experiment::TrialCounters& out) {
+        const experiment::Trial trial =
+            experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+        for (int s = 0; s < cfg.dests; ++s) {
+          const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+          const cond::RoutingProblem p = trial.fb_problem(d);
+          out.count(kSafe, cond::source_safe(p));
+          out.count(kExt1, cond::extension1(p) == Decision::Minimal);
+          out.count(kExt2, cond::extension2(p, 1) == Decision::Minimal);
+          out.count(kExist, cond::monotone_path_exists(trial.mesh, trial.faulty_mask,
+                                                       trial.source, d));
+        }
+      });
+
+  experiment::Table table({"n", "faults", "safe_source", "ext1_min", "ext2_seg1", "existence"});
+  for (std::size_t p = 0; p < result.points().size(); ++p) {
+    table.add_row({result.points()[p].x, static_cast<double>(result.points()[p].faults),
+                   result.mean(p, "safe_source"), result.mean(p, "ext1_min"),
+                   result.mean(p, "ext2_seg1"), result.mean(p, "existence")});
   }
 
   table.print(std::cout,
               "Extension — condition strength vs mesh size at fixed fault density (0.5%)");
   table.print_csv(std::cout, "ext_scaling");
+  experiment::write_sweep_json(cfg, {{"ext_scaling", &table}}, result.wall_ms());
   return 0;
 }

@@ -4,46 +4,50 @@
 // confirm the FB/MCC invariance claimed in the theorem's proof.
 #include <iostream>
 
-#include "analysis/stats.hpp"
 #include "analysis/theorem2.hpp"
-#include "fig_common.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
 #include "info/regions.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
+  enum : std::size_t { kRowsFb, kColsFb, kRowsMcc };
+  experiment::SweepRunner runner(cfg, {"sim_rows_fb", "sim_cols_fb", "sim_rows_mcc"});
+  const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialCounters& out) {
+    const experiment::Trial trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const double denom = static_cast<double>(cell.n());
+    out.observe(kRowsFb,
+                static_cast<double>(info::affected_rows(trial.mesh, trial.fb_mask).size()) /
+                    denom);
+    out.observe(kColsFb,
+                static_cast<double>(info::affected_columns(trial.mesh, trial.fb_mask).size()) /
+                    denom);
+    out.observe(kRowsMcc,
+                static_cast<double>(info::affected_rows(trial.mesh, trial.mcc_mask).size()) /
+                    denom);
+  });
+
+  // The analytical columns are deterministic per point, so they join the
+  // simulated means outside the sweep.
   experiment::Table table({"faults", "analytical", "smooth", "sim_rows_fb", "sim_cols_fb",
                            "sim_rows_mcc"});
-  for (const std::size_t k : opt.fault_counts) {
-    analysis::Accumulator rows_fb;
-    analysis::Accumulator cols_fb;
-    analysis::Accumulator rows_mcc;
-    for (int t = 0; t < opt.trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
-      const double denom = static_cast<double>(opt.n);
-      rows_fb.add(static_cast<double>(
-                      info::affected_rows(trial.mesh, trial.fb_mask).size()) /
-                  denom);
-      cols_fb.add(static_cast<double>(
-                      info::affected_columns(trial.mesh, trial.fb_mask).size()) /
-                  denom);
-      rows_mcc.add(static_cast<double>(
-                       info::affected_rows(trial.mesh, trial.mcc_mask).size()) /
-                   denom);
-    }
-    table.add_row({static_cast<double>(k),
-                   analysis::expected_affected_fraction(opt.n, static_cast<int>(k)),
-                   analysis::smooth_expected_affected_rows(opt.n, static_cast<int>(k)) / opt.n,
-                   rows_fb.mean(), cols_fb.mean(), rows_mcc.mean()});
+  for (std::size_t p = 0; p < result.points().size(); ++p) {
+    const auto k = static_cast<int>(result.points()[p].faults);
+    table.add_row({result.points()[p].x, analysis::expected_affected_fraction(cfg.n, k),
+                   analysis::smooth_expected_affected_rows(cfg.n, k) / cfg.n,
+                   result.mean(p, "sim_rows_fb"), result.mean(p, "sim_cols_fb"),
+                   result.mean(p, "sim_rows_mcc")});
   }
 
   table.print(std::cout,
-              "Figure 7 — percent of affected rows (and columns), n=" + std::to_string(opt.n) +
-                  ", " + std::to_string(opt.trials) + " trials/point");
+              "Figure 7 — percent of affected rows (and columns), n=" + std::to_string(cfg.n) +
+                  ", " + std::to_string(cfg.trials) + " trials/point");
   table.print_csv(std::cout, "fig07");
+  experiment::write_sweep_json(cfg, {{"fig07", &table}}, result.wall_ms());
   return 0;
 }

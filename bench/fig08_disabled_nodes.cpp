@@ -3,46 +3,42 @@
 // as faults grow. The MCC refinement disables strictly fewer nodes.
 #include <iostream>
 
-#include "analysis/stats.hpp"
-#include "fig_common.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
-  experiment::Table table({"faults", "wu_disabled_per_block", "mcc_disabled_per_comp",
-                           "wu_disabled_total", "mcc_disabled_total", "blocks", "mcc_comps"});
-  for (const std::size_t k : opt.fault_counts) {
-    analysis::Accumulator wu;
-    analysis::Accumulator mcc;
-    analysis::Accumulator wu_total;
-    analysis::Accumulator mcc_total;
-    analysis::Accumulator nblocks;
-    analysis::Accumulator ncomps;
-    for (int t = 0; t < opt.trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
-      if (trial.blocks.block_count() > 0) {
-        wu.add(static_cast<double>(trial.blocks.total_disabled()) /
-               static_cast<double>(trial.blocks.block_count()));
-      }
-      if (!trial.mcc1.components().empty()) {
-        mcc.add(static_cast<double>(trial.mcc1.total_disabled()) /
-                static_cast<double>(trial.mcc1.components().size()));
-      }
-      wu_total.add(static_cast<double>(trial.blocks.total_disabled()));
-      mcc_total.add(static_cast<double>(trial.mcc1.total_disabled()));
-      nblocks.add(static_cast<double>(trial.blocks.block_count()));
-      ncomps.add(static_cast<double>(trial.mcc1.components().size()));
+  enum : std::size_t { kWu, kMcc, kWuTotal, kMccTotal, kBlocks, kComps };
+  experiment::SweepRunner runner(cfg, {"wu_disabled_per_block", "mcc_disabled_per_comp",
+                                       "wu_disabled_total", "mcc_disabled_total", "blocks",
+                                       "mcc_comps"});
+  const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialCounters& out) {
+    const experiment::Trial trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    if (trial.blocks.block_count() > 0) {
+      out.observe(kWu, static_cast<double>(trial.blocks.total_disabled()) /
+                           static_cast<double>(trial.blocks.block_count()));
     }
-    table.add_row({static_cast<double>(k), wu.mean(), mcc.mean(), wu_total.mean(),
-                   mcc_total.mean(), nblocks.mean(), ncomps.mean()});
-  }
+    if (!trial.mcc1.components().empty()) {
+      out.observe(kMcc, static_cast<double>(trial.mcc1.total_disabled()) /
+                            static_cast<double>(trial.mcc1.components().size()));
+    }
+    out.observe(kWuTotal, static_cast<double>(trial.blocks.total_disabled()));
+    out.observe(kMccTotal, static_cast<double>(trial.mcc1.total_disabled()));
+    out.observe(kBlocks, static_cast<double>(trial.blocks.block_count()));
+    out.observe(kComps, static_cast<double>(trial.mcc1.components().size()));
+  });
 
+  const experiment::Table table = result.table(
+      "faults", {"wu_disabled_per_block", "mcc_disabled_per_comp", "wu_disabled_total",
+                 "mcc_disabled_total", "blocks", "mcc_comps"});
   table.print(std::cout, "Figure 8 — average number of disabled nodes in a faulty block, n=" +
-                             std::to_string(opt.n));
+                             std::to_string(cfg.n));
   table.print_csv(std::cout, "fig08");
+  experiment::write_sweep_json(cfg, {{"fig08", &table}}, result.wall_ms());
   return 0;
 }

@@ -4,62 +4,58 @@
 // (extension 1a).
 #include <iostream>
 
-#include "analysis/stats.hpp"
-#include "fig_common.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
   using cond::Decision;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
-  experiment::Table fb({"faults", "safe_source", "ext1_min", "ext1_submin", "existence"});
-  experiment::Table mcc({"faults", "safe_source", "ext1a_min", "ext1a_submin", "existence"});
+  enum : std::size_t { kSafeFb, kMinFb, kSubFb, kSafeMcc, kMinMcc, kSubMcc, kExist };
+  experiment::SweepRunner runner(cfg, {"safe_fb", "ext1_min_fb", "ext1_submin_fb",
+                                       "safe_mcc", "ext1a_min_mcc", "ext1a_submin_mcc",
+                                       "existence"});
+  const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialCounters& out) {
+    const experiment::Trial trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    for (int s = 0; s < cfg.dests; ++s) {
+      const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+      out.count(kExist,
+                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
 
-  for (const std::size_t k : opt.fault_counts) {
-    analysis::Proportion safe_fb;
-    analysis::Proportion min_fb;
-    analysis::Proportion submin_fb;
-    analysis::Proportion safe_mcc;
-    analysis::Proportion min_mcc;
-    analysis::Proportion submin_mcc;
-    analysis::Proportion exist;
-    for (int t = 0; t < opt.trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
-      for (int s = 0; s < opt.dests; ++s) {
-        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      const cond::RoutingProblem pf = trial.fb_problem(d);
+      out.count(kSafeFb, cond::source_safe(pf));
+      const Decision df = cond::extension1(pf);
+      out.count(kMinFb, df == Decision::Minimal);
+      out.count(kSubFb, df == Decision::Minimal || df == Decision::SubMinimal);
 
-        const cond::RoutingProblem pf = trial.fb_problem(d);
-        safe_fb.add(cond::source_safe(pf));
-        const Decision df = cond::extension1(pf);
-        min_fb.add(df == Decision::Minimal);
-        submin_fb.add(df == Decision::Minimal || df == Decision::SubMinimal);
-
-        const cond::RoutingProblem pm = trial.mcc_problem(d);
-        safe_mcc.add(cond::source_safe(pm));
-        const Decision dm = cond::extension1(pm);
-        min_mcc.add(dm == Decision::Minimal);
-        submin_mcc.add(dm == Decision::Minimal || dm == Decision::SubMinimal);
-      }
+      const cond::RoutingProblem pm = trial.mcc_problem(d);
+      out.count(kSafeMcc, cond::source_safe(pm));
+      const Decision dm = cond::extension1(pm);
+      out.count(kMinMcc, dm == Decision::Minimal);
+      out.count(kSubMcc, dm == Decision::Minimal || dm == Decision::SubMinimal);
     }
-    fb.add_row({static_cast<double>(k), safe_fb.value(), min_fb.value(), submin_fb.value(),
-                exist.value()});
-    mcc.add_row({static_cast<double>(k), safe_mcc.value(), min_mcc.value(), submin_mcc.value(),
-                 exist.value()});
-  }
+  });
 
-  const std::string setup = "n=" + std::to_string(opt.n) + ", " + std::to_string(opt.trials) +
-                            " trials x " + std::to_string(opt.dests) + " destinations";
+  const experiment::Table fb =
+      result.table("faults", {"safe_fb", "ext1_min_fb", "ext1_submin_fb", "existence"},
+                   {"safe_source", "ext1_min", "ext1_submin", "existence"});
+  const experiment::Table mcc =
+      result.table("faults", {"safe_mcc", "ext1a_min_mcc", "ext1a_submin_mcc", "existence"},
+                   {"safe_source", "ext1a_min", "ext1a_submin", "existence"});
+
   fb.print(std::cout, "Figure 9 (a) — safe condition and extension 1, faulty-block model, " +
-                          setup);
+                          cfg.setup_string());
   std::cout << "\n";
-  mcc.print(std::cout, "Figure 9 (b) — safe condition and extension 1a, MCC model, " + setup);
+  mcc.print(std::cout,
+            "Figure 9 (b) — safe condition and extension 1a, MCC model, " + cfg.setup_string());
   fb.print_csv(std::cout, "fig09a");
   mcc.print_csv(std::cout, "fig09b");
+  experiment::write_sweep_json(cfg, {{"fig09a", &fb}, {"fig09b", &mcc}}, result.wall_ms());
   return 0;
 }

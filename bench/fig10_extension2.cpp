@@ -4,10 +4,9 @@
 // (b) MCCs (extension 2a).
 #include <iostream>
 
-#include "analysis/stats.hpp"
-#include "fig_common.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
 #include "info/regions.hpp"
@@ -15,49 +14,50 @@
 int main(int argc, char** argv) {
   using namespace meshroute;
   using cond::Decision;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
   const Dist segment_sizes[] = {1, 5, 10, info::kWholeRegionSegment};
-  experiment::Table fb({"faults", "safe_source", "ext2_seg1", "ext2_seg5", "ext2_seg10",
-                        "ext2_max", "existence"});
-  experiment::Table mcc({"faults", "safe_source", "ext2a_seg1", "ext2a_seg5", "ext2a_seg10",
-                         "ext2a_max", "existence"});
-
-  for (const std::size_t k : opt.fault_counts) {
-    analysis::Proportion safe_fb;
-    analysis::Proportion safe_mcc;
-    analysis::Proportion exist;
-    analysis::Proportion hits_fb[4];
-    analysis::Proportion hits_mcc[4];
-    for (int t = 0; t < opt.trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
-      for (int s = 0; s < opt.dests; ++s) {
-        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
-        const cond::RoutingProblem pf = trial.fb_problem(d);
-        const cond::RoutingProblem pm = trial.mcc_problem(d);
-        safe_fb.add(cond::source_safe(pf));
-        safe_mcc.add(cond::source_safe(pm));
-        for (int i = 0; i < 4; ++i) {
-          hits_fb[i].add(cond::extension2(pf, segment_sizes[i]) == Decision::Minimal);
-          hits_mcc[i].add(cond::extension2(pm, segment_sizes[i]) == Decision::Minimal);
-        }
+  enum : std::size_t { kSafeFb, kSafeMcc, kExist, kFb0 };  // kFb0.. 4 fb then 4 mcc
+  experiment::SweepRunner runner(
+      cfg, {"safe_fb", "safe_mcc", "existence", "ext2_seg1_fb", "ext2_seg5_fb",
+            "ext2_seg10_fb", "ext2_max_fb", "ext2a_seg1_mcc", "ext2a_seg5_mcc",
+            "ext2a_seg10_mcc", "ext2a_max_mcc"});
+  const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialCounters& out) {
+    const experiment::Trial trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    for (int s = 0; s < cfg.dests; ++s) {
+      const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+      out.count(kExist,
+                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      const cond::RoutingProblem pf = trial.fb_problem(d);
+      const cond::RoutingProblem pm = trial.mcc_problem(d);
+      out.count(kSafeFb, cond::source_safe(pf));
+      out.count(kSafeMcc, cond::source_safe(pm));
+      for (std::size_t i = 0; i < 4; ++i) {
+        out.count(kFb0 + i, cond::extension2(pf, segment_sizes[i]) == Decision::Minimal);
+        out.count(kFb0 + 4 + i, cond::extension2(pm, segment_sizes[i]) == Decision::Minimal);
       }
     }
-    fb.add_row({static_cast<double>(k), safe_fb.value(), hits_fb[0].value(),
-                hits_fb[1].value(), hits_fb[2].value(), hits_fb[3].value(), exist.value()});
-    mcc.add_row({static_cast<double>(k), safe_mcc.value(), hits_mcc[0].value(),
-                 hits_mcc[1].value(), hits_mcc[2].value(), hits_mcc[3].value(), exist.value()});
-  }
+  });
 
-  const std::string setup = "n=" + std::to_string(opt.n) + ", " + std::to_string(opt.trials) +
-                            " trials x " + std::to_string(opt.dests) + " destinations";
-  fb.print(std::cout,
-           "Figure 10 (a) — extension 2 segment-size variations, faulty-block model, " + setup);
+  const experiment::Table fb = result.table(
+      "faults",
+      {"safe_fb", "ext2_seg1_fb", "ext2_seg5_fb", "ext2_seg10_fb", "ext2_max_fb", "existence"},
+      {"safe_source", "ext2_seg1", "ext2_seg5", "ext2_seg10", "ext2_max", "existence"});
+  const experiment::Table mcc = result.table(
+      "faults",
+      {"safe_mcc", "ext2a_seg1_mcc", "ext2a_seg5_mcc", "ext2a_seg10_mcc", "ext2a_max_mcc",
+       "existence"},
+      {"safe_source", "ext2a_seg1", "ext2a_seg5", "ext2a_seg10", "ext2a_max", "existence"});
+
+  fb.print(std::cout, "Figure 10 (a) — extension 2 segment-size variations, faulty-block "
+                      "model, " + cfg.setup_string());
   std::cout << "\n";
-  mcc.print(std::cout, "Figure 10 (b) — extension 2a under the MCC model, " + setup);
+  mcc.print(std::cout, "Figure 10 (b) — extension 2a under the MCC model, " +
+                           cfg.setup_string());
   fb.print_csv(std::cout, "fig10a");
   mcc.print_csv(std::cout, "fig10b");
+  experiment::write_sweep_json(cfg, {{"fig10a", &fb}, {"fig10b", &mcc}}, result.wall_ms());
   return 0;
 }

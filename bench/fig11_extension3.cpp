@@ -3,11 +3,11 @@
 // description of this figure), against the safe condition and the optimal
 // curve. (a) faulty blocks, (b) MCCs (extension 3a).
 #include <iostream>
+#include <vector>
 
-#include "analysis/stats.hpp"
-#include "fig_common.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
 #include "info/pivots.hpp"
@@ -15,54 +15,51 @@
 int main(int argc, char** argv) {
   using namespace meshroute;
   using cond::Decision;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
-  experiment::Table fb(
-      {"faults", "safe_source", "ext3_lvl1", "ext3_lvl2", "ext3_lvl3", "existence"});
-  experiment::Table mcc(
-      {"faults", "safe_source", "ext3a_lvl1", "ext3a_lvl2", "ext3a_lvl3", "existence"});
-
-  for (const std::size_t k : opt.fault_counts) {
-    analysis::Proportion safe_fb;
-    analysis::Proportion safe_mcc;
-    analysis::Proportion exist;
-    analysis::Proportion hits_fb[3];
-    analysis::Proportion hits_mcc[3];
-    for (int t = 0; t < opt.trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
-      // Center-placed pivot trees over the first-quadrant submesh; level l
-      // pivots are a prefix-closed superset of level l-1's.
-      const std::vector<Coord> pivots[3] = {
-          info::generate_pivots(trial.quadrant1_area(), 1, info::PivotPlacement::Center),
-          info::generate_pivots(trial.quadrant1_area(), 2, info::PivotPlacement::Center),
-          info::generate_pivots(trial.quadrant1_area(), 3, info::PivotPlacement::Center)};
-      for (int s = 0; s < opt.dests; ++s) {
-        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
-        const cond::RoutingProblem pf = trial.fb_problem(d);
-        const cond::RoutingProblem pm = trial.mcc_problem(d);
-        safe_fb.add(cond::source_safe(pf));
-        safe_mcc.add(cond::source_safe(pm));
-        for (int l = 0; l < 3; ++l) {
-          hits_fb[l].add(cond::extension3(pf, pivots[l]) == Decision::Minimal);
-          hits_mcc[l].add(cond::extension3(pm, pivots[l]) == Decision::Minimal);
-        }
+  enum : std::size_t { kSafeFb, kSafeMcc, kExist, kFb0 };  // kFb0.. 3 fb then 3 mcc
+  experiment::SweepRunner runner(
+      cfg, {"safe_fb", "safe_mcc", "existence", "ext3_lvl1_fb", "ext3_lvl2_fb",
+            "ext3_lvl3_fb", "ext3a_lvl1_mcc", "ext3a_lvl2_mcc", "ext3a_lvl3_mcc"});
+  const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialCounters& out) {
+    const experiment::Trial trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    // Center-placed pivot trees over the first-quadrant submesh; level l
+    // pivots are a prefix-closed superset of level l-1's.
+    const std::vector<Coord> pivots[3] = {
+        info::generate_pivots(trial.quadrant1_area(), 1, info::PivotPlacement::Center),
+        info::generate_pivots(trial.quadrant1_area(), 2, info::PivotPlacement::Center),
+        info::generate_pivots(trial.quadrant1_area(), 3, info::PivotPlacement::Center)};
+    for (int s = 0; s < cfg.dests; ++s) {
+      const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+      out.count(kExist,
+                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      const cond::RoutingProblem pf = trial.fb_problem(d);
+      const cond::RoutingProblem pm = trial.mcc_problem(d);
+      out.count(kSafeFb, cond::source_safe(pf));
+      out.count(kSafeMcc, cond::source_safe(pm));
+      for (std::size_t l = 0; l < 3; ++l) {
+        out.count(kFb0 + l, cond::extension3(pf, pivots[l]) == Decision::Minimal);
+        out.count(kFb0 + 3 + l, cond::extension3(pm, pivots[l]) == Decision::Minimal);
       }
     }
-    fb.add_row({static_cast<double>(k), safe_fb.value(), hits_fb[0].value(),
-                hits_fb[1].value(), hits_fb[2].value(), exist.value()});
-    mcc.add_row({static_cast<double>(k), safe_mcc.value(), hits_mcc[0].value(),
-                 hits_mcc[1].value(), hits_mcc[2].value(), exist.value()});
-  }
+  });
 
-  const std::string setup = "n=" + std::to_string(opt.n) + ", " + std::to_string(opt.trials) +
-                            " trials x " + std::to_string(opt.dests) + " destinations";
-  fb.print(std::cout,
-           "Figure 11 (a) — extension 3 partition levels, faulty-block model, " + setup);
+  const experiment::Table fb = result.table(
+      "faults", {"safe_fb", "ext3_lvl1_fb", "ext3_lvl2_fb", "ext3_lvl3_fb", "existence"},
+      {"safe_source", "ext3_lvl1", "ext3_lvl2", "ext3_lvl3", "existence"});
+  const experiment::Table mcc = result.table(
+      "faults", {"safe_mcc", "ext3a_lvl1_mcc", "ext3a_lvl2_mcc", "ext3a_lvl3_mcc", "existence"},
+      {"safe_source", "ext3a_lvl1", "ext3a_lvl2", "ext3a_lvl3", "existence"});
+
+  fb.print(std::cout, "Figure 11 (a) — extension 3 partition levels, faulty-block model, " +
+                          cfg.setup_string());
   std::cout << "\n";
-  mcc.print(std::cout, "Figure 11 (b) — extension 3a under the MCC model, " + setup);
+  mcc.print(std::cout,
+            "Figure 11 (b) — extension 3a under the MCC model, " + cfg.setup_string());
   fb.print_csv(std::cout, "fig11a");
   mcc.print_csv(std::cout, "fig11b");
+  experiment::write_sweep_json(cfg, {{"fig11a", &fb}, {"fig11b", &mcc}}, result.wall_ms());
   return 0;
 }

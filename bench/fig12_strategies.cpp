@@ -4,10 +4,9 @@
 // placed pivots (21 pivots). (a) faulty blocks, (b) MCCs (strategies 1a-4a).
 #include <iostream>
 
-#include "analysis/stats.hpp"
-#include "fig_common.hpp"
 #include "cond/strategies.hpp"
 #include "cond/wang.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
 #include "info/pivots.hpp"
@@ -16,59 +15,59 @@ int main(int argc, char** argv) {
   using namespace meshroute;
   using cond::Decision;
   using cond::StrategyId;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
-  Rng rng(opt.seed);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
-  const cond::StrategyConfig cfg{.segment_size = 5};
+  const cond::StrategyConfig strategy_cfg{.segment_size = 5};
   const StrategyId ids[] = {StrategyId::S1, StrategyId::S2, StrategyId::S3, StrategyId::S4};
 
-  experiment::Table fb(
-      {"faults", "strat1", "strat2", "strat3", "strat4", "strat4_subm", "existence"});
-  experiment::Table mcc(
-      {"faults", "strat1a", "strat2a", "strat3a", "strat4a", "strat4a_subm", "existence"});
-
-  for (const std::size_t k : opt.fault_counts) {
-    analysis::Proportion exist;
-    analysis::Proportion hits_fb[4];
-    analysis::Proportion hits_mcc[4];
-    analysis::Proportion subm_fb;
-    analysis::Proportion subm_mcc;
-    for (int t = 0; t < opt.trials; ++t) {
-      const experiment::Trial trial = experiment::make_trial({.n = opt.n, .faults = k}, rng);
-      const auto pivots = info::generate_pivots(trial.quadrant1_area(), 3,
-                                                info::PivotPlacement::Random, &rng);
-      for (int s = 0; s < opt.dests; ++s) {
-        const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-        exist.add(cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
-        const cond::RoutingProblem pf = trial.fb_problem(d);
-        const cond::RoutingProblem pm = trial.mcc_problem(d);
-        for (int i = 0; i < 4; ++i) {
-          const Decision df = cond::run_strategy(pf, ids[i], cfg, pivots);
-          const Decision dm = cond::run_strategy(pm, ids[i], cfg, pivots);
-          hits_fb[i].add(df == Decision::Minimal);
-          hits_mcc[i].add(dm == Decision::Minimal);
-          if (ids[i] == StrategyId::S4) {
-            // The paper's y-axis counts minimal OR sub-minimal guarantees
-            // for the extension-1-bearing strategies.
-            subm_fb.add(df != Decision::Unknown);
-            subm_mcc.add(dm != Decision::Unknown);
-          }
+  enum : std::size_t { kExist, kSubFb, kSubMcc, kFb0 };  // kFb0.. 4 fb then 4 mcc
+  experiment::SweepRunner runner(
+      cfg, {"existence", "strat4_subm_fb", "strat4a_subm_mcc", "strat1_fb", "strat2_fb",
+            "strat3_fb", "strat4_fb", "strat1a_mcc", "strat2a_mcc", "strat3a_mcc",
+            "strat4a_mcc"});
+  const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialCounters& out) {
+    const experiment::Trial trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const auto pivots = info::generate_pivots(trial.quadrant1_area(), 3,
+                                              info::PivotPlacement::Random, &rng);
+    for (int s = 0; s < cfg.dests; ++s) {
+      const Coord d = experiment::sample_quadrant1_dest(trial, rng);
+      out.count(kExist,
+                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      const cond::RoutingProblem pf = trial.fb_problem(d);
+      const cond::RoutingProblem pm = trial.mcc_problem(d);
+      for (std::size_t i = 0; i < 4; ++i) {
+        const Decision df = cond::run_strategy(pf, ids[i], strategy_cfg, pivots);
+        const Decision dm = cond::run_strategy(pm, ids[i], strategy_cfg, pivots);
+        out.count(kFb0 + i, df == Decision::Minimal);
+        out.count(kFb0 + 4 + i, dm == Decision::Minimal);
+        if (ids[i] == StrategyId::S4) {
+          // The paper's y-axis counts minimal OR sub-minimal guarantees
+          // for the extension-1-bearing strategies.
+          out.count(kSubFb, df != Decision::Unknown);
+          out.count(kSubMcc, dm != Decision::Unknown);
         }
       }
     }
-    fb.add_row({static_cast<double>(k), hits_fb[0].value(), hits_fb[1].value(),
-                hits_fb[2].value(), hits_fb[3].value(), subm_fb.value(), exist.value()});
-    mcc.add_row({static_cast<double>(k), hits_mcc[0].value(), hits_mcc[1].value(),
-                 hits_mcc[2].value(), hits_mcc[3].value(), subm_mcc.value(), exist.value()});
-  }
+  });
 
-  const std::string setup = "n=" + std::to_string(opt.n) + ", " + std::to_string(opt.trials) +
-                            " trials x " + std::to_string(opt.dests) +
-                            " destinations, segment 5, 21 random pivots";
+  const experiment::Table fb = result.table(
+      "faults",
+      {"strat1_fb", "strat2_fb", "strat3_fb", "strat4_fb", "strat4_subm_fb", "existence"},
+      {"strat1", "strat2", "strat3", "strat4", "strat4_subm", "existence"});
+  const experiment::Table mcc = result.table(
+      "faults",
+      {"strat1a_mcc", "strat2a_mcc", "strat3a_mcc", "strat4a_mcc", "strat4a_subm_mcc",
+       "existence"},
+      {"strat1a", "strat2a", "strat3a", "strat4a", "strat4a_subm", "existence"});
+
+  const std::string setup = cfg.setup_string() + ", segment 5, 21 random pivots";
   fb.print(std::cout, "Figure 12 (a) — strategies 1-4, faulty-block model, " + setup);
   std::cout << "\n";
   mcc.print(std::cout, "Figure 12 (b) — strategies 1a-4a, MCC model, " + setup);
   fb.print_csv(std::cout, "fig12a");
   mcc.print_csv(std::cout, "fig12b");
+  experiment::write_sweep_json(cfg, {{"fig12a", &fb}, {"fig12b", &mcc}}, result.wall_ms());
   return 0;
 }

@@ -3,57 +3,76 @@
 // introduction motivates ("routing time of packets is one of the key
 // factors") but its evaluation does not measure. Sweeps injection rate for
 // dimension-order (XY) and Wu-style adaptive-minimal routing, fault-free and
-// with 20 random faults, on a 16x16 mesh.
+// with faults, on a 16x16 mesh. Each rate is a single deterministic
+// simulation (SimConfig.seed fixed), so the sweep runs one trial per point.
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
-#include "fig_common.hpp"
 #include "netsim/wormhole.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
   using namespace meshroute::netsim;
-  const bench::SweepOptions opt = bench::parse_sweep_options(argc, argv);
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
 
   const Mesh2D mesh(16, 16);
-  Rng rng(opt.seed);
-  const auto faults = fault::uniform_random_faults(mesh, 8, rng);
+  Rng fault_rng(cfg.seed);
+  const auto faults = fault::uniform_random_faults(mesh, 8, fault_rng);
   const auto blocks = fault::build_faulty_blocks(mesh, faults);
 
-  const double rates[] = {0.002, 0.005, 0.01, 0.02, 0.03, 0.04};
-
-  experiment::Table table({"inj_rate", "xy_lat", "xy_thru", "ad_lat", "ad_thru",
-                           "xy_f_lat", "xy_f_undeliv", "ad_f_lat", "ad_f_undeliv",
-                           "deadlocks"});
-  for (const double rate : rates) {
-    SimConfig cfg;
-    cfg.injection_rate = rate;
-    cfg.warmup_cycles = 500;
-    cfg.measure_cycles = 3000;
-    cfg.drain_limit = 80000;
-    cfg.seed = opt.seed;
-
-    cfg.mode = RoutingMode::XYDeterministic;
-    const SimResult xy = run_wormhole(mesh, nullptr, cfg);
-    const SimResult xyf = run_wormhole(mesh, &blocks, cfg);
-    cfg.mode = RoutingMode::AdaptiveMinimal;
-    const SimResult ad = run_wormhole(mesh, nullptr, cfg);
-    const SimResult adf = run_wormhole(mesh, &blocks, cfg);
-
-    const double deadlocks = (xy.deadlock ? 1 : 0) + (ad.deadlock ? 1 : 0) +
-                             (xyf.deadlock ? 1 : 0) + (adf.deadlock ? 1 : 0);
-    table.add_row({rate, xy.avg_latency, xy.throughput, ad.avg_latency, ad.throughput,
-                   xyf.avg_latency, static_cast<double>(xyf.undeliverable), adf.avg_latency,
-                   static_cast<double>(adf.undeliverable), deadlocks});
+  std::vector<experiment::SweepPoint> points;
+  for (const double rate : {0.002, 0.005, 0.01, 0.02, 0.03, 0.04}) {
+    points.push_back({.x = rate, .faults = 0, .n = 16, .trials = 1});
   }
 
+  enum : std::size_t {
+    kXyLat, kXyThru, kAdLat, kAdThru, kXyfLat, kXyfUndeliv, kAdfLat, kAdfUndeliv, kDeadlocks
+  };
+  experiment::SweepRunner runner(cfg, {"xy_lat", "xy_thru", "ad_lat", "ad_thru", "xy_f_lat",
+                                       "xy_f_undeliv", "ad_f_lat", "ad_f_undeliv",
+                                       "deadlocks"});
+  const auto result = runner.run(
+      points, [&](const experiment::SweepCell& cell, Rng& /*rng*/,
+                  experiment::TrialCounters& out) {
+        SimConfig sim;
+        sim.injection_rate = cell.x();
+        sim.warmup_cycles = 500;
+        sim.measure_cycles = 3000;
+        sim.drain_limit = 80000;
+        sim.seed = cfg.seed;
+
+        sim.mode = RoutingMode::XYDeterministic;
+        const SimResult xy = run_wormhole(mesh, nullptr, sim);
+        const SimResult xyf = run_wormhole(mesh, &blocks, sim);
+        sim.mode = RoutingMode::AdaptiveMinimal;
+        const SimResult ad = run_wormhole(mesh, nullptr, sim);
+        const SimResult adf = run_wormhole(mesh, &blocks, sim);
+
+        out.observe(kXyLat, xy.avg_latency);
+        out.observe(kXyThru, xy.throughput);
+        out.observe(kAdLat, ad.avg_latency);
+        out.observe(kAdThru, ad.throughput);
+        out.observe(kXyfLat, xyf.avg_latency);
+        out.observe(kXyfUndeliv, static_cast<double>(xyf.undeliverable));
+        out.observe(kAdfLat, adf.avg_latency);
+        out.observe(kAdfUndeliv, static_cast<double>(adf.undeliverable));
+        out.observe(kDeadlocks, (xy.deadlock ? 1.0 : 0.0) + (ad.deadlock ? 1.0 : 0.0) +
+                                    (xyf.deadlock ? 1.0 : 0.0) + (adf.deadlock ? 1.0 : 0.0));
+      });
+
+  const experiment::Table table = result.table(
+      "inj_rate", {"xy_lat", "xy_thru", "ad_lat", "ad_thru", "xy_f_lat", "xy_f_undeliv",
+                   "ad_f_lat", "ad_f_undeliv", "deadlocks"});
   table.print(std::cout,
               "NoC latency/throughput — wormhole, 16x16 mesh, 5-flit packets, 2 VCs, "
               "8 faults in the *_f columns");
   table.print_csv(std::cout, "noc_latency");
+  experiment::write_sweep_json(cfg, {{"noc_latency", &table}}, result.wall_ms());
   std::cout << "\nxy_f_undeliv / ad_f_undeliv: packets refused at injection (XY path blocked\n"
                "vs. no minimal path at all). 'deadlocks' counts watchdog trips across the\n"
                "four runs of the row (expected 0 in these regimes).\n";

@@ -32,8 +32,9 @@ int main() {
                            "minimal_pct", "avg_stretch", "global_delivered_pct",
                            "xy_delivered_pct"});
 
+  FaultTolerantMesh ftm(kSide, kSide);
   for (const std::size_t faults : {0u, 8u, 16u, 32u, 64u, 96u}) {
-    FaultTolerantMesh ftm(kSide, kSide);
+    ftm.clear_faults();
     Rng fault_rng = rng.fork();
     const auto fs = fault::uniform_random_faults(ftm.mesh(), faults, fault_rng);
     ftm.inject_faults(fs.faults());

@@ -20,6 +20,26 @@ class Accumulator {
     if (x > max_ || count_ == 1) max_ = x;
   }
 
+  /// Combine with another accumulator (Chan's parallel Welford update).
+  /// Merging partials in a fixed order is deterministic, which is what lets
+  /// the sweep engine reduce per-cell results identically for any thread
+  /// count.
+  void merge(const Accumulator& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+  }
+
   [[nodiscard]] std::int64_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] double variance() const noexcept {
@@ -28,6 +48,12 @@ class Accumulator {
   [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the ~95% normal-approximation confidence interval of the
+  /// mean; 0 with fewer than two samples.
+  [[nodiscard]] double ci95_half_width() const noexcept {
+    return count_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+  }
 
  private:
   std::int64_t count_ = 0;
@@ -43,6 +69,12 @@ class Proportion {
   void add(bool success) noexcept {
     ++trials_;
     if (success) ++successes_;
+  }
+
+  /// Combine with another proportion (exact; order-independent).
+  void merge(const Proportion& other) noexcept {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
   }
 
   [[nodiscard]] std::int64_t trials() const noexcept { return trials_; }

@@ -10,6 +10,24 @@
 
 namespace meshroute {
 
+/// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche, the
+/// standard generator for deriving independent seeds from a counter.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fold one component into a stream seed (seed-splitting). Chaining
+/// `seed_combine` over (base, k, trial, ...) yields pairwise-independent
+/// seeds for every grid cell of a sweep — never a shared stream, so cells
+/// can run on any thread in any order with identical results.
+[[nodiscard]] constexpr std::uint64_t seed_combine(std::uint64_t seed,
+                                                  std::uint64_t component) noexcept {
+  return splitmix64(seed ^ splitmix64(component));
+}
+
 /// Thin deterministic wrapper over mt19937_64 with the handful of draws the
 /// simulators need. Copyable so a trial can fork an independent stream.
 class Rng {

@@ -44,6 +44,11 @@ void FaultTolerantMesh::inject_faults(std::span<const Coord> cs) {
   derived_.reset();
 }
 
+void FaultTolerantMesh::clear_faults() {
+  faults_ = fault::FaultSet(mesh_);
+  derived_.reset();
+}
+
 const FaultTolerantMesh::Derived& FaultTolerantMesh::derived() const {
   if (!derived_) derived_ = std::make_shared<const Derived>(mesh_, faults_);
   return *derived_;
@@ -68,6 +73,14 @@ const Grid<bool>& FaultTolerantMesh::obstacles(FaultModel model, Quadrant q) con
 cond::RoutingProblem FaultTolerantMesh::problem(Coord s, Coord d, FaultModel model) const {
   const Quadrant q = quadrant_of(s, d);
   return {&mesh_, &obstacles(model, q), &safety(model, q), s, d};
+}
+
+const char* to_string(FaultModel model) noexcept {
+  switch (model) {
+    case FaultModel::FaultyBlock: return "faulty-block";
+    case FaultModel::Mcc: return "mcc";
+  }
+  return "?";
 }
 
 const char* to_string(Method m) noexcept {
@@ -152,6 +165,13 @@ cond::Decision FaultTolerantMesh::decide_strategy(Coord s, Coord d, FaultModel m
                                                   std::span<const Coord> pivots,
                                                   const cond::StrategyConfig& cfg) const {
   return cond::run_strategy(problem(s, d, model), id, cfg, pivots);
+}
+
+cond::Decision FaultTolerantMesh::decide_strategy(Coord s, Coord d, FaultModel model,
+                                                  cond::StrategyId id,
+                                                  const DecideOptions& opts) const {
+  const cond::StrategyConfig cfg{.segment_size = opts.segment_size};
+  return cond::run_strategy(problem(s, d, model), id, cfg, opts.pivots);
 }
 
 route::RouteResult FaultTolerantMesh::route(Coord s, Coord d, route::InfoPolicy policy,

@@ -33,6 +33,8 @@ namespace meshroute {
 /// Which fault model a query runs under.
 enum class FaultModel : std::uint8_t { FaultyBlock = 0, Mcc = 1 };
 
+[[nodiscard]] const char* to_string(FaultModel model) noexcept;
+
 /// Which sufficient conditions decide() may use, mirroring the paper's
 /// extensions. Defaults replicate strategy 4 minus pivots.
 struct DecideOptions {
@@ -74,6 +76,10 @@ class FaultTolerantMesh {
   void inject_fault(Coord c);
   void inject_faults(std::span<const Coord> cs);
 
+  /// Remove every fault, returning the mesh to its fault-free state.
+  /// Derived state is invalidated exactly like inject_fault().
+  void clear_faults();
+
   [[nodiscard]] const Mesh2D& mesh() const noexcept { return mesh_; }
   [[nodiscard]] const fault::FaultSet& faults() const noexcept { return faults_; }
 
@@ -113,6 +119,13 @@ class FaultTolerantMesh {
                                                cond::StrategyId id,
                                                std::span<const Coord> pivots,
                                                const cond::StrategyConfig& cfg = {}) const;
+
+  /// Same, but driven by the decide()-style options: the StrategyConfig is
+  /// derived from `opts` (segment size) and `opts.pivots` is the pivot set,
+  /// so callers configure one struct for both entry points.
+  [[nodiscard]] cond::Decision decide_strategy(Coord s, Coord d, FaultModel model,
+                                               cond::StrategyId id,
+                                               const DecideOptions& opts) const;
 
   /// Wu-protocol routing over the faulty-block model.
   [[nodiscard]] route::RouteResult route(

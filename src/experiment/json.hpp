@@ -1,0 +1,75 @@
+// Minimal JSON value model, parser, and writer for the structured bench
+// output (`--json=`). Deliberately tiny: enough to round-trip the sweep
+// schema `{tag, n, trials, dests, seed, points:[...], wall_ms}` and to let
+// tests and the bench smoke checker validate emitted files without an
+// external dependency.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace meshroute::experiment::json {
+
+/// A parsed JSON value. Objects keep keys sorted (std::map); the emitters in
+/// this repository write keys in a fixed order, so serialization of a
+/// freshly-built document is deterministic.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; throws if not an object or the key is absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// True when this is an object carrying `key`.
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, anything
+/// else after the value is an error). Throws std::runtime_error with a
+/// byte-offset message on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Serialize compactly (no whitespace). Numbers use the shortest
+/// representation that round-trips the double exactly.
+void write(std::string& out, const Value& v);
+[[nodiscard]] std::string to_string(const Value& v);
+
+/// Append a JSON string literal (quoted, escaped) to `out`.
+void write_string(std::string& out, std::string_view s);
+/// Append a number; integral values within int64 range print without a
+/// decimal point, everything else uses shortest-round-trip form.
+void write_number(std::string& out, double v);
+
+}  // namespace meshroute::experiment::json

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "experiment/json.hpp"
+
 namespace meshroute::experiment {
 namespace {
 
@@ -65,6 +67,37 @@ void Table::print_csv(std::ostream& os, const std::string& tag) const {
     for (const double v : row) os << "," << format_cell(v);
     os << "\n";
   }
+}
+
+void Table::append_json_points(std::string& out) const {
+  out += '[';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r != 0) out += ',';
+    out += '{';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c != 0) out += ',';
+      json::write_string(out, columns_[c]);
+      out += ':';
+      json::write_number(out, rows_[r][c]);
+    }
+    out += '}';
+  }
+  out += ']';
+}
+
+void Table::print_json(std::ostream& os, const std::string& tag) const {
+  std::string out;
+  out += "{\"tag\":";
+  json::write_string(out, tag);
+  out += ",\"columns\":[";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) out += ',';
+    json::write_string(out, columns_[c]);
+  }
+  out += "],\"points\":";
+  append_json_points(out);
+  out += "}";
+  os << out << "\n";
 }
 
 }  // namespace meshroute::experiment

@@ -24,7 +24,19 @@ class Table {
   /// Render as CSV with a `tag` first column (for scraping bench output).
   void print_csv(std::ostream& os, const std::string& tag) const;
 
+  /// Render as a single-line JSON object
+  /// `{"tag": tag, "columns": [...], "points": [{col: value, ...}, ...]}`.
+  /// Numbers serialize in shortest-round-trip form, so the values parse back
+  /// bit-exactly (tests/test_experiment.cpp round-trips them).
+  void print_json(std::ostream& os, const std::string& tag) const;
+
+  /// The points array alone (`[{col: value, ...}, ...]`), appended to `out`
+  /// — shared by print_json and the sweep engine's --json emitter.
+  void append_json_points(std::string& out) const;
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept { return columns_; }
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const { return rows_.at(i); }
 
  private:
   std::vector<std::string> columns_;

@@ -29,6 +29,26 @@ TEST(FaultTolerantMesh, InjectionInvalidatesDerivedState) {
   EXPECT_EQ(ftm.faults().count(), 3u);
 }
 
+TEST(FaultTolerantMesh, ClearFaultsRestoresTheFaultFreeState) {
+  FaultTolerantMesh ftm(20, 20);
+  ftm.inject_fault({10, 10});
+  ftm.inject_fault({3, 3});
+  EXPECT_EQ(ftm.blocks().block_count(), 2u);
+  ftm.clear_faults();
+  EXPECT_EQ(ftm.faults().count(), 0u);
+  EXPECT_EQ(ftm.blocks().block_count(), 0u);
+  EXPECT_EQ(ftm.decide({1, 1}, {15, 15}, FaultModel::FaultyBlock), cond::Decision::Minimal);
+  // The mesh is reusable: new faults rebuild derived state from scratch.
+  ftm.inject_fault({5, 5});
+  EXPECT_EQ(ftm.blocks().block_count(), 1u);
+  EXPECT_TRUE((ftm.obstacles(FaultModel::FaultyBlock, Quadrant::I)[{5, 5}]));
+}
+
+TEST(FaultTolerantMesh, FaultModelNames) {
+  EXPECT_STREQ(to_string(FaultModel::FaultyBlock), "faulty-block");
+  EXPECT_STREQ(to_string(FaultModel::Mcc), "mcc");
+}
+
 TEST(FaultTolerantMesh, SafetyGridsDifferPerModelAndQuadrant) {
   FaultTolerantMesh ftm(20, 20);
   // A NE-facing notch: (10,11) and (11,10) faulty; (10,10) is useless under
@@ -84,6 +104,38 @@ TEST(FaultTolerantMesh, DecideStrategyAndGroundTruth) {
       EXPECT_TRUE(r.delivered());
     }
   }
+}
+
+TEST(FaultTolerantMesh, DecideStrategyAcceptsDecideOptions) {
+  // The DecideOptions overload must agree with the explicit
+  // (pivots, StrategyConfig) one when fed the equivalent configuration.
+  Rng rng(9);
+  FaultTolerantMesh ftm(30, 30);
+  for (int i = 0; i < 50; ++i) {
+    ftm.inject_fault(
+        {static_cast<Dist>(rng.uniform(0, 29)), static_cast<Dist>(rng.uniform(0, 29))});
+  }
+  DecideOptions opts;
+  opts.segment_size = 5;
+  opts.pivots = info::generate_pivots(Rect{0, 29, 0, 29}, 2, info::PivotPlacement::Center);
+  const cond::StrategyConfig cfg{.segment_size = opts.segment_size};
+  int checked = 0;
+  for (int t = 0; t < 50; ++t) {
+    const Coord s{static_cast<Dist>(rng.uniform(0, 14)), static_cast<Dist>(rng.uniform(0, 14))};
+    const Coord d{static_cast<Dist>(rng.uniform(15, 29)), static_cast<Dist>(rng.uniform(15, 29))};
+    const Quadrant q = quadrant_of(s, d);
+    if (ftm.obstacles(FaultModel::FaultyBlock, q)[s] ||
+        ftm.obstacles(FaultModel::FaultyBlock, q)[d]) {
+      continue;
+    }
+    ++checked;
+    for (const auto id : {cond::StrategyId::S1, cond::StrategyId::S2, cond::StrategyId::S3,
+                          cond::StrategyId::S4}) {
+      EXPECT_EQ(ftm.decide_strategy(s, d, FaultModel::FaultyBlock, id, opts),
+                ftm.decide_strategy(s, d, FaultModel::FaultyBlock, id, opts.pivots, cfg));
+    }
+  }
+  EXPECT_GT(checked, 0);
 }
 
 TEST(FaultTolerantMesh, RouteViaCompletesTwoPhase) {

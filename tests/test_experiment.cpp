@@ -1,8 +1,16 @@
-// Tests for the simulation-trial harness and the table printer.
+// Tests for the simulation-trial harness, the table printer, and the
+// parallel sweep engine (flag parsing, seed-splitting, the determinism
+// contract, and the JSON output).
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "experiment/json.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
 #include "experiment/trial.hpp"
 
@@ -99,6 +107,176 @@ TEST(Table, RejectsBadShapes) {
   EXPECT_THROW(Table({}), std::invalid_argument);
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+std::optional<SweepConfig> parse_flags(std::vector<std::string> args, std::string* error) {
+  args.insert(args.begin(), "bench");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return SweepConfig::try_parse(static_cast<int>(argv.size()), argv.data(), error);
+}
+
+TEST(SweepConfig, ParsesTheSharedFlagSet) {
+  std::string error;
+  const auto cfg = parse_flags({"--trials=12", "--dests=7", "--n=64", "--seed=0x5eed2002",
+                                "--threads=3", "--json=-"},
+                               &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->trials, 12);
+  EXPECT_EQ(cfg->dests, 7);
+  EXPECT_EQ(cfg->n, 64);
+  EXPECT_EQ(cfg->seed, 0x5eed2002ULL);  // hex accepted (base-0 strtoull)
+  EXPECT_EQ(cfg->threads, 3);
+  EXPECT_EQ(cfg->json_path, "-");
+  EXPECT_EQ(cfg->fault_counts.size(), 20u);
+}
+
+TEST(SweepConfig, QuickSetsSmokeTestSweep) {
+  std::string error;
+  const auto cfg = parse_flags({"--quick"}, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_TRUE(cfg->quick);
+  EXPECT_EQ(cfg->trials, 8);
+  EXPECT_EQ(cfg->dests, 10);
+}
+
+TEST(SweepConfig, RejectsUnknownAndMalformedFlags) {
+  std::string error;
+  EXPECT_FALSE(parse_flags({"--bogus=1"}, &error).has_value());
+  EXPECT_NE(error.find("--bogus"), std::string::npos);
+  EXPECT_FALSE(parse_flags({"--trials=many"}, &error).has_value());
+  EXPECT_FALSE(parse_flags({"--trials=-4"}, &error).has_value());
+  EXPECT_FALSE(parse_flags({"--seed=0xnope"}, &error).has_value());
+  EXPECT_GE(parse_flags({}, &error)->resolved_threads(), 1);
+}
+
+TEST(Sweep, CellSeedsPairwiseDistinct) {
+  // The full default grid: 20 fault counts x 60 trials, plus a second mesh
+  // side to check n participates in the hash.
+  std::set<std::uint64_t> seeds;
+  std::size_t cells = 0;
+  for (const Dist n : {200, 300}) {
+    for (std::size_t k = 10; k <= 200; k += 10) {
+      for (int trial = 0; trial < 60; ++trial) {
+        seeds.insert(cell_seed(0x5eed2002ULL, k, n, trial));
+        ++cells;
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), cells);
+  EXPECT_NE(cell_seed(1, 10, 200, 0), cell_seed(2, 10, 200, 0));
+}
+
+SweepConfig small_config(int threads) {
+  SweepConfig cfg;
+  cfg.n = 30;
+  cfg.trials = 6;
+  cfg.dests = 5;
+  cfg.threads = threads;
+  cfg.fault_counts = {5, 10};
+  return cfg;
+}
+
+SweepResult run_small_sweep(int threads) {
+  const SweepConfig cfg = small_config(threads);
+  const SweepRunner runner(cfg, {"safe", "draw", "hits"});
+  return runner.run([&](const SweepCell& cell, Rng& rng, TrialCounters& out) {
+    const Trial trial = make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    for (int s = 0; s < cfg.dests; ++s) {
+      const Coord d = sample_quadrant1_dest(trial, rng);
+      out.count(0, !trial.fb_mask[d]);
+      out.observe(1, rng.uniform01());
+      out.count(2, rng.chance(0.5));
+    }
+  });
+}
+
+TEST(Sweep, BitIdenticalAcrossThreadCounts) {
+  const SweepResult serial = run_small_sweep(1);
+  const SweepResult pooled = run_small_sweep(8);
+  ASSERT_EQ(serial.points().size(), 2u);
+  for (std::size_t p = 0; p < serial.points().size(); ++p) {
+    for (const char* column : {"safe", "draw", "hits"}) {
+      EXPECT_EQ(serial.mean(p, column), pooled.mean(p, column));  // exact, not near
+      EXPECT_EQ(serial.ci95(p, column), pooled.ci95(p, column));
+      EXPECT_EQ(serial.count(p, column), pooled.count(p, column));
+    }
+  }
+
+  // And the rendered artifacts are byte-identical.
+  const Table ts = serial.table("faults", {"safe", "draw", "hits"});
+  const Table tp = pooled.table("faults", {"safe", "draw", "hits"});
+  std::ostringstream a;
+  std::ostringstream b;
+  ts.print_csv(a, "t");
+  tp.print_csv(b, "t");
+  ts.print_json(a, "t");
+  tp.print_json(b, "t");
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Sweep, MeanOrCoversColumnsThatNeverAccumulated) {
+  SweepConfig cfg = small_config(1);
+  cfg.fault_counts = {5};
+  const SweepRunner runner(cfg, {"always", "never"});
+  const auto result = runner.run(
+      [&](const SweepCell&, Rng&, TrialCounters& out) { out.count(0, true); });
+  EXPECT_EQ(result.mean(0, "always"), 1.0);
+  EXPECT_EQ(result.count(0, "never"), 0);
+  EXPECT_EQ(result.mean(0, "never"), 0.0);
+  EXPECT_EQ(result.mean_or(0, "never", 1.0), 1.0);
+  EXPECT_THROW((void)result.mean(0, "missing"), std::invalid_argument);
+}
+
+TEST(Sweep, JsonRoundTripsTableValues) {
+  Table t({"k", "ratio", "count"});
+  t.add_row({10, 0.1 + 0.2, 1234567891234.0});  // 0.30000000000000004 must survive
+  t.add_row({20, 0.9249999999999999, -0.5});
+  std::ostringstream os;
+  t.print_json(os, "roundtrip");
+  const json::Value v = json::parse(os.str());
+  EXPECT_EQ(v.at("tag").as_string(), "roundtrip");
+  ASSERT_EQ(v.at("points").as_array().size(), 2u);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const json::Value& point = v.at("points").as_array()[r];
+    for (std::size_t c = 0; c < 3; ++c) {
+      const std::string& column = v.at("columns").as_array()[c].as_string();
+      EXPECT_EQ(point.at(column).as_number(), t.row(r)[c]);  // exact round-trip
+    }
+  }
+}
+
+TEST(Sweep, WriteSweepJsonEmitsTheSchema) {
+  const SweepResult result = run_small_sweep(2);
+  const Table t = result.table("faults", {"safe", "draw"});
+  std::ostringstream os;
+  write_sweep_json(os, small_config(2), {{"unit", &t}}, result.wall_ms());
+  const json::Value v = json::parse(os.str());
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 1u);
+  const json::Value& entry = v.as_array()[0];
+  EXPECT_EQ(entry.at("tag").as_string(), "unit");
+  EXPECT_EQ(entry.at("n").as_number(), 30.0);
+  EXPECT_EQ(entry.at("trials").as_number(), 6.0);
+  EXPECT_EQ(entry.at("dests").as_number(), 5.0);
+  EXPECT_TRUE(entry.has("seed"));
+  EXPECT_TRUE(entry.has("wall_ms"));
+  ASSERT_EQ(entry.at("points").as_array().size(), 2u);
+  EXPECT_EQ(entry.at("points").as_array()[0].at("faults").as_number(), 5.0);
+}
+
+TEST(Json, ParserHandlesTheBasics) {
+  const json::Value v = json::parse(
+      R"({"s":"a\"bA","arr":[1,2.5,-3e2,true,false,null],"empty":{}})");
+  EXPECT_EQ(v.at("s").as_string(), "a\"bA");
+  ASSERT_EQ(v.at("arr").as_array().size(), 6u);
+  EXPECT_EQ(v.at("arr").as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(v.at("arr").as_array()[5].is_null());
+  EXPECT_TRUE(v.at("empty").as_object().empty());
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("1 2"), std::runtime_error);
 }
 
 }  // namespace

@@ -1,18 +1,23 @@
 // meshroutectl — command-line driver for the library.
 //
-//   meshroutectl map    --n 32 --faults 40 --seed 7 [--ppm out.ppm]
+//   meshroutectl map    --n 32 --faults 40 --seed 7 [--ppm out.ppm] [--ascii]
 //   meshroutectl decide --n 32 --faults 40 --seed 7 --src 2,2 --dst 28,30
 //                       [--model fb|mcc] [--segment 1] [--pivot-levels 3]
+//                       [--strategy s1|s2|s3|s4]
 //   meshroutectl route  --n 32 --faults 40 --seed 7 --src 2,2 --dst 28,30
-//                       [--policy boundary|global] [--ppm out.ppm]
+//                       [--policy boundary|global] [--ppm out.ppm] [--ascii]
 //
+// Flags take either `--key value` or `--key=value`; `--ascii` is a boolean.
 // Every invocation is deterministic under --seed.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cond/strategies.hpp"
 #include "core/fault_tolerant_mesh.hpp"
 #include "fault/fault_set.hpp"
 #include "info/pivots.hpp"
@@ -33,72 +38,128 @@ struct Options {
   FaultModel model = FaultModel::FaultyBlock;
   Dist segment = 1;
   int pivot_levels = 0;
+  std::optional<cond::StrategyId> strategy;
   route::InfoPolicy policy = route::InfoPolicy::BoundaryInfo;
   std::optional<std::string> ppm;
+  bool ascii = false;
 };
 
-std::optional<Coord> parse_coord(const std::string& s) {
+Coord parse_coord(const std::string& key, const std::string& s) {
   const auto comma = s.find(',');
-  if (comma == std::string::npos) return std::nullopt;
-  try {
-    return Coord{static_cast<Dist>(std::stol(s.substr(0, comma))),
-                 static_cast<Dist>(std::stol(s.substr(comma + 1)))};
-  } catch (const std::exception&) {
-    return std::nullopt;
+  if (comma != std::string::npos) {
+    try {
+      return Coord{static_cast<Dist>(std::stol(s.substr(0, comma))),
+                   static_cast<Dist>(std::stol(s.substr(comma + 1)))};
+    } catch (const std::exception&) {
+    }
   }
+  throw std::invalid_argument(key + " expects 'x,y', got '" + s + "'");
 }
 
-int usage() {
-  std::cerr << "usage: meshroutectl <map|decide|route> --n N --faults K --seed S\n"
-               "                    [--src x,y --dst x,y] [--model fb|mcc]\n"
-               "                    [--segment S] [--pivot-levels L]\n"
-               "                    [--policy boundary|global] [--ppm FILE]\n";
-  return 2;
+long parse_long(const std::string& key, const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(s, &pos);
+    if (pos == s.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument(key + " expects an integer, got '" + s + "'");
 }
 
-std::optional<Options> parse(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
+void print_usage(std::ostream& os) {
+  os << "usage: meshroutectl <map|decide|route> --n N --faults K --seed S\n"
+        "                    [--src x,y --dst x,y] [--model fb|mcc]\n"
+        "                    [--segment S] [--pivot-levels L] [--strategy s1|s2|s3|s4]\n"
+        "                    [--policy boundary|global] [--ppm FILE] [--ascii]\n"
+        "flags accept both '--key value' and '--key=value'.\n";
+}
+
+/// Key/value parser: every argument is either a boolean flag or a key whose
+/// value is attached with '=' or follows as the next argument. A trailing key
+/// with no value and an unknown flag are both hard errors (the old `i += 2`
+/// loop silently ignored them).
+Options parse(int argc, char** argv) {
+  if (argc < 2) throw std::invalid_argument("missing command (map|decide|route)");
   Options opt;
   opt.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const std::string key = argv[i];
-    const std::string value = argv[i + 1];
-    if (key == "--n") {
-      opt.n = static_cast<Dist>(std::stol(value));
+  if (opt.command != "map" && opt.command != "decide" && opt.command != "route") {
+    throw std::invalid_argument("unknown command '" + opt.command + "'");
+  }
+
+  int i = 2;
+  const auto next_value = [&](const std::string& key,
+                              const std::string& attached) -> std::string {
+    if (!attached.empty()) return attached;
+    if (i + 1 >= argc) throw std::invalid_argument(key + " is missing its value");
+    return argv[++i];
+  };
+
+  for (; i < argc; ++i) {
+    std::string key = argv[i];
+    std::string attached;
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      attached = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      if (attached.empty()) throw std::invalid_argument(key + " is missing its value");
+    }
+
+    if (key == "--ascii") {
+      if (!attached.empty()) throw std::invalid_argument("--ascii takes no value");
+      opt.ascii = true;
+    } else if (key == "--n") {
+      opt.n = static_cast<Dist>(parse_long(key, next_value(key, attached)));
     } else if (key == "--faults") {
-      opt.faults = static_cast<std::size_t>(std::stoul(value));
+      opt.faults = static_cast<std::size_t>(parse_long(key, next_value(key, attached)));
     } else if (key == "--seed") {
-      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+      const std::string v = next_value(key, attached);
+      char* end = nullptr;
+      opt.seed = std::strtoull(v.c_str(), &end, 0);
+      if (end == v.c_str() || *end != '\0') {
+        throw std::invalid_argument("--seed expects an integer, got '" + v + "'");
+      }
     } else if (key == "--src") {
-      opt.src = parse_coord(value);
-      if (!opt.src) return std::nullopt;
+      opt.src = parse_coord(key, next_value(key, attached));
     } else if (key == "--dst") {
-      opt.dst = parse_coord(value);
-      if (!opt.dst) return std::nullopt;
+      opt.dst = parse_coord(key, next_value(key, attached));
     } else if (key == "--model") {
-      if (value == "fb") {
+      const std::string v = next_value(key, attached);
+      if (v == "fb") {
         opt.model = FaultModel::FaultyBlock;
-      } else if (value == "mcc") {
+      } else if (v == "mcc") {
         opt.model = FaultModel::Mcc;
       } else {
-        return std::nullopt;
+        throw std::invalid_argument("--model expects fb or mcc, got '" + v + "'");
       }
     } else if (key == "--segment") {
-      opt.segment = static_cast<Dist>(std::stol(value));
+      opt.segment = static_cast<Dist>(parse_long(key, next_value(key, attached)));
     } else if (key == "--pivot-levels") {
-      opt.pivot_levels = static_cast<int>(std::stol(value));
+      opt.pivot_levels = static_cast<int>(parse_long(key, next_value(key, attached)));
+    } else if (key == "--strategy") {
+      const std::string v = next_value(key, attached);
+      if (v == "s1") {
+        opt.strategy = cond::StrategyId::S1;
+      } else if (v == "s2") {
+        opt.strategy = cond::StrategyId::S2;
+      } else if (v == "s3") {
+        opt.strategy = cond::StrategyId::S3;
+      } else if (v == "s4") {
+        opt.strategy = cond::StrategyId::S4;
+      } else {
+        throw std::invalid_argument("--strategy expects s1..s4, got '" + v + "'");
+      }
     } else if (key == "--policy") {
-      if (value == "boundary") {
+      const std::string v = next_value(key, attached);
+      if (v == "boundary") {
         opt.policy = route::InfoPolicy::BoundaryInfo;
-      } else if (value == "global") {
+      } else if (v == "global") {
         opt.policy = route::InfoPolicy::GlobalInfo;
       } else {
-        return std::nullopt;
+        throw std::invalid_argument("--policy expects boundary or global, got '" + v + "'");
       }
     } else if (key == "--ppm") {
-      opt.ppm = value;
+      opt.ppm = next_value(key, attached);
     } else {
-      return std::nullopt;
+      throw std::invalid_argument("unknown flag '" + key + "'");
     }
   }
   return opt;
@@ -110,12 +171,26 @@ void save_ppm(const render::Image& img, const std::string& path) {
   std::cout << "wrote " << path << "\n";
 }
 
+const char* decision_text(cond::Decision d) {
+  switch (d) {
+    case cond::Decision::Minimal: return "minimal path guaranteed";
+    case cond::Decision::SubMinimal: return "sub-minimal path guaranteed";
+    case cond::Decision::Unknown: break;
+  }
+  return "unknown (sufficient conditions cannot tell)";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto parsed = parse(argc, argv);
-  if (!parsed) return usage();
-  const Options& opt = *parsed;
+  Options opt;
+  try {
+    opt = parse(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    print_usage(std::cerr);
+    return 2;
+  }
 
   FaultTolerantMesh ftm(opt.n, opt.n);
   Rng rng(opt.seed);
@@ -130,16 +205,22 @@ int main(int argc, char** argv) {
             << ftm.blocks().total_disabled() << " disabled nodes), "
             << ftm.mcc().type_one.components().size() << " type-one MCCs\n";
 
+  const bool draw_ascii = opt.ascii || opt.n <= 64;
+
   if (opt.command == "map") {
     render::Image img = render::render_blocks(ftm.mesh(), ftm.faults(), ftm.blocks());
     if (opt.ppm) save_ppm(img, *opt.ppm);
-    if (opt.n <= 64) {
+    if (draw_ascii) {
       std::cout << render::ascii_map(ftm.mesh(), ftm.faults(), ftm.blocks());
     }
     return 0;
   }
 
-  if (!opt.src || !opt.dst) return usage();
+  if (!opt.src || !opt.dst) {
+    std::cerr << "error: " << opt.command << " requires --src and --dst\n";
+    print_usage(std::cerr);
+    return 2;
+  }
   const Coord s = *opt.src;
   const Coord d = *opt.dst;
 
@@ -151,42 +232,41 @@ int main(int argc, char** argv) {
   }
 
   if (opt.command == "decide") {
-    const Certificate cert = ftm.explain(s, d, opt.model, dopts);
-    std::cout << "decision: "
-              << (cert.decision == cond::Decision::Minimal
-                      ? "minimal path guaranteed"
-                      : cert.decision == cond::Decision::SubMinimal
-                            ? "sub-minimal path guaranteed"
-                            : "unknown (sufficient conditions cannot tell)")
-              << "\n  method: " << to_string(cert.method);
-    if (cert.method != Method::None) std::cout << "\n  via: " << to_string(cert.via);
+    std::cout << "model: " << to_string(opt.model) << "\n";
+    if (opt.strategy) {
+      const cond::Decision dec = ftm.decide_strategy(s, d, opt.model, *opt.strategy, dopts);
+      std::cout << "decision (" << cond::to_string(*opt.strategy)
+                << "): " << decision_text(dec);
+    } else {
+      const Certificate cert = ftm.explain(s, d, opt.model, dopts);
+      std::cout << "decision: " << decision_text(cert.decision)
+                << "\n  method: " << to_string(cert.method);
+      if (cert.method != Method::None) std::cout << "\n  via: " << to_string(cert.via);
+    }
     std::cout << "\n  ground truth: minimal path "
               << (ftm.minimal_path_exists(s, d) ? "exists" : "does not exist") << "\n";
     return 0;
   }
 
-  if (opt.command == "route") {
-    const auto r = ftm.route(s, d, opt.policy, &rng);
-    if (!r.delivered()) {
-      std::cout << "routing failed (" << (r.status == route::RouteStatus::SourceBlocked
-                                              ? "endpoint inside a block"
-                                              : "stuck: no admissible preferred move")
-                << ")\n";
-      return 1;
-    }
-    std::cout << "delivered in " << r.path.length() << " hops (Manhattan "
-              << manhattan(s, d) << ", minimal="
-              << (route::path_is_minimal(r.path) ? "yes" : "no") << ")\n";
-    if (opt.ppm) {
-      render::Image img = render::render_blocks(ftm.mesh(), ftm.faults(), ftm.blocks());
-      render::overlay_path(img, r.path);
-      save_ppm(img, *opt.ppm);
-    }
-    if (opt.n <= 64) {
-      std::cout << render::ascii_map(ftm.mesh(), ftm.faults(), ftm.blocks(), &r.path);
-    }
-    return 0;
+  // route
+  const auto r = ftm.route(s, d, opt.policy, &rng);
+  if (!r.delivered()) {
+    std::cout << "routing failed (" << (r.status == route::RouteStatus::SourceBlocked
+                                            ? "endpoint inside a block"
+                                            : "stuck: no admissible preferred move")
+              << ")\n";
+    return 1;
   }
-
-  return usage();
+  std::cout << "delivered in " << r.path.length() << " hops (Manhattan "
+            << manhattan(s, d) << ", minimal="
+            << (route::path_is_minimal(r.path) ? "yes" : "no") << ")\n";
+  if (opt.ppm) {
+    render::Image img = render::render_blocks(ftm.mesh(), ftm.faults(), ftm.blocks());
+    render::overlay_path(img, r.path);
+    save_ppm(img, *opt.ppm);
+  }
+  if (draw_ascii) {
+    std::cout << render::ascii_map(ftm.mesh(), ftm.faults(), ftm.blocks(), &r.path);
+  }
+  return 0;
 }
