@@ -9,6 +9,7 @@
 #include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
+#include "experiment/workspace.hpp"
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
 #include "fault/mcc_model.hpp"
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
                                        "existence"});
   const auto result = runner.run(
       experiment::fault_count_points({40, 80, 120, 200, 300}),
-      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialCounters& out) {
+      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialWorkspace& ws,
+          experiment::TrialCounters& out) {
         const auto faults = fault::clustered_faults(
             mesh, std::max<std::size_t>(1, cell.faults() / 10), 10, rng,
             [&](Coord c) { return c == source; });
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
         const Grid<bool> mcc_mask = info::obstacle_mask(mesh, mcc);
         const auto fb_safety = info::compute_safety_levels(mesh, fb_mask);
         const auto mcc_safety = info::compute_safety_levels(mesh, mcc_mask);
-        const Grid<bool> fault_mask = faults.mask();
+        cond::monotone_reachability(mesh, faults.mask(), source, ws.reach);
         for (int s = 0; s < cfg.dests; ++s) {
           const Coord d{static_cast<Dist>(rng.uniform(source.x + 1, cfg.n - 1)),
                         static_cast<Dist>(rng.uniform(source.y + 1, cfg.n - 1))};
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
           out.count(kSafeMcc, cond::source_safe(pm));
           out.count(kExt1Fb, cond::extension1(pf) == Decision::Minimal);
           out.count(kExt1Mcc, cond::extension1(pm) == Decision::Minimal);
-          out.count(kExist, cond::monotone_path_exists(mesh, fault_mask, source, d));
+          out.count(kExist, ws.reach[d]);
         }
       });
 

@@ -4,10 +4,9 @@
 #include <iostream>
 
 #include "cond/conditions.hpp"
-#include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 #include "info/pivots.hpp"
 
 int main(int argc, char** argv) {
@@ -20,9 +19,11 @@ int main(int argc, char** argv) {
                                        "existence"});
   const auto result = runner.run(
       experiment::fault_count_points({25, 50, 100, 150, 200}),
-      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialCounters& out) {
-        const experiment::Trial trial =
-            experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialWorkspace& ws,
+          experiment::TrialCounters& out) {
+        const experiment::Trial& trial =
+            experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
+        trial.reachability(ws.reach);
         const Rect area = trial.quadrant1_area();
         const auto center_p = info::generate_pivots(area, 3, info::PivotPlacement::Center);
         const auto random_p =
@@ -35,8 +36,7 @@ int main(int argc, char** argv) {
           out.count(kCenter, cond::extension3(p, center_p) == Decision::Minimal);
           out.count(kRandom, cond::extension3(p, random_p) == Decision::Minimal);
           out.count(kLatin, cond::extension3(p, latin_p) == Decision::Minimal);
-          out.count(kExist, cond::monotone_path_exists(trial.mesh, trial.faulty_mask,
-                                                       trial.source, d));
+          out.count(kExist, ws.reach[d]);
         }
       });
 

@@ -17,6 +17,7 @@
 #include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
+#include "experiment/workspace.hpp"
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
 #include "info/boundary.hpp"
@@ -50,7 +51,8 @@ experiment::Table run_workload(const experiment::SweepRunner& runner, bool clust
                                double* wall_ms) {
   const auto result = runner.run(
       experiment::fault_count_points({25, 50, 100, 150, 200}),
-      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialCounters& out) {
+      [&](const experiment::SweepCell& cell, Rng& rng, experiment::TrialWorkspace& ws,
+          experiment::TrialCounters& out) {
         const Coord source = mesh.center();
         const std::size_t k = cell.faults();
         const auto fs =
@@ -61,6 +63,7 @@ experiment::Table run_workload(const experiment::SweepRunner& runner, bool clust
                                                [&](Coord c) { return c == source; });
         const World w(mesh, fs);
         if (w.mask[source]) return;
+        cond::monotone_reachability(mesh, w.mask, source, ws.reach);
         const route::MinimalRouter br(mesh, w.blocks, &w.boundary,
                                       route::InfoPolicy::BoundaryInfo);
         const route::MinimalRouter gr(mesh, w.blocks, nullptr, route::InfoPolicy::GlobalInfo);
@@ -78,7 +81,7 @@ experiment::Table run_workload(const experiment::SweepRunner& runner, bool clust
           } else {
             out.count(kUnsafeBoundary, b_min);
             out.count(kUnsafeGlobal, g_min);
-            out.count(kUnsafeExist, cond::monotone_path_exists(mesh, w.mask, source, d));
+            out.count(kUnsafeExist, ws.reach[d]);
           }
         }
       });

@@ -32,11 +32,17 @@ int main(int argc, char** argv) {
                                        "soundness"});
   const auto result = runner.run(
       points, [&](const experiment::SweepCell& cell, Rng& rng,
-                  experiment::TrialCounters& out) {
+                  experiment::TrialWorkspace& /*ws*/, experiment::TrialCounters& out) {
+        // The 3-D buffers live here rather than in TrialWorkspace (which is
+        // 2-D-only); thread_local gives the same reuse-across-trials effect.
+        thread_local Grid3<bool> exist_reach;
+        thread_local Grid3<bool> sound_reach;
         const auto faults = uniform_random_faults3(mesh, cell.faults(), rng);
         const BlockSet3 blocks = build_faulty_blocks3(mesh, faults);
         if (blocks.is_block_node(source)) return;
         const SafetyGrid3 safety = compute_safety_levels3(mesh, blocks.mask());
+        monotone_reachability3(mesh, faults, source, exist_reach);
+        monotone_reachability3(mesh, blocks.mask(), source, sound_reach);
         for (int s = 0; s < cfg.dests; ++s) {
           const Coord3 d{static_cast<Dist>(rng.uniform(source.x + 1, kSide - 1)),
                          static_cast<Dist>(rng.uniform(source.y + 1, kSide - 1)),
@@ -48,9 +54,9 @@ int main(int argc, char** argv) {
           const Decision3 dec = extension1_3d(p);
           out.count(kExt1, dec == Decision3::Minimal);
           out.count(kExt1Sub, dec != Decision3::Unknown);
-          out.count(kExist, monotone_path_exists3(mesh, faults, source, d));
+          out.count(kExist, exist_reach[d]);
           if (is_safe) {
-            out.count(kSound, monotone_path_exists3(mesh, blocks.mask(), source, d));
+            out.count(kSound, sound_reach[d]);
           }
         }
       });

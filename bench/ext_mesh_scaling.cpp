@@ -8,10 +8,9 @@
 #include <vector>
 
 #include "cond/conditions.hpp"
-#include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
@@ -32,17 +31,17 @@ int main(int argc, char** argv) {
   experiment::SweepRunner runner(cfg, {"safe_source", "ext1_min", "ext2_seg1", "existence"});
   const auto result = runner.run(
       points, [&](const experiment::SweepCell& cell, Rng& rng,
-                  experiment::TrialCounters& out) {
-        const experiment::Trial trial =
-            experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+                  experiment::TrialWorkspace& ws, experiment::TrialCounters& out) {
+        const experiment::Trial& trial =
+            experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
+        trial.reachability(ws.reach);
         for (int s = 0; s < cfg.dests; ++s) {
           const Coord d = experiment::sample_quadrant1_dest(trial, rng);
           const cond::RoutingProblem p = trial.fb_problem(d);
           out.count(kSafe, cond::source_safe(p));
           out.count(kExt1, cond::extension1(p) == Decision::Minimal);
           out.count(kExt2, cond::extension2(p, 1) == Decision::Minimal);
-          out.count(kExist, cond::monotone_path_exists(trial.mesh, trial.faulty_mask,
-                                                       trial.source, d));
+          out.count(kExist, ws.reach[d]);
         }
       });
 

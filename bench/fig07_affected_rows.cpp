@@ -7,7 +7,7 @@
 #include "analysis/theorem2.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 #include "info/regions.hpp"
 
 int main(int argc, char** argv) {
@@ -17,9 +17,10 @@ int main(int argc, char** argv) {
   enum : std::size_t { kRowsFb, kColsFb, kRowsMcc };
   experiment::SweepRunner runner(cfg, {"sim_rows_fb", "sim_cols_fb", "sim_rows_mcc"});
   const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialWorkspace& ws,
                                      experiment::TrialCounters& out) {
-    const experiment::Trial trial =
-        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const experiment::Trial& trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
     const double denom = static_cast<double>(cell.n());
     out.observe(kRowsFb,
                 static_cast<double>(info::affected_rows(trial.mesh, trial.fb_mask).size()) /

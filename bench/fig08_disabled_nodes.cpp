@@ -5,7 +5,7 @@
 
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
@@ -16,9 +16,10 @@ int main(int argc, char** argv) {
                                        "wu_disabled_total", "mcc_disabled_total", "blocks",
                                        "mcc_comps"});
   const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialWorkspace& ws,
                                      experiment::TrialCounters& out) {
-    const experiment::Trial trial =
-        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const experiment::Trial& trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
     if (trial.blocks.block_count() > 0) {
       out.observe(kWu, static_cast<double>(trial.blocks.total_disabled()) /
                            static_cast<double>(trial.blocks.block_count()));

@@ -8,7 +8,7 @@
 #include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
@@ -20,13 +20,14 @@ int main(int argc, char** argv) {
                                        "safe_mcc", "ext1a_min_mcc", "ext1a_submin_mcc",
                                        "existence"});
   const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialWorkspace& ws,
                                      experiment::TrialCounters& out) {
-    const experiment::Trial trial =
-        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const experiment::Trial& trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
+    trial.reachability(ws.reach);
     for (int s = 0; s < cfg.dests; ++s) {
       const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-      out.count(kExist,
-                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      out.count(kExist, ws.reach[d]);
 
       const cond::RoutingProblem pf = trial.fb_problem(d);
       out.count(kSafeFb, cond::source_safe(pf));

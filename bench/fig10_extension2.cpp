@@ -8,7 +8,7 @@
 #include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 #include "info/regions.hpp"
 
 int main(int argc, char** argv) {
@@ -23,13 +23,14 @@ int main(int argc, char** argv) {
             "ext2_seg10_fb", "ext2_max_fb", "ext2a_seg1_mcc", "ext2a_seg5_mcc",
             "ext2a_seg10_mcc", "ext2a_max_mcc"});
   const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialWorkspace& ws,
                                      experiment::TrialCounters& out) {
-    const experiment::Trial trial =
-        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const experiment::Trial& trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
+    trial.reachability(ws.reach);
     for (int s = 0; s < cfg.dests; ++s) {
       const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-      out.count(kExist,
-                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      out.count(kExist, ws.reach[d]);
       const cond::RoutingProblem pf = trial.fb_problem(d);
       const cond::RoutingProblem pm = trial.mcc_problem(d);
       out.count(kSafeFb, cond::source_safe(pf));

@@ -9,7 +9,7 @@
 #include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 #include "info/pivots.hpp"
 
 int main(int argc, char** argv) {
@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
       cfg, {"safe_fb", "safe_mcc", "existence", "ext3_lvl1_fb", "ext3_lvl2_fb",
             "ext3_lvl3_fb", "ext3a_lvl1_mcc", "ext3a_lvl2_mcc", "ext3a_lvl3_mcc"});
   const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialWorkspace& ws,
                                      experiment::TrialCounters& out) {
-    const experiment::Trial trial =
-        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const experiment::Trial& trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
+    trial.reachability(ws.reach);
     // Center-placed pivot trees over the first-quadrant submesh; level l
     // pivots are a prefix-closed superset of level l-1's.
     const std::vector<Coord> pivots[3] = {
@@ -33,8 +35,7 @@ int main(int argc, char** argv) {
         info::generate_pivots(trial.quadrant1_area(), 3, info::PivotPlacement::Center)};
     for (int s = 0; s < cfg.dests; ++s) {
       const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-      out.count(kExist,
-                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      out.count(kExist, ws.reach[d]);
       const cond::RoutingProblem pf = trial.fb_problem(d);
       const cond::RoutingProblem pm = trial.mcc_problem(d);
       out.count(kSafeFb, cond::source_safe(pf));

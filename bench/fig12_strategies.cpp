@@ -8,7 +8,7 @@
 #include "cond/wang.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 #include "info/pivots.hpp"
 
 int main(int argc, char** argv) {
@@ -26,15 +26,16 @@ int main(int argc, char** argv) {
             "strat3_fb", "strat4_fb", "strat1a_mcc", "strat2a_mcc", "strat3a_mcc",
             "strat4a_mcc"});
   const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+                                     experiment::TrialWorkspace& ws,
                                      experiment::TrialCounters& out) {
-    const experiment::Trial trial =
-        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+    const experiment::Trial& trial =
+        experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
+    trial.reachability(ws.reach);
     const auto pivots = info::generate_pivots(trial.quadrant1_area(), 3,
                                               info::PivotPlacement::Random, &rng);
     for (int s = 0; s < cfg.dests; ++s) {
       const Coord d = experiment::sample_quadrant1_dest(trial, rng);
-      out.count(kExist,
-                cond::monotone_path_exists(trial.mesh, trial.faulty_mask, trial.source, d));
+      out.count(kExist, ws.reach[d]);
       const cond::RoutingProblem pf = trial.fb_problem(d);
       const cond::RoutingProblem pm = trial.mcc_problem(d);
       for (std::size_t i = 0; i < 4; ++i) {

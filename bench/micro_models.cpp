@@ -4,6 +4,7 @@
 // quantify the per-trial cost of the simulation pipeline.
 #include <benchmark/benchmark.h>
 
+#include "experiment/workspace.hpp"
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
 #include "fault/mcc_model.hpp"
@@ -52,6 +53,57 @@ void BM_SafetyLevelSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SafetyLevelSweep);
+
+void BM_BuildFaultyBlocksInPlace(benchmark::State& state) {
+  // Same work as BM_BuildFaultyBlocks, but through the scratch-reusing entry
+  // point: steady-state allocation count is zero.
+  const Mesh2D mesh = Mesh2D::square(200);
+  const auto fs = make_faults(mesh, static_cast<std::size_t>(state.range(0)), 1);
+  fault::BlockSet out;
+  fault::BlockScratch scratch;
+  for (auto _ : state) {
+    fault::build_faulty_blocks(mesh, fs, out, scratch);
+    benchmark::DoNotOptimize(out.block_count());
+  }
+}
+BENCHMARK(BM_BuildFaultyBlocksInPlace)->Arg(50)->Arg(200);
+
+void BM_BuildMccInPlace(benchmark::State& state) {
+  const Mesh2D mesh = Mesh2D::square(200);
+  const auto fs = make_faults(mesh, static_cast<std::size_t>(state.range(0)), 2);
+  fault::MccSet out;
+  fault::MccScratch scratch;
+  for (auto _ : state) {
+    fault::build_mcc(mesh, fs, fault::MccKind::TypeOne, out, scratch);
+    benchmark::DoNotOptimize(out.components().size());
+  }
+}
+BENCHMARK(BM_BuildMccInPlace)->Arg(50)->Arg(200);
+
+void BM_SafetyLevelSweepInPlace(benchmark::State& state) {
+  const Mesh2D mesh = Mesh2D::square(200);
+  const auto fs = make_faults(mesh, 200, 3);
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+  const auto mask = info::obstacle_mask(mesh, blocks);
+  info::SafetyGrid out;
+  for (auto _ : state) {
+    info::compute_safety_levels(mesh, mask, out);
+    benchmark::DoNotOptimize(out.width());
+  }
+}
+BENCHMARK(BM_SafetyLevelSweepInPlace);
+
+void BM_MakeTrialWorkspace(benchmark::State& state) {
+  // The whole per-trial pipeline (faults -> blocks -> MCC -> masks -> safety
+  // grids) through the reusable workspace, as the sweep engine runs it.
+  Rng rng(0xfeed);
+  experiment::TrialWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &experiment::make_trial({.n = 200, .faults = 200}, rng, ws));
+  }
+}
+BENCHMARK(BM_MakeTrialWorkspace);
 
 void BM_BoundaryInfoDistribution(benchmark::State& state) {
   const Mesh2D mesh = Mesh2D::square(200);

@@ -89,6 +89,31 @@ void BM_MonotoneDpOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_MonotoneDpOracle);
 
+void BM_ReachabilityOracle(benchmark::State& state) {
+  // Full-mesh batched oracle: one four-quadrant sweep answers every
+  // destination at once. Compare against BM_MonotoneDpOracle x dests to see
+  // the per-trial break-even point.
+  auto& fx = fixture();
+  Grid<bool> reach;
+  for (auto _ : state) {
+    cond::monotone_reachability(fx.trial.mesh, fx.trial.faulty_mask, fx.trial.source, reach);
+    benchmark::DoNotOptimize(reach.data());
+  }
+}
+BENCHMARK(BM_ReachabilityOracle);
+
+void BM_MonotoneDpRects(benchmark::State& state) {
+  // Rasterized rect-list DP (the router's node-local feasibility check).
+  auto& fx = fixture();
+  std::vector<Rect> rects;
+  for (const auto& b : fx.trial.blocks.blocks()) rects.push_back(b.rect);
+  const Coord d = fx.dest();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cond::monotone_path_exists_rects(rects, fx.trial.source, d));
+  }
+}
+BENCHMARK(BM_MonotoneDpRects);
+
 void BM_WangCoverageCondition(benchmark::State& state) {
   auto& fx = fixture();
   const Coord d = fx.dest();

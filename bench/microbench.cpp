@@ -1,0 +1,204 @@
+// Tracked micro-benchmark for the hot-path kernels behind every sweep: the
+// per-trial model builders (blocks, MCC, safety levels, obstacle masks), the
+// batched reachability oracle against the per-destination DP it replaces,
+// and the end-to-end workspace make_trial. Reports the median of --reps
+// repetitions per kernel and, with --json=, emits the schema consumed by
+// tools/bench_compare:
+//
+//   {"bench":"core","n":...,"faults":...,"reps":...,
+//    "kernels":[{"name":...,"iters":...,"median_us":...,"min_us":...,
+//                "max_us":...}, ...]}
+//
+// The checked-in BENCH_core.json at the repository root holds the reference
+// medians (Release build); regenerate it with
+//   build/bench/microbench --json=BENCH_core.json
+// and compare runs with
+//   build/tools/bench_compare BENCH_core.json new.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cond/conditions.hpp"
+#include "cond/wang.hpp"
+#include "experiment/json.hpp"
+#include "experiment/workspace.hpp"
+#include "fault/block_model.hpp"
+#include "fault/fault_set.hpp"
+#include "fault/mcc_model.hpp"
+#include "info/safety_level.hpp"
+
+namespace {
+
+using namespace meshroute;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  int reps = 9;
+  bool quick = false;
+  std::string json;  // empty = no JSON; "-" = stdout
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::cerr << "usage: microbench [--reps=K] [--quick] [--json=FILE|-]\n"
+               "  --reps=K   repetitions per kernel; the median is reported (default 9)\n"
+               "  --quick    3 reps and reduced inner iteration counts (smoke mode)\n"
+               "  --json=F   emit the bench_compare schema to F ('-' for stdout)\n";
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  bool reps_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      opt.reps = std::stoi(arg.substr(7));
+      reps_given = true;
+      if (opt.reps < 1) usage_and_exit();
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json = arg.substr(7);
+    } else {
+      usage_and_exit();
+    }
+  }
+  if (opt.quick && !reps_given) opt.reps = 3;
+  return opt;
+}
+
+struct KernelResult {
+  std::string name;
+  int iters = 0;
+  double median_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+};
+
+/// Time `fn` (one full kernel invocation) `iters` times per rep, `reps`
+/// times, and report per-invocation microseconds.
+KernelResult run_kernel(const std::string& name, int reps, int iters,
+                        const std::function<void()>& fn) {
+  std::vector<double> us(static_cast<std::size_t>(reps));
+  fn();  // warm-up: first-touch allocations land outside the timed region
+  for (auto& sample : us) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto t1 = Clock::now();
+    sample = std::chrono::duration<double, std::micro>(t1 - t0).count() /
+             static_cast<double>(iters);
+  }
+  std::sort(us.begin(), us.end());
+  KernelResult r{name, iters, us[us.size() / 2], us.front(), us.back()};
+  if (us.size() % 2 == 0) r.median_us = (us[us.size() / 2 - 1] + us[us.size() / 2]) / 2.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const int scale = opt.quick ? 4 : 1;  // quick mode divides inner iterations
+
+  constexpr Dist kSide = 200;
+  constexpr std::size_t kFaults = 200;
+  const Mesh2D mesh = Mesh2D::square(kSide);
+  const Coord source = mesh.center();
+
+  // Fixed-seed workload shared by all kernels, so medians are comparable
+  // across runs and machines-of-the-same-kind.
+  Rng rng(0xc0ffee);
+  const fault::FaultSet faults = fault::uniform_random_faults(
+      mesh, kFaults, rng, [&](Coord c) { return c == source; });
+  const fault::BlockSet blocks = fault::build_faulty_blocks(mesh, faults);
+  const fault::MccSet mcc = fault::build_mcc(mesh, faults, fault::MccKind::TypeOne);
+  const Grid<bool> fault_mask = faults.mask();
+  const Grid<bool> fb_mask = info::obstacle_mask(mesh, blocks);
+  const info::SafetyGrid safety = info::compute_safety_levels(mesh, fb_mask);
+  std::vector<Rect> rects;
+  for (const auto& b : blocks.blocks()) rects.push_back(b.rect);
+  const Coord far_dest{kSide - 1, kSide - 1};
+  const cond::RoutingProblem problem{&mesh, &fb_mask, &safety, source, far_dest};
+
+  // Reused outputs/scratch: the kernels measure steady-state (zero-alloc)
+  // cost, which is what the sweep engine pays per trial.
+  fault::BlockSet blocks_out;
+  fault::BlockScratch block_scratch;
+  fault::MccSet mcc_out;
+  fault::MccScratch mcc_scratch;
+  Grid<bool> mask_out;
+  info::SafetyGrid safety_out;
+  Grid<bool> reach;
+  experiment::TrialWorkspace ws;
+  Rng trial_rng(0xfeedbeef);
+  volatile bool sink = false;
+
+  std::vector<KernelResult> results;
+  const auto bench = [&](const char* name, int iters, const std::function<void()>& fn) {
+    results.push_back(run_kernel(name, opt.reps, std::max(1, iters / scale), fn));
+  };
+
+  bench("block_build", 32, [&] { fault::build_faulty_blocks(mesh, faults, blocks_out,
+                                                            block_scratch); });
+  bench("mcc_build", 32, [&] { fault::build_mcc(mesh, faults, fault::MccKind::TypeOne,
+                                                mcc_out, mcc_scratch); });
+  bench("obstacle_mask", 256, [&] { info::obstacle_mask(mesh, blocks, mask_out); });
+  bench("safety_build", 64, [&] { info::compute_safety_levels(mesh, fb_mask, safety_out); });
+  bench("reach_oracle", 256, [&] { cond::monotone_reachability(mesh, fault_mask, source,
+                                                               reach); });
+  bench("perdest_dp", 256,
+        [&] { sink = cond::monotone_path_exists(mesh, fault_mask, source, far_dest); });
+  bench("rects_dp", 4096,
+        [&] { sink = cond::monotone_path_exists_rects(rects, source, far_dest); });
+  bench("ext1_decide", 4096,
+        [&] { sink = cond::extension1(problem) == cond::Decision::Minimal; });
+  bench("make_trial_ws", 8, [&] {
+    sink = experiment::make_trial({.n = kSide, .faults = kFaults}, trial_rng, ws)
+               .fb_mask[far_dest];
+  });
+  (void)sink;
+
+  std::printf("%-16s %8s %12s %12s %12s\n", "kernel", "iters", "median_us", "min_us",
+              "max_us");
+  for (const auto& r : results) {
+    std::printf("%-16s %8d %12.3f %12.3f %12.3f\n", r.name.c_str(), r.iters, r.median_us,
+                r.min_us, r.max_us);
+  }
+
+  if (!opt.json.empty()) {
+    experiment::json::Value::Array kernels;
+    for (const auto& r : results) {
+      experiment::json::Value::Object k;
+      k["name"] = r.name;
+      k["iters"] = static_cast<double>(r.iters);
+      k["median_us"] = r.median_us;
+      k["min_us"] = r.min_us;
+      k["max_us"] = r.max_us;
+      kernels.emplace_back(std::move(k));
+    }
+    experiment::json::Value::Object doc;
+    doc["bench"] = "core";
+    doc["n"] = static_cast<double>(kSide);
+    doc["faults"] = static_cast<double>(kFaults);
+    doc["reps"] = static_cast<double>(opt.reps);
+    doc["kernels"] = std::move(kernels);
+    const std::string text = experiment::json::to_string(experiment::json::Value(doc));
+    if (opt.json == "-") {
+      std::cout << text << "\n";
+    } else {
+      std::ofstream os(opt.json, std::ios::trunc);
+      if (!os) {
+        std::cerr << "microbench: cannot write " << opt.json << "\n";
+        return 1;
+      }
+      os << text << "\n";
+    }
+  }
+  return 0;
+}

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
                                        "deadlocks"});
   const auto result = runner.run(
       points, [&](const experiment::SweepCell& cell, Rng& /*rng*/,
-                  experiment::TrialCounters& out) {
+                  experiment::TrialWorkspace& /*ws*/, experiment::TrialCounters& out) {
         SimConfig sim;
         sim.injection_rate = cell.x();
         sim.warmup_cycles = 500;

@@ -66,8 +66,10 @@ class Grid {
 
   void fill(const T& value) { cells_.assign(cells_.size(), static_cast<Cell>(value)); }
 
-  /// Raw storage, row-major by y then x (useful for bulk statistics).
+  /// Raw storage, row-major by y then x (useful for bulk statistics and for
+  /// the hot-path kernels that walk whole rows through raw pointers).
   [[nodiscard]] const std::vector<Cell>& data() const noexcept { return cells_; }
+  [[nodiscard]] std::vector<Cell>& data() noexcept { return cells_; }
 
   friend bool operator==(const Grid&, const Grid&) = default;
 

@@ -51,17 +51,28 @@ class Rng {
   /// k distinct integers sampled uniformly from [0, n) via partial
   /// Fisher-Yates; O(k) memory beyond the index pool.
   [[nodiscard]] std::vector<std::int64_t> sample_distinct(std::int64_t n, std::int64_t k) {
-    if (k < 0 || k > n) throw std::invalid_argument("Rng::sample_distinct: k out of range");
-    std::vector<std::int64_t> pool(static_cast<std::size_t>(n));
-    for (std::int64_t i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+    std::vector<std::int64_t> pool;
     std::vector<std::int64_t> out;
+    sample_distinct(n, k, pool, out);
+    return out;
+  }
+
+  /// In-place variant for hot loops: `pool` and `out` are caller-owned
+  /// scratch whose capacity is reused across calls. The draw sequence is
+  /// identical to the allocating overload (it depends only on n and k), so
+  /// the two produce the same sample from the same engine state.
+  void sample_distinct(std::int64_t n, std::int64_t k, std::vector<std::int64_t>& pool,
+                       std::vector<std::int64_t>& out) {
+    if (k < 0 || k > n) throw std::invalid_argument("Rng::sample_distinct: k out of range");
+    pool.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+    out.clear();
     out.reserve(static_cast<std::size_t>(k));
     for (std::int64_t i = 0; i < k; ++i) {
       const auto j = uniform(i, n - 1);
       std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
       out.push_back(pool[static_cast<std::size_t>(i)]);
     }
-    return out;
   }
 
   /// Derive an independent child stream (for per-trial determinism no matter

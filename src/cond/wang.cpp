@@ -55,6 +55,53 @@ Rect swap_axes(const Rect& r) { return Rect{r.ymin, r.ymax, r.xmin, r.xmax}; }
 
 }  // namespace
 
+void monotone_reachability(const Mesh2D& mesh, const Grid<bool>& blocked, Coord source,
+                           Grid<bool>& out) {
+  if (out.width() != mesh.width() || out.height() != mesh.height()) {
+    out = Grid<bool>(mesh.width(), mesh.height(), false);
+  } else {
+    out.fill(false);
+  }
+  if (!mesh.in_bounds(source) || blocked[source]) return;
+
+  const auto w = static_cast<std::size_t>(mesh.width());
+  const auto h = static_cast<std::size_t>(mesh.height());
+  const auto sx = static_cast<std::size_t>(source.x);
+  const auto sy = static_cast<std::size_t>(source.y);
+  const std::uint8_t* blk = blocked.data().data();
+  std::uint8_t* reach = out.data().data();
+
+  // One row of a quadrant pass: the cell above the source column continues
+  // straight, cells east (west) of it fold in the same row's westward
+  // (eastward) neighbor. `prev` is the adjacent row one step toward the
+  // source; nullptr marks the source row itself, whose center cell was
+  // seeded before the sweep.
+  const auto sweep_row = [&](std::uint8_t* r, const std::uint8_t* b, const std::uint8_t* prev) {
+    if (prev != nullptr) r[sx] = !b[sx] && prev[sx];
+    for (std::size_t x = sx + 1; x < w; ++x) {
+      r[x] = !b[x] && (r[x - 1] || (prev != nullptr && prev[x]));
+    }
+    for (std::size_t x = sx; x-- > 0;) {
+      r[x] = !b[x] && (r[x + 1] || (prev != nullptr && prev[x]));
+    }
+  };
+
+  reach[sy * w + sx] = 1;
+  sweep_row(reach + sy * w, blk + sy * w, nullptr);
+  for (std::size_t y = sy + 1; y < h; ++y) {
+    sweep_row(reach + y * w, blk + y * w, reach + (y - 1) * w);
+  }
+  for (std::size_t y = sy; y-- > 0;) {
+    sweep_row(reach + y * w, blk + y * w, reach + (y + 1) * w);
+  }
+}
+
+Grid<bool> monotone_reachability(const Mesh2D& mesh, const Grid<bool>& blocked, Coord source) {
+  Grid<bool> out(mesh.width(), mesh.height(), false);
+  monotone_reachability(mesh, blocked, source, out);
+  return out;
+}
+
 bool monotone_path_exists(const Mesh2D& mesh, const Grid<bool>& blocked, Coord s, Coord d) {
   if (!mesh.in_bounds(s) || !mesh.in_bounds(d)) return false;
   if (blocked[s] || blocked[d]) return false;
@@ -105,39 +152,51 @@ std::uint64_t count_minimal_paths(const Mesh2D& mesh, const Grid<bool>& blocked,
 bool monotone_path_exists_rects(std::span<const Rect> obstacles, Coord s, Coord d) {
   const QuadrantFrame frame(s, d);
   const Coord rd = frame.to_frame(d);
+  const auto w = static_cast<std::size_t>(rd.x) + 1;
+  const auto h = static_cast<std::size_t>(rd.y) + 1;
 
-  // Keep only obstacles intersecting the s-d span, in frame coordinates.
-  std::vector<Rect> rects;
-  const Rect span{0, rd.x, 0, rd.y};
+  // Rasterize the retained rects once instead of scanning every rect per DP
+  // cell: kBlocked paints the clipped rect areas, then the DP promotes
+  // kReachable through the same buffer. O(area + clipped rect area) total,
+  // and the thread-local buffer makes the router's per-move calls
+  // allocation-free in steady state.
+  constexpr char kBlocked = 1;
+  constexpr char kReachable = 2;
+  static thread_local std::vector<char> cells;
+  cells.assign(w * h, 0);
+
+  bool any = false;
   for (const Rect& r : obstacles) {
     const Rect fr = to_frame_rect(frame, r);
-    if (fr.overlaps(span)) rects.push_back(fr);
-  }
-  const auto blocked = [&](Dist x, Dist y) {
-    for (const Rect& r : rects) {
-      if (r.contains(Coord{x, y})) return true;
+    const auto x0 = static_cast<std::size_t>(std::max<Dist>(fr.xmin, 0));
+    const auto y0 = static_cast<std::size_t>(std::max<Dist>(fr.ymin, 0));
+    if (fr.xmax < 0 || fr.ymax < 0 || x0 > static_cast<std::size_t>(rd.x) ||
+        y0 > static_cast<std::size_t>(rd.y)) {
+      continue;
     }
-    return false;
-  };
-  if (blocked(0, 0) || blocked(rd.x, rd.y)) return false;
-  if (rects.empty()) return true;
+    const auto x1 = static_cast<std::size_t>(std::min(fr.xmax, rd.x));
+    const auto y1 = static_cast<std::size_t>(std::min(fr.ymax, rd.y));
+    for (std::size_t y = y0; y <= y1; ++y) {
+      std::fill(cells.begin() + static_cast<std::ptrdiff_t>(y * w + x0),
+                cells.begin() + static_cast<std::ptrdiff_t>(y * w + x1 + 1), kBlocked);
+    }
+    any = true;
+  }
+  if (cells.front() == kBlocked || cells.back() == kBlocked) return false;
+  if (!any) return true;
 
-  const auto w = static_cast<std::size_t>(rd.x) + 1;
-  std::vector<char> reach(w * (static_cast<std::size_t>(rd.y) + 1), 0);
-  const auto at = [&](Dist x, Dist y) -> char& {
-    return reach[static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x)];
-  };
-  for (Dist y = 0; y <= rd.y; ++y) {
-    for (Dist x = 0; x <= rd.x; ++x) {
-      if (blocked(x, y)) continue;
-      if (x == 0 && y == 0) {
-        at(x, y) = 1;
-      } else {
-        at(x, y) = (x > 0 && at(x - 1, y)) || (y > 0 && at(x, y - 1));
+  cells.front() = kReachable;
+  for (std::size_t y = 0; y < h; ++y) {
+    char* row = cells.data() + y * w;
+    const char* below = y > 0 ? row - w : nullptr;
+    for (std::size_t x = 0; x < w; ++x) {
+      if (row[x] != 0) continue;  // blocked, or the seeded origin
+      if ((x > 0 && row[x - 1] == kReachable) || (below != nullptr && below[x] == kReachable)) {
+        row[x] = kReachable;
       }
     }
   }
-  return at(rd.x, rd.y) != 0;
+  return cells.back() == kReachable;
 }
 
 bool wang_minimal_path_exists(std::span<const Rect> blocks, Coord s, Coord d) {

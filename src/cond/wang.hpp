@@ -27,6 +27,18 @@ namespace meshroute::cond {
 [[nodiscard]] bool monotone_path_exists(const Mesh2D& mesh, const Grid<bool>& blocked, Coord s,
                                         Coord d);
 
+/// Batched oracle: reachability of EVERY node from a fixed source in one
+/// four-quadrant DP over the mesh, so that for all d
+///     out[d] == monotone_path_exists(mesh, blocked, source, d).
+/// O(area) total — the per-trial replacement for O(dests x area) loops of
+/// the single-destination oracle. The in-place overload writes into a
+/// caller-owned grid (resized only on dimension mismatch), allocating
+/// nothing in steady state.
+void monotone_reachability(const Mesh2D& mesh, const Grid<bool>& blocked, Coord source,
+                           Grid<bool>& out);
+[[nodiscard]] Grid<bool> monotone_reachability(const Mesh2D& mesh, const Grid<bool>& blocked,
+                                               Coord source);
+
 /// Number of distinct monotone (minimal) paths from s to d avoiding blocked
 /// nodes, saturated at kMaxPathCount. Fault-free meshes have binomial-many
 /// minimal paths; the count quantifies how much path diversity a fault

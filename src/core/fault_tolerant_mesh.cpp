@@ -192,4 +192,8 @@ bool FaultTolerantMesh::minimal_path_exists(Coord s, Coord d) const {
   return cond::monotone_path_exists(mesh_, derived().faulty_mask, s, d);
 }
 
+Grid<bool> FaultTolerantMesh::minimal_reachability(Coord s) const {
+  return cond::monotone_reachability(mesh_, derived().faulty_mask, s);
+}
+
 }  // namespace meshroute

@@ -141,6 +141,10 @@ class FaultTolerantMesh {
   /// Ground truth: does a minimal path avoiding the *faulty nodes* exist?
   [[nodiscard]] bool minimal_path_exists(Coord s, Coord d) const;
 
+  /// Batched ground truth: minimal_path_exists(s, d) for every d in one
+  /// O(area) pass (cond::monotone_reachability against the faulty mask).
+  [[nodiscard]] Grid<bool> minimal_reachability(Coord s) const;
+
  private:
   struct Derived;
   [[nodiscard]] const Derived& derived() const;

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "experiment/json.hpp"
+#include "experiment/workspace.hpp"
 
 namespace meshroute::experiment {
 namespace {
@@ -192,6 +193,7 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const TrialFn& fn) 
   std::exception_ptr first_error;
 
   const auto worker = [&]() {
+    TrialWorkspace workspace;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) return;
@@ -199,7 +201,7 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const TrialFn& fn) 
       const SweepPoint& p = points[ref.point];
       Rng rng(cell_seed(config_.seed, p.faults, p.n, ref.trial));
       try {
-        fn(SweepCell{p, ref.trial}, rng, raw[i]);
+        fn(SweepCell{p, ref.trial}, rng, workspace, raw[i]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -17,11 +17,18 @@
 //
 //   const auto cfg = experiment::SweepConfig::parse(argc, argv);
 //   experiment::SweepRunner runner(cfg, {"safe", "ext1", "existence"});
-//   const auto result = runner.run([&](const experiment::SweepCell& cell,
-//                                      Rng& rng, experiment::TrialCounters& out) {
-//     const auto trial = experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+//   const auto result = runner.run([&](const experiment::SweepCell& cell, Rng& rng,
+//                                      experiment::TrialWorkspace& ws,
+//                                      experiment::TrialCounters& out) {
+//     const auto& trial =
+//         experiment::make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
 //     for (int s = 0; s < cfg.dests; ++s) out.count(0, ...);
 //   });
+//
+// Each worker thread owns one TrialWorkspace for the whole run, so
+// steady-state trials reuse every grid/scratch buffer instead of
+// reallocating them per cell (results are unaffected — the workspace path
+// is bit-identical to the allocating one).
 //   experiment::Table t = result.table("faults", {"safe", "ext1", "existence"});
 //   experiment::write_sweep_json(cfg, {{"fig09a", &t}}, result.wall_ms());
 #pragma once
@@ -40,6 +47,8 @@
 #include "experiment/table.hpp"
 
 namespace meshroute::experiment {
+
+struct TrialWorkspace;
 
 /// Shared bench configuration, parsed from the common flag set:
 ///   --trials=N --dests=N --n=N --seed=S --threads=T --json=FILE|- --quick
@@ -173,7 +182,7 @@ class SweepResult {
 /// mutation goes through the per-cell Rng and TrialCounters).
 class SweepRunner {
  public:
-  using TrialFn = std::function<void(const SweepCell&, Rng&, TrialCounters&)>;
+  using TrialFn = std::function<void(const SweepCell&, Rng&, TrialWorkspace&, TrialCounters&)>;
 
   SweepRunner(SweepConfig config, std::vector<std::string> columns);
 

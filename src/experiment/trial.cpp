@@ -1,41 +1,58 @@
 #include "experiment/trial.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "cond/wang.hpp"
+#include "experiment/workspace.hpp"
 
 namespace meshroute::experiment {
 
+void Trial::reachability(Grid<bool>& out) const {
+  cond::monotone_reachability(mesh, faulty_mask, source, out);
+}
+
+Grid<bool> Trial::reachability() const {
+  return cond::monotone_reachability(mesh, faulty_mask, source);
+}
+
 Trial make_trial(const TrialConfig& config, Rng& rng) {
+  TrialWorkspace workspace;
+  return std::move(make_trial(config, rng, workspace));
+}
+
+Trial& make_trial(const TrialConfig& config, Rng& rng, TrialWorkspace& workspace) {
   const Mesh2D mesh = Mesh2D::square(config.n);
   const Coord source = config.source.value_or(mesh.center());
   if (!mesh.in_bounds(source)) throw std::invalid_argument("make_trial: source outside mesh");
+
+  if (!workspace.trial) {
+    workspace.trial.emplace(Trial{mesh, source, fault::FaultSet{}, fault::BlockSet{},
+                                  fault::MccSet{}, Grid<bool>{}, Grid<bool>{}, Grid<bool>{},
+                                  info::SafetyGrid{}, info::SafetyGrid{}});
+  }
+  Trial& trial = *workspace.trial;
+  trial.mesh = mesh;
+  trial.source = source;
 
   constexpr int kMaxRerolls = 1000;
   for (int attempt = 0; attempt < kMaxRerolls; ++attempt) {
     // The source itself is never faulty; block membership is re-checked
     // after model construction since blocks can engulf healthy nodes.
-    auto faults = fault::uniform_random_faults(mesh, config.faults, rng,
-                                               [&](Coord c) { return c == source; });
-    auto blocks = fault::build_faulty_blocks(mesh, faults);
-    if (blocks.is_block_node(source)) continue;
-    auto mcc1 = fault::build_mcc(mesh, faults, fault::MccKind::TypeOne);
-    if (mcc1.is_mcc_node(source)) continue;
+    fault::uniform_random_faults(mesh, config.faults, rng,
+                                 [&](Coord c) { return c == source; }, trial.faults,
+                                 workspace.sample);
+    fault::build_faulty_blocks(mesh, trial.faults, trial.blocks, workspace.block);
+    if (trial.blocks.is_block_node(source)) continue;
+    fault::build_mcc(mesh, trial.faults, fault::MccKind::TypeOne, trial.mcc1, workspace.mcc);
+    if (trial.mcc1.is_mcc_node(source)) continue;
 
-    Grid<bool> faulty_mask = faults.mask();
-    Grid<bool> fb_mask = info::obstacle_mask(mesh, blocks);
-    Grid<bool> mcc_mask = info::obstacle_mask(mesh, mcc1);
-    info::SafetyGrid fb_safety = info::compute_safety_levels(mesh, fb_mask);
-    info::SafetyGrid mcc_safety = info::compute_safety_levels(mesh, mcc_mask);
-
-    return Trial{mesh,
-                 source,
-                 std::move(faults),
-                 std::move(blocks),
-                 std::move(mcc1),
-                 std::move(faulty_mask),
-                 std::move(fb_mask),
-                 std::move(mcc_mask),
-                 std::move(fb_safety),
-                 std::move(mcc_safety)};
+    trial.faulty_mask = trial.faults.mask();
+    info::obstacle_mask(mesh, trial.blocks, trial.fb_mask);
+    info::obstacle_mask(mesh, trial.mcc1, trial.mcc_mask);
+    info::compute_safety_levels(mesh, trial.fb_mask, trial.fb_safety);
+    info::compute_safety_levels(mesh, trial.mcc_mask, trial.mcc_safety);
+    return trial;
   }
   throw std::runtime_error("make_trial: could not place source outside all blocks");
 }

@@ -52,6 +52,14 @@ struct Trial {
   [[nodiscard]] Rect quadrant1_area() const {
     return Rect{source.x + 1, mesh.width() - 1, source.y + 1, mesh.height() - 1};
   }
+
+  /// Ground-truth reachability of every node from the source avoiding the
+  /// truly faulty nodes, in one O(area) pass (cond::monotone_reachability):
+  /// out[d] answers "does a minimal s-d path exist?" for all d at once.
+  /// The in-place form writes into a caller-owned grid (e.g. a
+  /// TrialWorkspace's reach buffer), allocating nothing in steady state.
+  void reachability(Grid<bool>& out) const;
+  [[nodiscard]] Grid<bool> reachability() const;
 };
 
 /// Build a trial; re-rolls the fault placement until the source lies outside

@@ -1,7 +1,7 @@
 #include "fault/block_model.hpp"
 
-#include <deque>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 namespace meshroute::fault {
@@ -18,38 +18,54 @@ bool disable_condition(const Mesh2D& mesh, const Grid<bool>& bad, Coord c) {
 }
 
 /// Worklist propagation of the disable rule over an initial bad mask.
-/// Mutates `bad` to its fixed point.
-void propagate_disable(const Mesh2D& mesh, Grid<bool>& bad) {
-  std::deque<Coord> work;
-  mesh.for_each_node([&](Coord c) {
-    if (!bad[c] && disable_condition(mesh, bad, c)) work.push_back(c);
-  });
+/// Mutates `bad` to its fixed point. `seeds` are bad nodes covering every
+/// recent addition to the mask: a node can only newly satisfy the disable
+/// condition next to a bad node, so examining the seeds' neighbors finds
+/// every initially-qualifying node without an O(area) scan. The worklist is
+/// a plain vector used as a stack — the fixed point is order-independent.
+void propagate_disable(const Mesh2D& mesh, Grid<bool>& bad, std::vector<Coord>& work,
+                       std::span<const Coord> seeds) {
+  work.clear();
+  const auto push_candidates_around = [&](Coord c) {
+    for (const Direction d : kAllDirections) {
+      const Coord v = neighbor(c, d);
+      if (mesh.in_bounds(v) && !bad[v] && disable_condition(mesh, bad, v)) work.push_back(v);
+    }
+  };
+  for (const Coord s : seeds) push_candidates_around(s);
   while (!work.empty()) {
-    const Coord c = work.front();
-    work.pop_front();
+    const Coord c = work.back();
+    work.pop_back();
     if (bad[c] || !disable_condition(mesh, bad, c)) continue;
     bad[c] = true;
-    for (const Coord v : mesh.neighbors(c)) {
-      if (!bad[v] && disable_condition(mesh, bad, v)) work.push_back(v);
-    }
+    push_candidates_around(c);
   }
 }
 
-/// 4-connected components of the bad mask; returns bounding boxes.
-std::vector<Rect> component_boxes(const Mesh2D& mesh, const Grid<bool>& bad) {
-  Grid<bool> seen(mesh.width(), mesh.height(), false);
-  std::vector<Rect> boxes;
+/// 4-connected components of the bad mask; bounding boxes into `boxes`.
+/// Components are discovered in row-major order of their first node, which
+/// fixes the eventual block ordering.
+void component_boxes(const Mesh2D& mesh, const Grid<bool>& bad, Grid<bool>& seen,
+                     std::vector<Coord>& frontier, std::vector<Rect>& boxes) {
+  if (seen.width() != mesh.width() || seen.height() != mesh.height()) {
+    seen = Grid<bool>(mesh.width(), mesh.height(), false);
+  } else {
+    seen.fill(false);
+  }
+  boxes.clear();
   mesh.for_each_node([&](Coord start) {
     if (!bad[start] || seen[start]) return;
     Rect box = rect_at(start);
-    std::deque<Coord> frontier{start};
+    frontier.clear();
+    frontier.push_back(start);
     seen[start] = true;
     while (!frontier.empty()) {
-      const Coord c = frontier.front();
-      frontier.pop_front();
+      const Coord c = frontier.back();
+      frontier.pop_back();
       box = box.united(c);
-      for (const Coord v : mesh.neighbors(c)) {
-        if (bad[v] && !seen[v]) {
+      for (const Direction d : kAllDirections) {
+        const Coord v = neighbor(c, d);
+        if (mesh.in_bounds(v) && bad[v] && !seen[v]) {
           seen[v] = true;
           frontier.push_back(v);
         }
@@ -57,11 +73,10 @@ std::vector<Rect> component_boxes(const Mesh2D& mesh, const Grid<bool>& bad) {
     }
     boxes.push_back(box);
   });
-  return boxes;
 }
 
 /// Merge overlapping rectangles into their unions until pairwise disjoint.
-std::vector<Rect> merge_overlapping(std::vector<Rect> boxes) {
+void merge_overlapping(std::vector<Rect>& boxes) {
   bool changed = true;
   while (changed) {
     changed = false;
@@ -75,14 +90,14 @@ std::vector<Rect> merge_overlapping(std::vector<Rect> boxes) {
       }
     }
   }
-  return boxes;
 }
 
 }  // namespace
 
 Grid<NodeLabel> disable_labeling_fixed_point(const Mesh2D& mesh, const FaultSet& faults) {
   Grid<bool> bad = faults.mask();
-  propagate_disable(mesh, bad);
+  std::vector<Coord> work;
+  propagate_disable(mesh, bad, work, faults.faults());
   Grid<NodeLabel> labels(mesh.width(), mesh.height(), NodeLabel::Enabled);
   mesh.for_each_node([&](Coord c) {
     if (faults.contains(c)) {
@@ -95,8 +110,23 @@ Grid<NodeLabel> disable_labeling_fixed_point(const Mesh2D& mesh, const FaultSet&
 }
 
 BlockSet::BlockSet(const Mesh2D& mesh, std::vector<FaultyBlock> blocks, Grid<NodeLabel> labels)
-    : blocks_(std::move(blocks)), labels_(std::move(labels)),
-      id_(mesh.width(), mesh.height(), kNoBlock) {
+    : blocks_(std::move(blocks)), labels_(std::move(labels)) {
+  paint_ids(mesh);
+}
+
+void BlockSet::assign(const Mesh2D& mesh, const std::vector<FaultyBlock>& blocks,
+                      const Grid<NodeLabel>& labels) {
+  blocks_ = blocks;
+  labels_ = labels;
+  paint_ids(mesh);
+}
+
+void BlockSet::paint_ids(const Mesh2D& mesh) {
+  if (id_.width() != mesh.width() || id_.height() != mesh.height()) {
+    id_ = Grid<std::int32_t>(mesh.width(), mesh.height(), kNoBlock);
+  } else {
+    id_.fill(kNoBlock);
+  }
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
     const Rect& r = blocks_[b].rect;
     if (!mesh.bounds().contains(r)) {
@@ -128,31 +158,44 @@ std::int64_t BlockSet::total_faulty() const noexcept {
 }
 
 BlockSet build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults) {
-  Grid<bool> bad = faults.mask();
-  std::vector<Rect> boxes;
+  BlockSet out;
+  BlockScratch scratch;
+  build_faulty_blocks(mesh, faults, out, scratch);
+  return out;
+}
+
+void build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
+                         BlockScratch& scratch) {
+  Grid<bool>& bad = scratch.bad;
+  bad = faults.mask();
   // Alternate labeling and rectangular closure until the bad set is stable.
   // With scattered faults the first pass already yields disjoint rectangles
-  // and the loop exits after one verification round.
+  // and the loop exits after one verification round. Each propagation is
+  // seeded by the nodes added since the last fixed point (the faults on
+  // round one, the closure-grown cells afterwards).
+  scratch.grown.assign(faults.faults().begin(), faults.faults().end());
   while (true) {
-    propagate_disable(mesh, bad);
-    boxes = merge_overlapping(component_boxes(mesh, bad));
-    bool grew = false;
-    for (const Rect& r : boxes) {
+    propagate_disable(mesh, bad, scratch.work, scratch.grown);
+    component_boxes(mesh, bad, scratch.seen, scratch.frontier, scratch.boxes);
+    merge_overlapping(scratch.boxes);
+    scratch.grown.clear();
+    for (const Rect& r : scratch.boxes) {
       for (Dist y = r.ymin; y <= r.ymax; ++y) {
         for (Dist x = r.xmin; x <= r.xmax; ++x) {
           if (!bad[{x, y}]) {
             bad[{x, y}] = true;
-            grew = true;
+            scratch.grown.push_back({x, y});
           }
         }
       }
     }
-    if (!grew) break;
+    if (scratch.grown.empty()) break;
   }
 
-  std::vector<FaultyBlock> blocks;
-  blocks.reserve(boxes.size());
-  for (const Rect& r : boxes) {
+  std::vector<FaultyBlock>& blocks = scratch.blocks;
+  blocks.clear();
+  blocks.reserve(scratch.boxes.size());
+  for (const Rect& r : scratch.boxes) {
     FaultyBlock blk{r, 0, 0};
     for (Dist y = r.ymin; y <= r.ymax; ++y) {
       for (Dist x = r.xmin; x <= r.xmax; ++x) {
@@ -166,7 +209,12 @@ BlockSet build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults) {
     blocks.push_back(blk);
   }
 
-  Grid<NodeLabel> labels(mesh.width(), mesh.height(), NodeLabel::Enabled);
+  Grid<NodeLabel>& labels = scratch.labels;
+  if (labels.width() != mesh.width() || labels.height() != mesh.height()) {
+    labels = Grid<NodeLabel>(mesh.width(), mesh.height(), NodeLabel::Enabled);
+  } else {
+    labels.fill(NodeLabel::Enabled);
+  }
   mesh.for_each_node([&](Coord c) {
     if (faults.contains(c)) {
       labels[c] = NodeLabel::Faulty;
@@ -174,7 +222,7 @@ BlockSet build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults) {
       labels[c] = NodeLabel::Disabled;
     }
   });
-  return BlockSet(mesh, std::move(blocks), std::move(labels));
+  out.assign(mesh, blocks, labels);
 }
 
 }  // namespace meshroute::fault

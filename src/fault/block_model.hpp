@@ -40,7 +40,16 @@ inline constexpr std::int32_t kNoBlock = -1;
 /// The set of disjoint faulty blocks of a mesh plus an O(1) node -> block map.
 class BlockSet {
  public:
+  /// Empty set over an empty mesh; assign() before use.
+  BlockSet() = default;
+
   BlockSet(const Mesh2D& mesh, std::vector<FaultyBlock> blocks, Grid<NodeLabel> labels);
+
+  /// Rebuild in place from caller-owned inputs. Copy-assignments reuse the
+  /// existing grid/vector capacity, so steady-state rebuilds allocate
+  /// nothing; semantics are identical to constructing a fresh BlockSet.
+  void assign(const Mesh2D& mesh, const std::vector<FaultyBlock>& blocks,
+              const Grid<NodeLabel>& labels);
 
   [[nodiscard]] const std::vector<FaultyBlock>& blocks() const noexcept { return blocks_; }
   [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
@@ -61,14 +70,35 @@ class BlockSet {
   [[nodiscard]] std::int64_t total_faulty() const noexcept;
 
  private:
+  /// Repaint the id grid from blocks_ (shared by ctor and assign()).
+  void paint_ids(const Mesh2D& mesh);
+
   std::vector<FaultyBlock> blocks_;
   Grid<NodeLabel> labels_;
   Grid<std::int32_t> id_;
 };
 
+/// Reusable buffers for the in-place builder (one per worker thread).
+struct BlockScratch {
+  Grid<bool> bad;
+  Grid<bool> seen;
+  Grid<NodeLabel> labels;
+  std::vector<Coord> work;
+  std::vector<Coord> frontier;
+  std::vector<Coord> grown;
+  std::vector<Rect> boxes;
+  std::vector<FaultyBlock> blocks;
+};
+
 /// Run Definition 1 to its fixed point and package the resulting disjoint
 /// rectangular blocks.
 [[nodiscard]] BlockSet build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults);
+
+/// In-place overload: rebuilds `out` reusing its storage and `scratch`'s
+/// buffers; zero allocations in steady state. The allocating overload
+/// delegates here, so the two produce identical BlockSets.
+void build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
+                         BlockScratch& scratch);
 
 /// Just the disable-labeling fixed point (no rectangular closure); exposed
 /// separately so tests can assert the classic "components are rectangles"

@@ -4,6 +4,15 @@
 
 namespace meshroute::fault {
 
+void FaultSet::reset(const Mesh2D& mesh) {
+  if (mask_.width() != mesh.width() || mask_.height() != mesh.height()) {
+    mask_ = Grid<bool>(mesh.width(), mesh.height(), false);
+  } else {
+    mask_.fill(false);
+  }
+  faults_.clear();
+}
+
 void FaultSet::add(Coord c) {
   if (!mask_.in_bounds(c)) throw std::out_of_range("FaultSet::add " + to_string(c));
   if (mask_[c]) return;
@@ -13,7 +22,17 @@ void FaultSet::add(Coord c) {
 
 FaultSet uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
                                const CoordPredicate& exclude) {
-  std::vector<Coord> eligible;
+  FaultSet fs;
+  SampleScratch scratch;
+  uniform_random_faults(mesh, k, rng, exclude, fs, scratch);
+  return fs;
+}
+
+void uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
+                           const CoordPredicate& exclude, FaultSet& out,
+                           SampleScratch& scratch) {
+  std::vector<Coord>& eligible = scratch.eligible;
+  eligible.clear();
   eligible.reserve(mesh.node_count());
   mesh.for_each_node([&](Coord c) {
     if (!exclude || !exclude(c)) eligible.push_back(c);
@@ -21,12 +40,10 @@ FaultSet uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
   if (k > eligible.size()) {
     throw std::invalid_argument("uniform_random_faults: k exceeds eligible node count");
   }
-  FaultSet fs(mesh);
-  for (const auto idx : rng.sample_distinct(static_cast<std::int64_t>(eligible.size()),
-                                            static_cast<std::int64_t>(k))) {
-    fs.add(eligible[static_cast<std::size_t>(idx)]);
-  }
-  return fs;
+  out.reset(mesh);
+  rng.sample_distinct(static_cast<std::int64_t>(eligible.size()), static_cast<std::int64_t>(k),
+                      scratch.pool, scratch.picks);
+  for (const auto idx : scratch.picks) out.add(eligible[static_cast<std::size_t>(idx)]);
 }
 
 FaultSet clustered_faults(const Mesh2D& mesh, std::size_t clusters, std::size_t cluster_size,

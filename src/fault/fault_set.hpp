@@ -16,7 +16,14 @@ namespace meshroute::fault {
 /// A set of faulty nodes over a fixed mesh, with O(1) membership.
 class FaultSet {
  public:
+  /// Empty set over an empty mesh; reset() before use.
+  FaultSet() = default;
+
   explicit FaultSet(const Mesh2D& mesh) : mask_(mesh.width(), mesh.height(), false) {}
+
+  /// Empty the set and rebind it to `mesh`, reusing the mask storage when
+  /// the dimensions match (the workspace reset path).
+  void reset(const Mesh2D& mesh);
 
   /// Mark `c` faulty. Idempotent; out-of-range coordinates throw.
   void add(Coord c);
@@ -40,11 +47,25 @@ class FaultSet {
 /// Node predicate used to keep designated nodes (e.g. the source) fault-free.
 using CoordPredicate = std::function<bool(Coord)>;
 
+/// Reusable buffers for the in-place sampling path (one per worker thread).
+struct SampleScratch {
+  std::vector<Coord> eligible;
+  std::vector<std::int64_t> pool;
+  std::vector<std::int64_t> picks;
+};
+
 /// `k` distinct faulty nodes sampled uniformly from the mesh (the paper's
 /// "randomly generated faults"), skipping nodes where `exclude` is true.
 /// Throws if fewer than `k` eligible nodes exist.
 [[nodiscard]] FaultSet uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
                                              const CoordPredicate& exclude = nullptr);
+
+/// In-place overload: writes the sample into `out` reusing its storage and
+/// `scratch`'s buffers. Draws the exact same RNG sequence as the allocating
+/// overload (which delegates here), so results are bit-identical.
+void uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
+                           const CoordPredicate& exclude, FaultSet& out,
+                           SampleScratch& scratch);
 
 /// Clustered faults: `clusters` seed points, each growing `cluster_size`
 /// faults by a random walk around the seed. Produces the large irregular

@@ -1,8 +1,9 @@
 #include "fault/mcc_model.hpp"
 
 #include <array>
-#include <deque>
 #include <numeric>
+#include <span>
+#include <vector>
 
 namespace meshroute::fault {
 namespace {
@@ -25,8 +26,12 @@ std::array<Direction, 2> trigger_dirs(MccKind kind, std::uint8_t flag) {
 
 /// Propagate one label (useless or can't-reach) to its fixed point.
 /// A fault-free node gains `flag` when BOTH trigger-direction neighbors
-/// exist and are faulty-or-`flag`ged.
-void propagate_label(const Mesh2D& mesh, Grid<std::uint8_t>& status, MccKind kind,
+/// exist and are faulty-or-`flag`ged. An initially-qualifying node has both
+/// trigger neighbors faulty, so seeding from the opposite-direction
+/// neighbors of the faults finds them all without an O(area) scan; the
+/// worklist is a vector stack (the fixed point is order-independent).
+void propagate_label(const Mesh2D& mesh, Grid<std::uint8_t>& status,
+                     std::span<const Coord> faults, std::vector<Coord>& work, MccKind kind,
                      std::uint8_t flag) {
   const auto dirs = trigger_dirs(kind, flag);
   const auto qualifies = [&](Coord c) {
@@ -37,21 +42,22 @@ void propagate_label(const Mesh2D& mesh, Grid<std::uint8_t>& status, MccKind kin
     }
     return true;
   };
-  std::deque<Coord> work;
-  mesh.for_each_node([&](Coord c) {
-    if (qualifies(c)) work.push_back(c);
-  });
-  while (!work.empty()) {
-    const Coord c = work.front();
-    work.pop_front();
-    if (!qualifies(c)) continue;
-    status[c] |= flag;
-    // Newly labeled c can only enable nodes that look at c through a
-    // trigger direction, i.e. c's neighbors in the opposite directions.
+  // Newly labeled c can only enable nodes that look at c through a trigger
+  // direction, i.e. c's neighbors in the opposite directions.
+  const auto push_dependents = [&](Coord c) {
     for (const Direction d : dirs) {
       const Coord v = neighbor(c, opposite(d));
       if (mesh.in_bounds(v) && qualifies(v)) work.push_back(v);
     }
+  };
+  work.clear();
+  for (const Coord f : faults) push_dependents(f);
+  while (!work.empty()) {
+    const Coord c = work.back();
+    work.pop_back();
+    if (!qualifies(c)) continue;
+    status[c] |= flag;
+    push_dependents(c);
   }
 }
 
@@ -65,34 +71,58 @@ std::int64_t MccSet::total_disabled() const noexcept {
 }
 
 MccSet build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind) {
-  Grid<std::uint8_t> status(mesh.width(), mesh.height(), mcc_status::kFaultFree);
+  MccSet out;
+  MccScratch scratch;
+  build_mcc(mesh, faults, kind, out, scratch);
+  return out;
+}
+
+void build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind, MccSet& out,
+               MccScratch& scratch) {
+  Grid<std::uint8_t>& status = scratch.status;
+  if (status.width() != mesh.width() || status.height() != mesh.height()) {
+    status = Grid<std::uint8_t>(mesh.width(), mesh.height(), mcc_status::kFaultFree);
+  } else {
+    status.fill(mcc_status::kFaultFree);
+  }
   for (const Coord f : faults.faults()) status[f] = kFaulty;
 
   // The two labels reference disjoint predicates ("faulty or useless" vs
   // "faulty or can't-reach"), so their fixed points are independent.
-  propagate_label(mesh, status, kind, kUseless);
-  propagate_label(mesh, status, kind, kCantReach);
+  propagate_label(mesh, status, faults.faults(), scratch.work, kind, kUseless);
+  propagate_label(mesh, status, faults.faults(), scratch.work, kind, kCantReach);
 
-  // Connected components of labeled nodes (4-adjacency).
-  Grid<std::int32_t> comp_id(mesh.width(), mesh.height(), kNoMcc);
-  std::vector<MccComponent> components;
+  // Connected components of labeled nodes (4-adjacency), discovered in
+  // row-major order of their first node (fixes component ids). The frontier
+  // is a vector stack; per-component tallies are order-independent.
+  Grid<std::int32_t>& comp_id = scratch.comp_id;
+  if (comp_id.width() != mesh.width() || comp_id.height() != mesh.height()) {
+    comp_id = Grid<std::int32_t>(mesh.width(), mesh.height(), kNoMcc);
+  } else {
+    comp_id.fill(kNoMcc);
+  }
+  std::vector<MccComponent>& components = scratch.components;
+  components.clear();
+  std::vector<Coord>& frontier = scratch.work;
   mesh.for_each_node([&](Coord start) {
     if (status[start] == 0 || comp_id[start] != kNoMcc) return;
     const auto id = static_cast<std::int32_t>(components.size());
     MccComponent comp;
     comp.bbox = rect_at(start);
-    std::deque<Coord> frontier{start};
+    frontier.clear();
+    frontier.push_back(start);
     comp_id[start] = id;
     while (!frontier.empty()) {
-      const Coord c = frontier.front();
-      frontier.pop_front();
+      const Coord c = frontier.back();
+      frontier.pop_back();
       comp.bbox = comp.bbox.united(c);
       ++comp.size;
       if (status[c] & kFaulty) ++comp.faulty_count;
       if (status[c] & kUseless) ++comp.useless_count;
       if (status[c] & kCantReach) ++comp.cant_reach_count;
-      for (const Coord v : mesh.neighbors(c)) {
-        if (status[v] != 0 && comp_id[v] == kNoMcc) {
+      for (const Direction d : kAllDirections) {
+        const Coord v = neighbor(c, d);
+        if (mesh.in_bounds(v) && status[v] != 0 && comp_id[v] == kNoMcc) {
           comp_id[v] = id;
           frontier.push_back(v);
         }
@@ -101,7 +131,7 @@ MccSet build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind) {
     components.push_back(comp);
   });
 
-  return MccSet(kind, std::move(status), std::move(comp_id), std::move(components));
+  out.assign(kind, status, comp_id, components);
 }
 
 MccModel build_mcc_model(const Mesh2D& mesh, const FaultSet& faults) {

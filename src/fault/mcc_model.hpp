@@ -60,10 +60,23 @@ inline constexpr std::int32_t kNoMcc = -1;
 /// The MCC labeling of a mesh for one kind, with components extracted.
 class MccSet {
  public:
+  /// Empty labeling over an empty mesh; assign() before use.
+  MccSet() = default;
+
   MccSet(MccKind kind, Grid<std::uint8_t> status, Grid<std::int32_t> comp_id,
          std::vector<MccComponent> components)
       : kind_(kind), status_(std::move(status)), comp_id_(std::move(comp_id)),
         components_(std::move(components)) {}
+
+  /// Rebuild in place from caller-owned inputs; copy-assignments reuse the
+  /// existing grid/vector capacity (zero allocations in steady state).
+  void assign(MccKind kind, const Grid<std::uint8_t>& status, const Grid<std::int32_t>& comp_id,
+              const std::vector<MccComponent>& components) {
+    kind_ = kind;
+    status_ = status;
+    comp_id_ = comp_id;
+    components_ = components;
+  }
 
   [[nodiscard]] MccKind kind() const noexcept { return kind_; }
 
@@ -86,14 +99,28 @@ class MccSet {
   [[nodiscard]] std::int64_t total_disabled() const noexcept;
 
  private:
-  MccKind kind_;
+  MccKind kind_ = MccKind::TypeOne;
   Grid<std::uint8_t> status_;
   Grid<std::int32_t> comp_id_;
   std::vector<MccComponent> components_;
 };
 
+/// Reusable buffers for the in-place builder (one per worker thread).
+struct MccScratch {
+  Grid<std::uint8_t> status;
+  Grid<std::int32_t> comp_id;
+  std::vector<MccComponent> components;
+  std::vector<Coord> work;
+};
+
 /// Run Definition 2 to its fixed point for one labeling kind.
 [[nodiscard]] MccSet build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind);
+
+/// In-place overload: rebuilds `out` reusing its storage and `scratch`'s
+/// buffers. The allocating overload delegates here, so the two produce
+/// identical MccSets.
+void build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind, MccSet& out,
+               MccScratch& scratch);
 
 /// Both labelings; every node carries the paper's dual status
 /// (status1 for quadrant I/III, status2 for quadrant II/IV).

@@ -13,50 +13,96 @@ Dist chain(bool neighbor_is_obstacle, Dist neighbor_value) {
 
 Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::BlockSet& blocks) {
   Grid<bool> mask(mesh.width(), mesh.height(), false);
-  mesh.for_each_node([&](Coord c) { mask[c] = blocks.is_block_node(c); });
+  obstacle_mask(mesh, blocks, mask);
   return mask;
 }
 
 Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::MccSet& mcc) {
   Grid<bool> mask(mesh.width(), mesh.height(), false);
-  mesh.for_each_node([&](Coord c) { mask[c] = mcc.is_mcc_node(c); });
+  obstacle_mask(mesh, mcc, mask);
   return mask;
+}
+
+void obstacle_mask(const Mesh2D& mesh, const fault::BlockSet& blocks, Grid<bool>& out) {
+  if (out.width() != mesh.width() || out.height() != mesh.height()) {
+    out = Grid<bool>(mesh.width(), mesh.height(), false);
+  } else {
+    out.fill(false);
+  }
+  // Blocks tile the block-node set with disjoint rectangles, so painting
+  // them is equivalent to testing is_block_node per node — without touching
+  // the O(area) id grid.
+  const auto w = static_cast<std::size_t>(mesh.width());
+  std::uint8_t* cells = out.data().data();
+  for (const fault::FaultyBlock& b : blocks.blocks()) {
+    for (Dist y = b.rect.ymin; y <= b.rect.ymax; ++y) {
+      std::uint8_t* row = cells + static_cast<std::size_t>(y) * w;
+      for (Dist x = b.rect.xmin; x <= b.rect.xmax; ++x) row[static_cast<std::size_t>(x)] = 1;
+    }
+  }
+}
+
+void obstacle_mask(const Mesh2D& mesh, const fault::MccSet& mcc, Grid<bool>& out) {
+  if (out.width() != mesh.width() || out.height() != mesh.height()) {
+    out = Grid<bool>(mesh.width(), mesh.height(), false);
+  }
+  const std::vector<std::uint8_t>& status = mcc.status_grid().data();
+  std::uint8_t* cells = out.data().data();
+  for (std::size_t i = 0; i < status.size(); ++i) cells[i] = status[i] != 0;
 }
 
 SafetyGrid compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles) {
   SafetyGrid grid(mesh.width(), mesh.height());
-  const Dist w = mesh.width();
-  const Dist h = mesh.height();
-
-  // East: sweep each row from the east edge westward.
-  for (Dist y = 0; y < h; ++y) {
-    grid[{w - 1, y}].e = kInfiniteDistance;
-    for (Dist x = w - 2; x >= 0; --x) {
-      grid[{x, y}].e = chain(obstacles[{x + 1, y}], grid[{x + 1, y}].e);
-    }
-  }
-  // West: sweep each row from the west edge eastward.
-  for (Dist y = 0; y < h; ++y) {
-    grid[{0, y}].w = kInfiniteDistance;
-    for (Dist x = 1; x < w; ++x) {
-      grid[{x, y}].w = chain(obstacles[{x - 1, y}], grid[{x - 1, y}].w);
-    }
-  }
-  // North: sweep each column from the north edge southward.
-  for (Dist x = 0; x < w; ++x) {
-    grid[{x, h - 1}].n = kInfiniteDistance;
-    for (Dist y = h - 2; y >= 0; --y) {
-      grid[{x, y}].n = chain(obstacles[{x, y + 1}], grid[{x, y + 1}].n);
-    }
-  }
-  // South: sweep each column from the south edge northward.
-  for (Dist x = 0; x < w; ++x) {
-    grid[{x, 0}].s = kInfiniteDistance;
-    for (Dist y = 1; y < h; ++y) {
-      grid[{x, y}].s = chain(obstacles[{x, y - 1}], grid[{x, y - 1}].s);
-    }
-  }
+  compute_safety_levels(mesh, obstacles, grid);
   return grid;
+}
+
+void compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles, SafetyGrid& out) {
+  if (out.width() != mesh.width() || out.height() != mesh.height()) {
+    out = SafetyGrid(mesh.width(), mesh.height());
+  }
+  const auto w = static_cast<std::size_t>(mesh.width());
+  const auto h = static_cast<std::size_t>(mesh.height());
+  const std::uint8_t* obs = obstacles.data().data();
+  ExtendedSafetyLevel* grid = out.data().data();
+
+  // East and West: sweep each row inward from its edges.
+  for (std::size_t y = 0; y < h; ++y) {
+    ExtendedSafetyLevel* row = grid + y * w;
+    const std::uint8_t* orow = obs + y * w;
+    row[w - 1].e = kInfiniteDistance;
+    for (std::size_t x = w - 1; x-- > 0;) {
+      row[x].e = chain(orow[x + 1] != 0, row[x + 1].e);
+    }
+    row[0].w = kInfiniteDistance;
+    for (std::size_t x = 1; x < w; ++x) {
+      row[x].w = chain(orow[x - 1] != 0, row[x - 1].w);
+    }
+  }
+  // North: each row chains off the row above it (row-major, unlike the
+  // textbook per-column sweep, so the pass streams adjacent rows).
+  {
+    ExtendedSafetyLevel* top = grid + (h - 1) * w;
+    for (std::size_t x = 0; x < w; ++x) top[x].n = kInfiniteDistance;
+  }
+  for (std::size_t y = h - 1; y-- > 0;) {
+    ExtendedSafetyLevel* row = grid + y * w;
+    const ExtendedSafetyLevel* above = row + w;
+    const std::uint8_t* oabove = obs + (y + 1) * w;
+    for (std::size_t x = 0; x < w; ++x) {
+      row[x].n = chain(oabove[x] != 0, above[x].n);
+    }
+  }
+  // South: each row chains off the row below it.
+  for (std::size_t x = 0; x < w; ++x) grid[x].s = kInfiniteDistance;
+  for (std::size_t y = 1; y < h; ++y) {
+    ExtendedSafetyLevel* row = grid + y * w;
+    const ExtendedSafetyLevel* below = row - w;
+    const std::uint8_t* obelow = obs + (y - 1) * w;
+    for (std::size_t x = 0; x < w; ++x) {
+      row[x].s = chain(obelow[x] != 0, below[x].s);
+    }
+  }
 }
 
 }  // namespace meshroute::info

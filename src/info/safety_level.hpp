@@ -50,12 +50,23 @@ struct ExtendedSafetyLevel {
 using SafetyGrid = Grid<ExtendedSafetyLevel>;
 
 /// Obstacle mask of a fault model: true at every node belonging to a block.
+/// The in-place overloads write into a caller-owned grid (resized only on
+/// dimension mismatch) — the workspace path; the allocating ones delegate.
 [[nodiscard]] Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::BlockSet& blocks);
 [[nodiscard]] Grid<bool> obstacle_mask(const Mesh2D& mesh, const fault::MccSet& mcc);
+void obstacle_mask(const Mesh2D& mesh, const fault::BlockSet& blocks, Grid<bool>& out);
+void obstacle_mask(const Mesh2D& mesh, const fault::MccSet& mcc, Grid<bool>& out);
 
 /// Centralized reference computation of all safety levels by directional
 /// sweeps: O(nodes). The distributed formation protocol in simsub/ converges
 /// to exactly this grid (asserted by integration tests).
+///
+/// All four sweeps walk rows of contiguous memory (the N/S recurrences read
+/// the adjacent row rather than marching down a column), so the kernel
+/// streams the AoS plane once per direction instead of striding it. The
+/// in-place overload writes into a caller-owned grid, allocating nothing in
+/// steady state; every field of every cell is overwritten.
 [[nodiscard]] SafetyGrid compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles);
+void compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles, SafetyGrid& out);
 
 }  // namespace meshroute::info

@@ -60,6 +60,76 @@ bool monotone_path_exists3(const Mesh3D& mesh, const Grid3<bool>& blocked, Coord
   return reach[{ex, ey, ez}];
 }
 
+void monotone_reachability3(const Mesh3D& mesh, const Grid3<bool>& blocked, Coord3 source,
+                            Grid3<bool>& out) {
+  if (out.nx() != mesh.nx() || out.ny() != mesh.ny() || out.nz() != mesh.nz()) {
+    out = Grid3<bool>(mesh.nx(), mesh.ny(), mesh.nz(), false);
+  } else {
+    out.fill(false);
+  }
+  if (!mesh.in_bounds(source) || blocked[source]) return;
+
+  const auto w = static_cast<std::size_t>(mesh.nx());
+  const auto h = static_cast<std::size_t>(mesh.ny());
+  const auto depth = static_cast<std::size_t>(mesh.nz());
+  const auto sx = static_cast<std::size_t>(source.x);
+  const auto sy = static_cast<std::size_t>(source.y);
+  const auto sz = static_cast<std::size_t>(source.z);
+  const std::uint8_t* blk = blocked.data().data();
+  std::uint8_t* reach = out.data().data();
+
+  // One row of an octant pass. `py` is the adjacent row one step toward the
+  // source row within the same layer; `pz` the same row of the adjacent
+  // layer one step toward the source layer. Either may be nullptr on the
+  // source plane of its axis; the very first call (source row of the source
+  // layer) sees both null and relies on the pre-seeded center cell.
+  const auto sweep_row = [&](std::uint8_t* r, const std::uint8_t* b, const std::uint8_t* py,
+                             const std::uint8_t* pz) {
+    const auto from_prev = [&](std::size_t x) {
+      return (py != nullptr && py[x]) || (pz != nullptr && pz[x]);
+    };
+    if (py != nullptr || pz != nullptr) r[sx] = !b[sx] && from_prev(sx);
+    for (std::size_t x = sx + 1; x < w; ++x) {
+      r[x] = !b[x] && (r[x - 1] || from_prev(x));
+    }
+    for (std::size_t x = sx; x-- > 0;) {
+      r[x] = !b[x] && (r[x + 1] || from_prev(x));
+    }
+  };
+  // One layer: rows fan out from the source row exactly as the 2-D oracle's
+  // quadrant sweeps fan out from the source row of the mesh.
+  const auto sweep_layer = [&](std::uint8_t* layer, const std::uint8_t* b,
+                               const std::uint8_t* prev_layer) {
+    const auto row = [&](const std::uint8_t* base, std::size_t y) {
+      return base == nullptr ? nullptr : base + y * w;
+    };
+    sweep_row(layer + sy * w, b + sy * w, nullptr, row(prev_layer, sy));
+    for (std::size_t y = sy + 1; y < h; ++y) {
+      sweep_row(layer + y * w, b + y * w, layer + (y - 1) * w, row(prev_layer, y));
+    }
+    for (std::size_t y = sy; y-- > 0;) {
+      sweep_row(layer + y * w, b + y * w, layer + (y + 1) * w, row(prev_layer, y));
+    }
+  };
+
+  const std::size_t plane = w * h;
+  reach[(sz * h + sy) * w + sx] = 1;
+  sweep_layer(reach + sz * plane, blk + sz * plane, nullptr);
+  for (std::size_t z = sz + 1; z < depth; ++z) {
+    sweep_layer(reach + z * plane, blk + z * plane, reach + (z - 1) * plane);
+  }
+  for (std::size_t z = sz; z-- > 0;) {
+    sweep_layer(reach + z * plane, blk + z * plane, reach + (z + 1) * plane);
+  }
+}
+
+Grid3<bool> monotone_reachability3(const Mesh3D& mesh, const Grid3<bool>& blocked,
+                                   Coord3 source) {
+  Grid3<bool> out(mesh.nx(), mesh.ny(), mesh.nz(), false);
+  monotone_reachability3(mesh, blocked, source, out);
+  return out;
+}
+
 bool safe_with_respect_to3(const RoutingProblem3& p, Coord3 node, Coord3 target) {
   check_problem(p);
   const Mesh3D& mesh = *p.mesh;

@@ -26,6 +26,16 @@ namespace meshroute::d3 {
 [[nodiscard]] bool monotone_path_exists3(const Mesh3D& mesh, const Grid3<bool>& blocked,
                                          Coord3 s, Coord3 d);
 
+/// Batched oracle: reachability of EVERY node from a fixed source in one
+/// eight-octant DP over the mesh, so that for all d
+///     out[d] == monotone_path_exists3(mesh, blocked, source, d).
+/// O(volume) total. The in-place overload writes into a caller-owned grid
+/// (resized only on dimension mismatch), allocating nothing in steady state.
+void monotone_reachability3(const Mesh3D& mesh, const Grid3<bool>& blocked, Coord3 source,
+                            Grid3<bool>& out);
+[[nodiscard]] Grid3<bool> monotone_reachability3(const Mesh3D& mesh, const Grid3<bool>& blocked,
+                                                 Coord3 source);
+
 struct RoutingProblem3 {
   const Mesh3D* mesh = nullptr;
   const Grid3<bool>* obstacles = nullptr;

@@ -178,6 +178,12 @@ class Grid3 {
     return cells_[index(c)];
   }
 
+  void fill(const T& value) { cells_.assign(cells_.size(), static_cast<Cell>(value)); }
+
+  /// Raw storage, x fastest, then y, then z.
+  [[nodiscard]] const std::vector<Cell>& data() const noexcept { return cells_; }
+  [[nodiscard]] std::vector<Cell>& data() noexcept { return cells_; }
+
   friend bool operator==(const Grid3&, const Grid3&) = default;
 
  private:

@@ -12,7 +12,7 @@
 #include "experiment/json.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/table.hpp"
-#include "experiment/trial.hpp"
+#include "experiment/workspace.hpp"
 
 namespace meshroute::experiment {
 namespace {
@@ -181,8 +181,9 @@ SweepConfig small_config(int threads) {
 SweepResult run_small_sweep(int threads) {
   const SweepConfig cfg = small_config(threads);
   const SweepRunner runner(cfg, {"safe", "draw", "hits"});
-  return runner.run([&](const SweepCell& cell, Rng& rng, TrialCounters& out) {
-    const Trial trial = make_trial({.n = cell.n(), .faults = cell.faults()}, rng);
+  return runner.run([&](const SweepCell& cell, Rng& rng, TrialWorkspace& ws,
+                        TrialCounters& out) {
+    const Trial& trial = make_trial({.n = cell.n(), .faults = cell.faults()}, rng, ws);
     for (int s = 0; s < cfg.dests; ++s) {
       const Coord d = sample_quadrant1_dest(trial, rng);
       out.count(0, !trial.fb_mask[d]);
@@ -221,7 +222,7 @@ TEST(Sweep, MeanOrCoversColumnsThatNeverAccumulated) {
   cfg.fault_counts = {5};
   const SweepRunner runner(cfg, {"always", "never"});
   const auto result = runner.run(
-      [&](const SweepCell&, Rng&, TrialCounters& out) { out.count(0, true); });
+      [&](const SweepCell&, Rng&, TrialWorkspace&, TrialCounters& out) { out.count(0, true); });
   EXPECT_EQ(result.mean(0, "always"), 1.0);
   EXPECT_EQ(result.count(0, "never"), 0);
   EXPECT_EQ(result.mean(0, "never"), 0.0);

@@ -1,0 +1,114 @@
+// Compare two microbench JSON files (the schema bench/microbench.cpp emits)
+// and fail when any kernel's median regressed beyond a threshold:
+//
+//   bench_compare OLD.json NEW.json [--threshold=0.10]
+//
+// Exit status: 0 when every kernel present in both files satisfies
+// new_median <= old_median * (1 + threshold); 1 when at least one kernel
+// regressed; 2 on usage/parse errors. Kernels present in only one file are
+// reported but do not fail the comparison (adding or retiring a kernel must
+// not break CI against a stale baseline).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "experiment/json.hpp"
+
+namespace {
+
+using meshroute::experiment::json::Value;
+
+[[noreturn]] void usage_and_exit() {
+  std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.10]\n";
+  std::exit(2);
+}
+
+Value load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "bench_compare: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  try {
+    return meshroute::experiment::json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << path << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+/// kernel name -> median_us, from a document's "kernels" array.
+std::map<std::string, double> medians(const Value& doc, const std::string& path) {
+  std::map<std::string, double> out;
+  try {
+    for (const Value& k : doc.at("kernels").as_array()) {
+      out[k.at("name").as_string()] = k.at("median_us").as_number();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << path << ": unexpected schema: " << e.what() << "\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string old_path;
+  std::string new_path;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      try {
+        threshold = std::stod(arg.substr(12));
+      } catch (const std::exception&) {
+        usage_and_exit();
+      }
+      if (threshold < 0) usage_and_exit();
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      usage_and_exit();
+    }
+  }
+  if (new_path.empty()) usage_and_exit();
+
+  const auto old_medians = medians(load(old_path), old_path);
+  const auto new_medians = medians(load(new_path), new_path);
+
+  int regressions = 0;
+  std::printf("%-16s %12s %12s %9s\n", "kernel", "old_us", "new_us", "delta");
+  for (const auto& [name, new_us] : new_medians) {
+    const auto it = old_medians.find(name);
+    if (it == old_medians.end()) {
+      std::printf("%-16s %12s %12.3f %9s\n", name.c_str(), "-", new_us, "new");
+      continue;
+    }
+    const double old_us = it->second;
+    const double delta = old_us > 0 ? (new_us - old_us) / old_us : 0.0;
+    const bool regressed = new_us > old_us * (1.0 + threshold);
+    std::printf("%-16s %12.3f %12.3f %+8.1f%%%s\n", name.c_str(), old_us, new_us,
+                delta * 100.0, regressed ? "  REGRESSION" : "");
+    regressions += regressed ? 1 : 0;
+  }
+  for (const auto& [name, old_us] : old_medians) {
+    if (new_medians.find(name) == new_medians.end()) {
+      std::printf("%-16s %12.3f %12s %9s\n", name.c_str(), old_us, "-", "gone");
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("%d kernel(s) regressed beyond %.0f%%\n", regressions, threshold * 100.0);
+    return 1;
+  }
+  std::printf("no kernel regressed beyond %.0f%%\n", threshold * 100.0);
+  return 0;
+}
