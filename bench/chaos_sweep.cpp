@@ -1,0 +1,147 @@
+// Chaos experiment: delivery rate and hop overhead when the fault picture
+// changes WHILE packets are in flight — the regime the paper's static
+// model excludes by construction. Two sweeps on one run:
+//
+//   chaos_injection — x = scheduled mid-flight fault injections (rand=K@H,
+//     H = 2n ticks), information lag fixed at 8 + 1/hop. Charts each rung of
+//     the degradation ladder separately: minimal-only (Wu verbatim over the
+//     time-varying view), + spare detour, + bounded misroute.
+//   chaos_staleness — x = base information lag (ticks before any node hears
+//     of an injection), K = 8 injections fixed. Shows delivery eroding as
+//     nodes route on increasingly stale block pictures.
+//
+// Every trial is seed-split (cell_seed) and each destination forks its own
+// rng, with the three rung caps replaying IDENTICAL tie-break streams from
+// copies — so the rung columns differ only by ladder policy, never by luck.
+// Output is byte-identical for any --threads value.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "chaos/chaos_engine.hpp"
+#include "chaos/fault_schedule.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/table.hpp"
+#include "route/ladder.hpp"
+
+namespace {
+
+using namespace meshroute;
+
+enum : std::size_t {
+  kDelivMin, kDelivSpare, kDelivMis, kOverhead, kNewFault, kTtl, kStaleFail,
+  kEscalations, kDetours
+};
+
+const std::vector<std::string> kColumns = {
+    "deliv_min", "deliv_spare", "deliv_mis", "overhead", "new_fault",
+    "ttl_exceeded", "stale_fail", "escalations", "detours"};
+
+/// One sweep cell: K scheduled injections over [1, 2n], `lag` base ticks of
+/// information delay (+1 per hop), cfg.dests source/destination pairs, each
+/// routed under all three rung caps.
+void run_cell(const experiment::SweepCell& cell, Rng& rng, int dests, std::size_t injections,
+              std::int64_t base_lag, experiment::TrialCounters& out) {
+  const Dist n = cell.n();
+  const Mesh2D mesh(n, n);
+  chaos::FaultSchedule sched;
+  sched.set_random(injections, 2 * static_cast<std::int64_t>(n));
+  sched.staleness = chaos::StalenessSpec{base_lag, 1};
+  const chaos::ChaosEngine engine(mesh, {}, sched.materialized(mesh, rng));
+
+  for (int i = 0; i < dests; ++i) {
+    Rng dest_rng = rng.fork();
+    Coord s{};
+    Coord d{};
+    bool ok = false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      s = {static_cast<Dist>(dest_rng.uniform(0, n - 1)),
+           static_cast<Dist>(dest_rng.uniform(0, n - 1))};
+      d = {static_cast<Dist>(dest_rng.uniform(0, n - 1)),
+           static_cast<Dist>(dest_rng.uniform(0, n - 1))};
+      if (s != d && !engine.truly_bad(s, 0) && !engine.truly_bad(d, 0)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    const auto attempt = [&](route::Rung cap) {
+      Rng walk_rng = dest_rng;  // identical tie-break stream for every cap
+      route::LadderOptions opts;
+      opts.max_rung = cap;
+      return route_degradation_ladder(mesh, engine, s, d, opts, &walk_rng);
+    };
+    const route::LadderResult rmin = attempt(route::Rung::Minimal);
+    const route::LadderResult rspare = attempt(route::Rung::SpareDetour);
+    const route::LadderResult rmis = attempt(route::Rung::BoundedMisroute);
+
+    out.count(kDelivMin, rmin.delivered());
+    out.count(kDelivSpare, rspare.delivered());
+    out.count(kDelivMis, rmis.delivered());
+    if (rmis.delivered()) {
+      const auto hops = static_cast<double>(rmis.path.hops.size() - 1);
+      out.observe(kOverhead,
+                  hops / static_cast<double>(std::max<std::int64_t>(1, manhattan(s, d))));
+    }
+    out.count(kNewFault, rmis.status == route::RouteStatus::EnteredNewFault);
+    out.count(kTtl, rmis.status == route::RouteStatus::TtlExceeded);
+    out.count(kStaleFail, rmis.status == route::RouteStatus::InfoStale);
+    out.observe(kEscalations, static_cast<double>(rmis.escalations.size()));
+    out.observe(kDetours, static_cast<double>(rmis.detours));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace meshroute;
+  const auto cfg = experiment::SweepConfig::parse(argc, argv);
+
+  // Sweep 1: injection count at fixed staleness (lag 8 + 1/hop).
+  std::vector<experiment::SweepPoint> inj_points;
+  for (const std::size_t k : {0, 2, 4, 8, 16, 32}) {
+    inj_points.push_back({.x = static_cast<double>(k), .faults = k, .n = 0, .trials = 0});
+  }
+  const experiment::SweepRunner inj_runner(cfg, kColumns);
+  const auto inj_result = inj_runner.run(
+      inj_points, [&](const experiment::SweepCell& cell, Rng& rng,
+                      experiment::TrialWorkspace& /*ws*/, experiment::TrialCounters& out) {
+        run_cell(cell, rng, cfg.dests, cell.faults(), 8, out);
+      });
+
+  // Sweep 2: information staleness at fixed injection count (K = 8).
+  std::vector<experiment::SweepPoint> lag_points;
+  for (const std::int64_t lag : {0, 4, 8, 16, 32, 64}) {
+    // All points share `faults` (part of the cell seed), so every lag value
+    // replays the SAME schedules and source/destination draws — lag is the
+    // only variable along this axis.
+    lag_points.push_back({.x = static_cast<double>(lag), .faults = 8, .n = 0, .trials = 0});
+  }
+  const experiment::SweepRunner lag_runner(cfg, kColumns);
+  const auto lag_result = lag_runner.run(
+      lag_points, [&](const experiment::SweepCell& cell, Rng& rng,
+                      experiment::TrialWorkspace& /*ws*/, experiment::TrialCounters& out) {
+        run_cell(cell, rng, cfg.dests, cell.faults(),
+                 static_cast<std::int64_t>(cell.x()), out);
+      });
+
+  const experiment::Table inj_table = inj_result.table("injections", kColumns);
+  const experiment::Table lag_table = lag_result.table("base_lag", kColumns);
+  inj_table.print(std::cout,
+                  "Chaos sweep — delivery vs. mid-flight injections (lag 8 + 1/hop), "
+                  "degradation-ladder rungs charted separately");
+  inj_table.print_csv(std::cout, "chaos_injection");
+  lag_table.print(std::cout,
+                  "Chaos sweep — delivery vs. information staleness (8 injections)");
+  lag_table.print_csv(std::cout, "chaos_staleness");
+  std::cout << "\ndeliv_*: delivery rate with the ladder capped at each rung; overhead:\n"
+               "hops / Manhattan distance for delivered misroute-rung packets; new_fault /\n"
+               "ttl_exceeded / stale_fail: terminal statuses of the full ladder.\n";
+  // Last so `--json=-` keeps the JSON as stdout's final line (the contract
+  // every other bench honors).
+  experiment::write_sweep_json(cfg, {{"chaos_injection", &inj_table},
+                                     {"chaos_staleness", &lag_table}},
+                               inj_result.wall_ms() + lag_result.wall_ms());
+  return 0;
+}

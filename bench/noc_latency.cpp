@@ -31,11 +31,12 @@ int main(int argc, char** argv) {
   }
 
   enum : std::size_t {
-    kXyLat, kXyThru, kAdLat, kAdThru, kXyfLat, kXyfUndeliv, kAdfLat, kAdfUndeliv, kDeadlocks
+    kXyLat, kXyThru, kAdLat, kAdThru, kXyfLat, kXyfUndeliv, kAdfLat, kAdfUndeliv, kDeadlocks,
+    kWatchdogTrips, kDeadlockedPkts
   };
   experiment::SweepRunner runner(cfg, {"xy_lat", "xy_thru", "ad_lat", "ad_thru", "xy_f_lat",
                                        "xy_f_undeliv", "ad_f_lat", "ad_f_undeliv",
-                                       "deadlocks"});
+                                       "deadlocks", "watchdog_trips", "deadlocked_pkts"});
   const auto result = runner.run(
       points, [&](const experiment::SweepCell& cell, Rng& /*rng*/,
                   experiment::TrialWorkspace& /*ws*/, experiment::TrialCounters& out) {
@@ -63,11 +64,18 @@ int main(int argc, char** argv) {
         out.observe(kAdfUndeliv, static_cast<double>(adf.undeliverable));
         out.observe(kDeadlocks, (xy.deadlock ? 1.0 : 0.0) + (ad.deadlock ? 1.0 : 0.0) +
                                     (xyf.deadlock ? 1.0 : 0.0) + (adf.deadlock ? 1.0 : 0.0));
+        out.observe(kWatchdogTrips,
+                    static_cast<double>(xy.watchdog_trips + ad.watchdog_trips +
+                                        xyf.watchdog_trips + adf.watchdog_trips));
+        out.observe(kDeadlockedPkts,
+                    static_cast<double>(xy.deadlocked_packets + ad.deadlocked_packets +
+                                        xyf.deadlocked_packets + adf.deadlocked_packets));
       });
 
   const experiment::Table table = result.table(
       "inj_rate", {"xy_lat", "xy_thru", "ad_lat", "ad_thru", "xy_f_lat", "xy_f_undeliv",
-                   "ad_f_lat", "ad_f_undeliv", "deadlocks"});
+                   "ad_f_lat", "ad_f_undeliv", "deadlocks", "watchdog_trips",
+                   "deadlocked_pkts"});
   table.print(std::cout,
               "NoC latency/throughput — wormhole, 16x16 mesh, 5-flit packets, 2 VCs, "
               "8 faults in the *_f columns");

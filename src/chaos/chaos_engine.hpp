@@ -1,0 +1,89 @@
+// ChaosEngine: a FaultSchedule made queryable. The engine replays the whole
+// script up front against a dynamic::DynamicMeshState (the incremental
+// block/safety maintainer), recording after every injection
+//   * the tick each node turned bad (`bad_since`, the physical truth), and
+//   * a sorted snapshot of the faulty-block list (one epoch per injection).
+// All queries are then pure and thread-safe, so a sweep can share one
+// engine across destinations and threads with bit-identical results.
+//
+// As a route::FaultView it serves the degradation ladder:
+//   truly_bad(c, t)       — physical truth at tick t (1-hop sensing; the
+//                           fate of the node a packet stands on),
+//   believed_blocks(a, t) — the newest epoch PREFIX the node at `a` has
+//                           fully learned of under the schedule's staleness
+//                           law (an injection fired at T at site f reaches
+//                           `a` at T + base_lag + per_hop_lag * |a - f|);
+//                           knowledge is kept prefix-consistent, modeling
+//                           information flooding outward from each fault,
+//   is_stale(a, t)        — the believed epoch lags the true one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chaos/fault_schedule.hpp"
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rect.hpp"
+#include "dynamic/dynamic_state.hpp"
+#include "mesh/mesh2d.hpp"
+#include "route/ladder.hpp"
+
+namespace meshroute::chaos {
+
+/// Aggregate incremental-update work across the whole schedule replay.
+struct ReplayStats {
+  std::int64_t injections_applied = 0;  ///< schedule entries that changed state
+  dynamic::UpdateStats update;          ///< summed DynamicMeshState work
+};
+
+class ChaosEngine final : public route::FaultView {
+ public:
+  /// Replays `schedule` (which must have no pending rand directive —
+  /// materialize first) on top of `initial_faults`, which exist from the
+  /// beginning of time.
+  ChaosEngine(const Mesh2D& mesh, std::span<const Coord> initial_faults,
+              FaultSchedule schedule);
+
+  // route::FaultView
+  [[nodiscard]] bool truly_bad(Coord c, std::int64_t time) const override;
+  void believed_blocks(Coord at, std::int64_t time, std::vector<Rect>& out) const override;
+  [[nodiscard]] bool is_stale(Coord at, std::int64_t time) const override;
+
+  /// True block list as of tick `time` (sorted; stable across runs).
+  [[nodiscard]] const std::vector<Rect>& blocks_at(std::int64_t time) const;
+
+  /// The tick `c` turned bad: INT64_MIN for initially-bad nodes, INT64_MAX
+  /// for nodes that never do.
+  [[nodiscard]] std::int64_t bad_since(Coord c) const;
+
+  [[nodiscard]] const Mesh2D& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
+  /// State after the whole script (the t = +inf world).
+  [[nodiscard]] const dynamic::DynamicMeshState& final_state() const noexcept { return state_; }
+  [[nodiscard]] const ReplayStats& replay_stats() const noexcept { return replay_; }
+  /// Tick of the last scheduled injection (0 when the script is empty).
+  [[nodiscard]] std::int64_t horizon() const noexcept;
+
+ private:
+  struct Epoch {
+    std::int64_t time;          ///< tick the injection fired
+    Coord site;                 ///< where (staleness is measured from here)
+    std::vector<Rect> blocks;   ///< sorted truth after this injection
+  };
+
+  /// Index of the newest epoch the node at `at` has fully learned of.
+  [[nodiscard]] std::size_t believed_epoch(Coord at, std::int64_t time) const;
+  /// Index of the newest epoch that has actually fired by `time`.
+  [[nodiscard]] std::size_t true_epoch(std::int64_t time) const;
+
+  Mesh2D mesh_;
+  FaultSchedule schedule_;
+  dynamic::DynamicMeshState state_;
+  Grid<std::int64_t> bad_since_;
+  std::vector<Epoch> epochs_;  ///< epochs_[0] = the initial world
+  ReplayStats replay_;
+};
+
+}  // namespace meshroute::chaos

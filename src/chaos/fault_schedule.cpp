@@ -1,0 +1,182 @@
+#include "chaos/fault_schedule.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace meshroute::chaos {
+namespace {
+
+/// Sort key keeping replay order independent of insertion order.
+bool entry_less(const TimedFault& a, const TimedFault& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.node.y != b.node.y) return a.node.y < b.node.y;
+  return a.node.x < b.node.x;
+}
+
+std::int64_t parse_int(const std::string& directive, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("chaos spec: '" + directive + "' expects an integer, got '" +
+                              text + "'");
+}
+
+double parse_prob(const std::string& directive, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos == text.size() && v >= 0.0 && v <= 1.0) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("chaos spec: '" + directive + "' expects a probability in [0, 1], got '" +
+                              text + "'");
+}
+
+void apply_directive(FaultSchedule& schedule, const std::string& directive) {
+  const auto eq = directive.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("chaos spec: directive '" + directive + "' has no '='");
+  }
+  const std::string key = directive.substr(0, eq);
+  const std::string value = directive.substr(eq + 1);
+
+  if (key == "inject") {
+    // T:X,Y
+    const auto colon = value.find(':');
+    const auto comma = value.find(',', colon == std::string::npos ? 0 : colon);
+    if (colon == std::string::npos || comma == std::string::npos) {
+      throw std::invalid_argument("chaos spec: inject expects T:X,Y, got '" + value + "'");
+    }
+    const std::int64_t t = parse_int(directive, value.substr(0, colon));
+    const auto x = static_cast<Dist>(parse_int(directive, value.substr(colon + 1, comma - colon - 1)));
+    const auto y = static_cast<Dist>(parse_int(directive, value.substr(comma + 1)));
+    schedule.add(t, Coord{x, y});
+  } else if (key == "rand") {
+    // K@H
+    const auto at = value.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument("chaos spec: rand expects K@H, got '" + value + "'");
+    }
+    const std::int64_t k = parse_int(directive, value.substr(0, at));
+    const std::int64_t h = parse_int(directive, value.substr(at + 1));
+    if (k < 0 || h < 1) {
+      throw std::invalid_argument("chaos spec: rand needs K >= 0 and H >= 1, got '" + value + "'");
+    }
+    schedule.set_random(static_cast<std::size_t>(k), h);
+  } else if (key == "lag") {
+    schedule.staleness.base_lag = parse_int(directive, value);
+  } else if (key == "hoplag") {
+    schedule.staleness.per_hop_lag = parse_int(directive, value);
+  } else if (key == "drop") {
+    schedule.loss.drop = parse_prob(directive, value);
+  } else if (key == "dup") {
+    schedule.loss.duplicate = parse_prob(directive, value);
+  } else if (key == "delay") {
+    schedule.loss.delay = parse_prob(directive, value);
+  } else if (key == "maxdelay") {
+    schedule.loss.max_delay = static_cast<int>(parse_int(directive, value));
+  } else if (key == "retry") {
+    schedule.loss.retry_interval = static_cast<int>(parse_int(directive, value));
+  } else if (key == "maxretries") {
+    schedule.loss.max_retries = static_cast<int>(parse_int(directive, value));
+  } else {
+    throw std::invalid_argument("chaos spec: unknown directive '" + key + "'");
+  }
+}
+
+}  // namespace
+
+void FaultSchedule::add(std::int64_t time, Coord node) {
+  if (time < 0) throw std::invalid_argument("FaultSchedule: injection times must be >= 0");
+  const TimedFault entry{time, node};
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), entry, entry_less), entry);
+}
+
+void FaultSchedule::set_random(std::size_t count, std::int64_t horizon) {
+  if (count > 0 && horizon < 1) {
+    throw std::invalid_argument("FaultSchedule: random horizon must be >= 1");
+  }
+  rand_count_ = count;
+  rand_horizon_ = horizon;
+}
+
+FaultSchedule FaultSchedule::materialized(const Mesh2D& mesh, Rng& rng) const {
+  FaultSchedule out = *this;
+  out.rand_count_ = 0;
+  out.rand_horizon_ = 0;
+  if (rand_count_ == 0) return out;
+  // Distinct nodes (an already-scripted node may repeat — injecting a faulty
+  // node is a no-op, so duplicates only waste a schedule slot).
+  const auto picks =
+      rng.sample_distinct(static_cast<std::int64_t>(mesh.node_count()),
+                          std::min<std::int64_t>(static_cast<std::int64_t>(rand_count_),
+                                                 static_cast<std::int64_t>(mesh.node_count())));
+  for (const std::int64_t p : picks) {
+    const Coord node{static_cast<Dist>(p % mesh.width()), static_cast<Dist>(p / mesh.width())};
+    out.add(rng.uniform(1, rand_horizon_), node);
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::parse(const std::string& spec) {
+  FaultSchedule schedule;
+  std::string directive;
+  const auto flush = [&] {
+    if (!directive.empty()) {
+      apply_directive(schedule, directive);
+      directive.clear();
+    }
+  };
+  for (const char c : spec) {
+    if (c == ';' || c == '\n' || c == ' ' || c == '\t' || c == '\r') {
+      flush();
+    } else if (c == '#') {
+      // comment to end of line (file form); the spec form has no newlines
+      flush();
+      break;
+    } else {
+      directive.push_back(c);
+    }
+  }
+  flush();
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FaultSchedule: cannot read '" + path + "'");
+  std::ostringstream all;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    all << line << ';';
+  }
+  return parse(all.str());
+}
+
+std::string FaultSchedule::to_spec() const {
+  std::ostringstream os;
+  for (const TimedFault& e : entries_) {
+    os << "inject=" << e.time << ':' << e.node.x << ',' << e.node.y << ';';
+  }
+  if (rand_count_ > 0) os << "rand=" << rand_count_ << '@' << rand_horizon_ << ';';
+  if (staleness.base_lag != 0) os << "lag=" << staleness.base_lag << ';';
+  if (staleness.per_hop_lag != 0) os << "hoplag=" << staleness.per_hop_lag << ';';
+  if (loss.drop != 0) os << "drop=" << loss.drop << ';';
+  if (loss.duplicate != 0) os << "dup=" << loss.duplicate << ';';
+  if (loss.delay != 0) os << "delay=" << loss.delay << ';';
+  const simsub::LossConfig defaults;
+  if (loss.max_delay != defaults.max_delay) os << "maxdelay=" << loss.max_delay << ';';
+  if (loss.retry_interval != defaults.retry_interval) os << "retry=" << loss.retry_interval << ';';
+  if (loss.max_retries != defaults.max_retries) os << "maxretries=" << loss.max_retries << ';';
+  std::string s = os.str();
+  if (!s.empty()) s.pop_back();  // trailing ';'
+  return s;
+}
+
+}  // namespace meshroute::chaos

@@ -1,0 +1,100 @@
+// Deterministic chaos scripts: the repository's fault model so far freezes
+// the block picture before the first hop; a FaultSchedule scripts how that
+// picture CHANGES — node faults injected at given ticks, plus the lossy-link
+// knobs (drop/delay/duplication) the simsub protocols are hardened against
+// and the information-staleness law the degradation-aware router routes
+// under. A schedule is pure data: the same spec (or the same seed for the
+// randomized generator) always reproduces the same script, so every chaos
+// experiment replays bit-identically.
+//
+// Spec grammar (also the file format, one directive per line, '#' comments):
+//   inject=T:X,Y   fault node (X, Y) at tick T                (repeatable)
+//   rand=K@H       K random faults uniform over ticks [1, H]  (materialized
+//                  later against a mesh + seeded Rng)
+//   lag=N          every node learns of an injection N ticks after it fires
+//   hoplag=N       plus N extra ticks per Manhattan hop from the fault site
+//   drop=P dup=P delay=P     lossy-link probabilities for SyncNetwork runs
+//   maxdelay=N retry=N maxretries=N   the matching ARQ knobs
+// Directives in a string spec are separated by ';' or whitespace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/rng.hpp"
+#include "mesh/mesh2d.hpp"
+#include "simsub/sync_network.hpp"
+
+namespace meshroute::chaos {
+
+/// One scripted disturbance: node `node` turns faulty at tick `time`.
+struct TimedFault {
+  std::int64_t time = 0;
+  Coord node;
+
+  friend constexpr auto operator<=>(const TimedFault&, const TimedFault&) = default;
+};
+
+/// How long fault information takes to reach a node (the stale-info model):
+/// a node at Manhattan distance h from an injection fired at tick T knows of
+/// it from tick T + base_lag + per_hop_lag * h onward. (0, 0) is the
+/// instant-global-information limit.
+struct StalenessSpec {
+  std::int64_t base_lag = 0;
+  std::int64_t per_hop_lag = 0;
+
+  [[nodiscard]] constexpr std::int64_t lag(Coord at, Coord fault_site) const noexcept {
+    return base_lag + per_hop_lag * static_cast<std::int64_t>(manhattan(at, fault_site));
+  }
+
+  friend constexpr bool operator==(const StalenessSpec&, const StalenessSpec&) = default;
+};
+
+/// A reproducible script of timed fault injections plus the chaos knobs for
+/// the other subsystems. Entries are kept sorted by (time, y, x) so replay
+/// order never depends on insertion order.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Add one scripted injection (negative times are rejected).
+  void add(std::int64_t time, Coord node);
+
+  [[nodiscard]] const std::vector<TimedFault>& entries() const noexcept { return entries_; }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty() && rand_count_ == 0; }
+
+  /// Pending `rand=K@H` directive (0 count when none).
+  [[nodiscard]] std::size_t rand_count() const noexcept { return rand_count_; }
+  [[nodiscard]] std::int64_t rand_horizon() const noexcept { return rand_horizon_; }
+  void set_random(std::size_t count, std::int64_t horizon);
+
+  /// Resolve the rand directive into concrete entries: `count` distinct
+  /// nodes of `mesh`, each at a uniform tick in [1, horizon]. Deterministic
+  /// in the Rng state; the returned schedule has no pending directive.
+  [[nodiscard]] FaultSchedule materialized(const Mesh2D& mesh, Rng& rng) const;
+
+  /// Parse a spec string (see grammar above); throws std::invalid_argument
+  /// with the offending directive on malformed input.
+  [[nodiscard]] static FaultSchedule parse(const std::string& spec);
+
+  /// Load a spec from a file (same grammar, newline also separates
+  /// directives); throws std::runtime_error when unreadable.
+  [[nodiscard]] static FaultSchedule load(const std::string& path);
+
+  /// Round-trippable spec rendering (parse(to_spec()) == *this).
+  [[nodiscard]] std::string to_spec() const;
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+  StalenessSpec staleness;
+  simsub::LossConfig loss;  ///< lossy-link knobs for SyncNetwork protocols
+
+ private:
+  std::vector<TimedFault> entries_;
+  std::size_t rand_count_ = 0;
+  std::int64_t rand_horizon_ = 0;
+};
+
+}  // namespace meshroute::chaos

@@ -93,8 +93,10 @@ class Simulator {
 
       if (progress) last_progress = cycle_;
       if (flits_in_flight_ == 0 && cycle_ >= inject_until) break;
-      if (flits_in_flight_ > 0 && cycle_ - last_progress > 2000) {
+      if (flits_in_flight_ > 0 && cycle_ - last_progress > cfg_.watchdog_cycles) {
         result.deadlock = true;
+        ++result.watchdog_trips;
+        result.deadlocked_packets = injected_ - delivered_;
         break;
       }
     }

@@ -52,6 +52,9 @@ struct SimConfig {
   RoutingMode mode = RoutingMode::AdaptiveMinimal;
   TrafficPattern pattern = TrafficPattern::Uniform;
   double hotspot_fraction = 0.2;  ///< Hotspot pattern only
+  /// No-progress watchdog: declare deadlock after this many consecutive
+  /// cycles with flits in flight but no flit movement anywhere.
+  std::int64_t watchdog_cycles = 2000;
   std::uint64_t seed = 1;
 };
 
@@ -64,6 +67,8 @@ struct SimResult {
   double avg_hops = 0.0;
   double throughput = 0.0;         ///< delivered flits / node / measured cycle
   bool deadlock = false;           ///< watchdog tripped (no progress with flits in flight)
+  std::int64_t watchdog_trips = 0;      ///< times the no-progress watchdog fired
+  std::int64_t deadlocked_packets = 0;  ///< packets still in the network at a trip
   std::int64_t cycles_run = 0;
 };
 

@@ -1,0 +1,170 @@
+#include "route/ladder.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "cond/wang.hpp"
+#include "common/grid.hpp"
+#include "mesh/frame.hpp"
+
+namespace meshroute::route {
+namespace {
+
+/// Identical to router.cpp's tie-break — the rung-0 differential contract
+/// requires the same choice AND the same rng draw per two-way tie.
+bool pick_first(Coord rel_after_first, Coord rel_after_second, Rng* rng) {
+  if (rng != nullptr) return rng->chance(0.5);
+  const Dist slack_first = std::max(rel_after_first.x, rel_after_first.y);
+  const Dist slack_second = std::max(rel_after_second.x, rel_after_second.y);
+  return slack_first <= slack_second;
+}
+
+}  // namespace
+
+const char* to_string(Rung rung) noexcept {
+  switch (rung) {
+    case Rung::Minimal: return "minimal";
+    case Rung::SpareDetour: return "spare_detour";
+    case Rung::BoundedMisroute: return "bounded_misroute";
+  }
+  return "unknown";
+}
+
+LadderResult route_degradation_ladder(const Mesh2D& mesh, const FaultView& view, Coord s,
+                                      Coord d, const LadderOptions& opts, Rng* rng) {
+  LadderResult result;
+  std::int64_t t = opts.start_time;
+  result.end_time = t;
+  if (!mesh.in_bounds(s) || !mesh.in_bounds(d) || view.truly_bad(s, t) ||
+      view.truly_bad(d, t)) {
+    result.status = RouteStatus::SourceBlocked;
+    return result;
+  }
+
+  const int ttl = opts.ttl > 0 ? opts.ttl : 4 * (manhattan(s, d) + 8);
+  Grid<std::int16_t> visits(mesh.width(), mesh.height(), 0);
+  std::vector<Rect> believed;
+  result.path.hops.push_back(s);
+
+  Coord cur = s;
+  Coord prev = s;  // == cur means "no previous hop yet"
+  int hops = 0;
+  int detour_budget = 1;  // rung 1 permits exactly one spare-neighbor detour
+  bool misroute_engaged = false;
+  ++visits[cur];
+
+  const auto fail = [&](RouteStatus reason) {
+    result.status = reason;
+    result.end_time = t;
+  };
+  const auto take = [&](Coord v) {
+    if (manhattan(v, d) >= manhattan(cur, d)) ++result.detours;
+    result.path.hops.push_back(v);
+    ++hops;
+    ++t;
+    prev = cur;
+    cur = v;
+    ++visits[v];
+  };
+
+  while (cur != d) {
+    // The world moves under the packet: a fault firing on the occupied node
+    // destroys it; one firing on the destination makes delivery impossible.
+    if (view.truly_bad(cur, t) || view.truly_bad(d, t)) {
+      fail(RouteStatus::EnteredNewFault);
+      return result;
+    }
+    if (hops >= ttl) {
+      fail(RouteStatus::TtlExceeded);
+      return result;
+    }
+    view.believed_blocks(cur, t, believed);
+
+    const QuadrantFrame frame(cur, d);
+    const Coord rel = frame.to_frame(d);
+    const auto usable = [&](Coord v) { return mesh.in_bounds(v) && !view.truly_bad(v, t); };
+    const auto completes = [&](Coord v) {
+      return cond::monotone_path_exists_rects(believed, v, d);
+    };
+
+    // Rung 0 step — Wu's protocol, verbatim from MinimalRouter::route.
+    std::optional<Coord> move_x;
+    std::optional<Coord> move_y;
+    if (rel.x >= 1) {
+      const Coord v = neighbor(cur, frame.to_mesh_dir(Direction::East));
+      if (usable(v) && completes(v)) move_x = v;
+    }
+    if (rel.y >= 1) {
+      const Coord v = neighbor(cur, frame.to_mesh_dir(Direction::North));
+      if (usable(v) && completes(v)) move_y = v;
+    }
+    if (move_x && move_y) {
+      take(pick_first({rel.x - 1, rel.y}, {rel.x, rel.y - 1}, rng) ? *move_x : *move_y);
+      continue;
+    }
+    if (move_x || move_y) {
+      take(move_x ? *move_x : *move_y);
+      continue;
+    }
+
+    // This rung is stuck here. Name the reason before climbing.
+    const RouteStatus reason =
+        view.is_stale(cur, t) ? RouteStatus::InfoStale : RouteStatus::Stuck;
+
+    // Rung 1 — one spare-neighbor detour (Extension 1): a sub-minimal hop to
+    // any usable neighbor that restores a believed monotone completion.
+    // Deterministic choice: closest-to-destination, then (E, S, W, N) order.
+    if (opts.max_rung >= Rung::SpareDetour && detour_budget > 0) {
+      std::optional<Coord> spare;
+      for (const Direction dir : kAllDirections) {
+        const Coord v = neighbor(cur, dir);
+        if (!usable(v) || v == prev || !completes(v)) continue;
+        if (!spare || manhattan(v, d) < manhattan(*spare, d)) spare = v;
+      }
+      if (spare) {
+        result.escalations.push_back(Escalation{result.rung, reason, cur, t});
+        result.rung = std::max(result.rung, Rung::SpareDetour);
+        --detour_budget;
+        take(*spare);
+        continue;
+      }
+    }
+
+    // Rung 2 — bounded misroute: any usable neighbor, believed-safe moves
+    // first, then distance-reducing, avoiding immediate backtracks and
+    // nodes already revisited max_revisits times (loop/livelock detection).
+    if (opts.max_rung >= Rung::BoundedMisroute) {
+      if (!misroute_engaged) {
+        result.escalations.push_back(Escalation{result.rung, reason, cur, t});
+        result.rung = Rung::BoundedMisroute;
+        misroute_engaged = true;
+      }
+      std::optional<Coord> best;
+      const auto score = [&](Coord v) {
+        return std::make_pair(completes(v) ? 0 : 1, manhattan(v, d));
+      };
+      for (const bool allow_backtrack : {false, true}) {
+        for (const Direction dir : kAllDirections) {
+          const Coord v = neighbor(cur, dir);
+          if (!usable(v) || visits[v] > opts.max_revisits) continue;
+          if (!allow_backtrack && v == prev && prev != cur) continue;
+          if (!best || score(v) < score(*best)) best = v;
+        }
+        if (best) break;
+      }
+      if (best) {
+        take(*best);
+        continue;
+      }
+    }
+
+    fail(reason);
+    return result;
+  }
+
+  result.status = RouteStatus::Delivered;
+  result.end_time = t;
+  return result;
+}
+
+}  // namespace meshroute::route

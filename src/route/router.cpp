@@ -20,6 +20,18 @@ bool pick_first(Coord rel_after_first, Coord rel_after_second, Rng* rng) {
 
 }  // namespace
 
+const char* to_string(RouteStatus status) noexcept {
+  switch (status) {
+    case RouteStatus::Delivered: return "delivered";
+    case RouteStatus::Stuck: return "stuck";
+    case RouteStatus::SourceBlocked: return "source_blocked";
+    case RouteStatus::EnteredNewFault: return "entered_new_fault";
+    case RouteStatus::InfoStale: return "info_stale";
+    case RouteStatus::TtlExceeded: return "ttl_exceeded";
+  }
+  return "unknown";
+}
+
 MinimalRouter::MinimalRouter(const Mesh2D& mesh, const fault::BlockSet& blocks,
                              const info::BoundaryInfoMap* boundary, InfoPolicy policy)
     : mesh_(mesh), blocks_(blocks), boundary_(boundary), policy_(policy) {

@@ -44,12 +44,21 @@ enum class InfoPolicy : std::uint8_t {
   SingleBlockShadow = 2,
 };
 
-/// Why a routing attempt ended.
+/// Why a routing attempt ended. The first three cover the frozen-world
+/// routers; the rest are produced by the degradation ladder (route/ladder.hpp)
+/// when the fault picture changes mid-flight, replacing what would otherwise
+/// be a silent Stuck with the actual failure reason.
 enum class RouteStatus : std::uint8_t {
   Delivered = 0,
-  Stuck = 1,          ///< no preferred move is admissible at some node
-  SourceBlocked = 2,  ///< source or destination inside a block
+  Stuck = 1,            ///< no preferred move is admissible at some node
+  SourceBlocked = 2,    ///< source or destination inside a block
+  EnteredNewFault = 3,  ///< a scheduled fault swallowed the packet's node (or the destination)
+  InfoStale = 4,        ///< gave up at a node whose fault info lagged the truth
+  TtlExceeded = 5,      ///< the bounded-misroute rung ran out of hop budget
 };
+
+/// Stable lower-case name ("delivered", "stuck", ...) for logs and JSON.
+[[nodiscard]] const char* to_string(RouteStatus status) noexcept;
 
 struct RouteResult {
   RouteStatus status = RouteStatus::Stuck;

@@ -21,10 +21,18 @@ struct TrailMsg {
   Direction slide;
 };
 
+/// Bound the lossy run: retransmission backoff stretches convergence well
+/// past the lossless round count; 64x + slack covers drop rates to 0.5
+/// with the default ARQ knobs.
+std::int64_t lossy_rounds(std::int64_t lossless_rounds) {
+  return lossless_rounds * 64 + 256;
+}
+
 }  // namespace
 
 DistributedSafetyLevels distributed_safety_levels(const Mesh2D& mesh,
-                                                  const Grid<bool>& obstacles) {
+                                                  const Grid<bool>& obstacles,
+                                                  const LossConfig* loss) {
   SyncNetwork<info::ExtendedSafetyLevel, LevelMsg> net(mesh, &obstacles);
 
   // Sensing phase: a node with a block neighbor in direction d knows its
@@ -46,17 +54,21 @@ DistributedSafetyLevels distributed_safety_levels(const Mesh2D& mesh,
                            const LevelMsg& msg) {
     if (from != msg.field) return;  // chain messages only flow along their axis
     const Dist updated = msg.value + 1;
+    if (st.get(msg.field) == updated) return;  // duplicate delivery: chain already ran
     st.set(msg.field, updated);
     net.send(self, opposite(msg.field), LevelMsg{msg.field, updated});
   };
 
   const auto max_rounds = static_cast<std::int64_t>(mesh.width()) + mesh.height() + 4;
-  const ProtocolStats stats = net.run(handler, max_rounds);
+  const ProtocolStats stats = loss != nullptr
+                                  ? net.run_lossy(handler, lossy_rounds(max_rounds), *loss)
+                                  : net.run(handler, max_rounds);
   return DistributedSafetyLevels{net.states(), stats};
 }
 
 DistributedBoundaryInfo distributed_boundary_info(const Mesh2D& mesh,
-                                                  const fault::BlockSet& blocks) {
+                                                  const fault::BlockSet& blocks,
+                                                  const LossConfig* loss) {
   Grid<bool> inactive(mesh.width(), mesh.height(), false);
   mesh.for_each_node([&](Coord c) { inactive[c] = blocks.is_block_node(c); });
 
@@ -130,13 +142,16 @@ DistributedBoundaryInfo distributed_boundary_info(const Mesh2D& mesh,
 
   const auto max_rounds =
       2 * (static_cast<std::int64_t>(mesh.width()) + mesh.height()) * 8 + 16;
-  const ProtocolStats stats = net.run(handler, max_rounds);
+  const ProtocolStats stats = loss != nullptr
+                                  ? net.run_lossy(handler, lossy_rounds(max_rounds), *loss)
+                                  : net.run(handler, max_rounds);
   return DistributedBoundaryInfo{net.states(), stats};
 }
 
 DistributedRegionExchange distributed_region_exchange(const Mesh2D& mesh,
                                                       const Grid<bool>& obstacles,
-                                                      const info::SafetyGrid& levels) {
+                                                      const info::SafetyGrid& levels,
+                                                      const LossConfig* loss) {
   // Message: the accumulated levels of every node the wave passed so far,
   // flowing in one direction; receivers keep a copy and forward the grown
   // list. Row waves run East/West, column waves North/South; a wave stops
@@ -189,8 +204,18 @@ DistributedRegionExchange distributed_region_exchange(const Mesh2D& mesh,
   const auto handler = [&](Coord self, State& st, Direction from, const Accumulated& msg) {
     payload += static_cast<std::int64_t>(msg.entries.size());
     auto& bucket = is_horizontal(from) ? st.row : st.col;
-    // Entries arrive from one side in strictly growing distance; a node
-    // never sees duplicates, so append wholesale.
+    // Entries arrive from one side in strictly growing distance; on reliable
+    // links a node never sees duplicates. A duplicated wave message (lossy
+    // runs) is an exact copy of one already appended — detect it by its
+    // leading entry and drop it whole, forwarding nothing, so duplicate
+    // cascades die at the first hop.
+    const auto already = [&](const RegionEntry& e) {
+      for (const RegionEntry& have : bucket) {
+        if (have.node == e.node) return true;
+      }
+      return false;
+    };
+    if (!msg.entries.empty() && already(msg.entries.front())) return;
     bucket.insert(bucket.end(), msg.entries.begin(), msg.entries.end());
     // Forward the grown accumulation away from the sender.
     Accumulated grown = msg;
@@ -199,7 +224,9 @@ DistributedRegionExchange distributed_region_exchange(const Mesh2D& mesh,
   };
 
   const auto max_rounds = static_cast<std::int64_t>(mesh.width()) + mesh.height() + 4;
-  const ProtocolStats stats = net.run(handler, max_rounds);
+  const ProtocolStats stats = loss != nullptr
+                                  ? net.run_lossy(handler, lossy_rounds(max_rounds), *loss)
+                                  : net.run(handler, max_rounds);
 
   DistributedRegionExchange result{
       Grid<std::vector<RegionEntry>>(mesh.width(), mesh.height()),
@@ -213,7 +240,7 @@ DistributedRegionExchange distributed_region_exchange(const Mesh2D& mesh,
 }
 
 BroadcastResult broadcast_from(const Mesh2D& mesh, const Grid<bool>& obstacles,
-                               Coord payload_origin) {
+                               Coord payload_origin, const LossConfig* loss) {
   SyncNetwork<std::uint8_t, std::uint8_t> net(mesh, &obstacles, 0);
   if (!net.active(payload_origin)) return BroadcastResult{0, net.stats()};
 
@@ -229,7 +256,9 @@ BroadcastResult broadcast_from(const Mesh2D& mesh, const Grid<bool>& obstacles,
     for (const Direction d : kAllDirections) net.send(self, d, 0);
   };
   const auto max_rounds = static_cast<std::int64_t>(mesh.width()) + mesh.height() + 4;
-  const ProtocolStats stats = net.run(handler, max_rounds);
+  const ProtocolStats stats = loss != nullptr
+                                  ? net.run_lossy(handler, lossy_rounds(max_rounds), *loss)
+                                  : net.run(handler, max_rounds);
   return BroadcastResult{reached, stats};
 }
 

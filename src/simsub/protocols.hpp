@@ -12,6 +12,12 @@
 //
 // Each returns its result alongside ProtocolStats; integration tests assert
 // the results equal the centralized computations in info/.
+//
+// Every protocol takes an optional LossConfig: when given, the execution
+// runs over unreliable links (SyncNetwork::run_lossy) with drop/delay/
+// duplication and ARQ retransmission, and the tests assert the protocols
+// STILL converge to the centralized oracles — the chaos-hardening contract.
+// A null LossConfig is the original reliable execution, bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +41,8 @@ struct DistributedSafetyLevels {
 /// Run the paper's formation protocol against an obstacle mask. Obstacle
 /// nodes are inactive; their grid entries stay at the default (all infinite).
 [[nodiscard]] DistributedSafetyLevels distributed_safety_levels(const Mesh2D& mesh,
-                                                                const Grid<bool>& obstacles);
+                                                                const Grid<bool>& obstacles,
+                                                                const LossConfig* loss = nullptr);
 
 /// Result of the distributed boundary-information protocol: per node, block
 /// ids known there.
@@ -45,7 +52,8 @@ struct DistributedBoundaryInfo {
 };
 
 [[nodiscard]] DistributedBoundaryInfo distributed_boundary_info(const Mesh2D& mesh,
-                                                                const fault::BlockSet& blocks);
+                                                                const fault::BlockSet& blocks,
+                                                                const LossConfig* loss = nullptr);
 
 /// Flood `payload_origin`'s record to every active node; returns how many
 /// nodes were reached plus the traffic cost. Models a pivot broadcast.
@@ -55,7 +63,8 @@ struct BroadcastResult {
 };
 
 [[nodiscard]] BroadcastResult broadcast_from(const Mesh2D& mesh, const Grid<bool>& obstacles,
-                                             Coord payload_origin);
+                                             Coord payload_origin,
+                                             const LossConfig* loss = nullptr);
 
 /// Extension 2's information exchange (Section 4): "Nodes along each
 /// affected row (and affected column) exchange their extended safety levels
@@ -85,6 +94,7 @@ struct DistributedRegionExchange {
 /// `levels` must match `obstacles` (typically the output of
 /// distributed_safety_levels or the centralized sweep).
 [[nodiscard]] DistributedRegionExchange distributed_region_exchange(
-    const Mesh2D& mesh, const Grid<bool>& obstacles, const info::SafetyGrid& levels);
+    const Mesh2D& mesh, const Grid<bool>& obstacles, const info::SafetyGrid& levels,
+    const LossConfig* loss = nullptr);
 
 }  // namespace meshroute::simsub

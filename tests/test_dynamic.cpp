@@ -148,6 +148,41 @@ TEST_P(DynamicRandom, LongInjectionSequencesStayConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DynamicRandom, ::testing::Values(1u, 7u, 13u, 29u));
 
+// Chaos-layer hardening: the ChaosEngine replays whole fault schedules
+// through this state, so the incremental structures must agree with a
+// from-scratch rebuild after EVERY injection of a long random sequence —
+// not just at spot-check intervals — across seeds and mesh sizes. The
+// sequences deliberately mix fresh faults, duplicates, and hits on already
+// disabled nodes (coordinates are drawn uniformly, so late draws land in
+// grown blocks often).
+struct StressCase {
+  std::uint64_t seed;
+  Dist n;
+  int injections;
+};
+
+class DynamicStressEveryStep : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(DynamicStressEveryStep, BitIdenticalToRebuildAfterEveryInjection) {
+  const StressCase& p = GetParam();
+  Rng rng(p.seed);
+  const Mesh2D mesh(p.n, p.n);
+  DynamicMeshState dyn(mesh);
+  for (int i = 0; i < p.injections; ++i) {
+    const Coord c{static_cast<Dist>(rng.uniform(0, p.n - 1)),
+                  static_cast<Dist>(rng.uniform(0, p.n - 1))};
+    (void)dyn.inject_fault(c);
+    ASSERT_NO_FATAL_FAILURE(expect_equal_to_rebuild(dyn)) << "after injection " << i << " at "
+                                                          << to_string(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndSizes, DynamicStressEveryStep,
+                         ::testing::Values(StressCase{2026u, 16, 220},
+                                           StressCase{77u, 24, 260},
+                                           StressCase{0xC0FFEEu, 33, 300},
+                                           StressCase{419u, 48, 240}));
+
 TEST(DynamicState, WorkIsLocallyBounded) {
   // Scattered faults on a big mesh: each injection re-sweeps only the
   // handful of lines it touched, never the whole grid.

@@ -209,6 +209,53 @@ TEST(Wormhole, MoreVcsHelpUnderLoad) {
   EXPECT_EQ(r4.delivered, r4.injected);
 }
 
+TEST(Wormhole, WatchdogTripsOnAFaultInducedAdaptiveWedge) {
+  // Four 2x2 pillars leave narrow lanes between them; under heavy load the
+  // adaptive VCs around the pillars cyclic-wait at nodes whose dimension-order
+  // escape hop is itself blocked, and the network genuinely wedges. The
+  // watchdog must report it honestly: deadlock flagged, one trip, and every
+  // undelivered packet accounted for. (Configuration found empirically; the
+  // run is fully seed-deterministic, so the wedge replays every time.)
+  const Mesh2D mesh(10, 10);
+  fault::FaultSet fs(mesh);
+  for (const Rect r : {Rect{2, 3, 2, 3}, Rect{6, 7, 2, 3}, Rect{2, 3, 6, 7},
+                       Rect{6, 7, 6, 7}}) {
+    for (Dist y = r.ymin; y <= r.ymax; ++y) {
+      for (Dist x = r.xmin; x <= r.xmax; ++x) fs.add({x, y});
+    }
+  }
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+
+  SimConfig cfg;
+  cfg.mode = RoutingMode::AdaptiveMinimal;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 1;
+  cfg.packet_length = 8;
+  cfg.injection_rate = 0.1;
+  cfg.warmup_cycles = 50;
+  cfg.measure_cycles = 800;
+  cfg.drain_limit = 2500;
+  cfg.watchdog_cycles = 200;
+  cfg.seed = 26;
+  const SimResult r = run_wormhole(mesh, &blocks, cfg);
+  EXPECT_TRUE(r.deadlock);
+  EXPECT_EQ(r.watchdog_trips, 1);
+  EXPECT_GT(r.deadlocked_packets, 0);
+  EXPECT_EQ(r.deadlocked_packets, r.injected - r.delivered);
+  EXPECT_GT(r.delivered, 0) << "the network ran before wedging";
+}
+
+TEST(Wormhole, HealthyRunsReportZeroWatchdogActivity) {
+  const Mesh2D mesh(8, 8);
+  for (const RoutingMode mode :
+       {RoutingMode::XYDeterministic, RoutingMode::AdaptiveMinimal}) {
+    const SimResult r = run_wormhole(mesh, nullptr, quiet_config(mode));
+    EXPECT_FALSE(r.deadlock);
+    EXPECT_EQ(r.watchdog_trips, 0);
+    EXPECT_EQ(r.deadlocked_packets, 0);
+  }
+}
+
 TEST(Wormhole, LongerPacketsRaiseLatency) {
   const Mesh2D mesh(8, 8);
   SimConfig shortp = quiet_config(RoutingMode::XYDeterministic);

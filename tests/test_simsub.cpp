@@ -229,6 +229,146 @@ TEST(Broadcast, ReachesEveryActiveNode) {
   EXPECT_GE(r.stats.rounds, 22);
 }
 
+// ---------------------------------------------------------------------------
+// Lossy-link hardening: the three distribution protocols must converge to the
+// SAME centralized oracles when every link crossing can be dropped, delayed,
+// or duplicated (the chaos-layer contract), with drops recovered by bounded
+// ARQ retransmission.
+
+/// The standard chaos dose for these tests: every fifth crossing dropped,
+/// plus delays and duplicate deliveries.
+LossConfig chaos_links(std::uint64_t seed) {
+  LossConfig loss;
+  loss.drop = 0.2;
+  loss.duplicate = 0.1;
+  loss.delay = 0.15;
+  loss.seed = seed;
+  return loss;
+}
+
+TEST(LossyNetwork, ZeroConfigIsByteIdenticalToReliableRun) {
+  const Mesh2D mesh(5, 1);
+  const auto run_chain = [&](const LossConfig* loss) {
+    SyncNetwork<int, int> net(mesh, nullptr, 0);
+    net.send({0, 0}, Direction::East, 1);
+    const auto handler = [&](Coord self, int& state, Direction, const int& msg) {
+      state = msg;
+      if (self.x < 4) net.send(self, Direction::East, msg + 1);
+    };
+    return loss != nullptr ? net.run_lossy(handler, 10, *loss) : net.run(handler, 10);
+  };
+  const LossConfig zero;  // all probabilities 0.0
+  ASSERT_TRUE(zero.lossless());
+  const ProtocolStats reliable = run_chain(nullptr);
+  const ProtocolStats lossless = run_chain(&zero);
+  EXPECT_EQ(lossless.rounds, reliable.rounds);
+  EXPECT_EQ(lossless.messages, reliable.messages);
+  EXPECT_EQ(lossless.delivered, reliable.delivered);
+  EXPECT_EQ(lossless.dropped, 0);
+  EXPECT_EQ(lossless.retries, 0);
+  EXPECT_EQ(lossless.lost, 0);
+}
+
+class LossySafetyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossySafetyProperty, ConvergesToCentralizedOracle) {
+  Rng rng(41 + GetParam());
+  const Mesh2D mesh(30, 30);
+  const auto fs = fault::uniform_random_faults(mesh, 40, rng);
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+  const Grid<bool> obstacles = info::obstacle_mask(mesh, blocks);
+
+  const info::SafetyGrid central = info::compute_safety_levels(mesh, obstacles);
+  const LossConfig loss = chaos_links(GetParam());
+  const DistributedSafetyLevels dist = distributed_safety_levels(mesh, obstacles, &loss);
+
+  mesh.for_each_node([&](Coord c) {
+    if (obstacles[c]) return;
+    for (const Direction d : kAllDirections) {
+      const Dist want = central[c].get(d);
+      const Dist got = dist.levels[c].get(d);
+      if (is_infinite(want)) {
+        EXPECT_TRUE(is_infinite(got)) << to_string(c) << " " << to_string(d);
+      } else {
+        EXPECT_EQ(got, want) << to_string(c) << " " << to_string(d);
+      }
+    }
+  });
+  // The fault process really fired, and bounded ARQ absorbed all of it.
+  EXPECT_GT(dist.stats.dropped, 0);
+  EXPECT_GT(dist.stats.retries, 0);
+  EXPECT_EQ(dist.stats.lost, 0);
+  EXPECT_LE(dist.stats.retries, dist.stats.messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossySafetyProperty, ::testing::Values(1u, 5u, 11u));
+
+class LossyBoundaryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyBoundaryProperty, ConvergesToCentralizedWalk) {
+  Rng rng(51 + GetParam());
+  const Mesh2D mesh(30, 30);
+  const auto fs = fault::uniform_random_faults(mesh, 25, rng);
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+
+  const info::BoundaryInfoMap central(mesh, blocks);
+  const LossConfig loss = chaos_links(GetParam());
+  const DistributedBoundaryInfo dist = distributed_boundary_info(mesh, blocks, &loss);
+
+  mesh.for_each_node([&](Coord c) {
+    auto got = dist.known[c];
+    auto want = central.known_blocks(c);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "at " << to_string(c);
+  });
+  EXPECT_GT(dist.stats.dropped, 0);
+  EXPECT_EQ(dist.stats.lost, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyBoundaryProperty, ::testing::Values(2u, 9u, 23u));
+
+TEST(LossyProtocols, RegionExchangeMatchesReliableRun) {
+  Rng rng(61);
+  const Mesh2D mesh(24, 24);
+  const auto fs = fault::uniform_random_faults(mesh, 20, rng);
+  const auto blocks = fault::build_faulty_blocks(mesh, fs);
+  const Grid<bool> obstacles = info::obstacle_mask(mesh, blocks);
+  const info::SafetyGrid levels = info::compute_safety_levels(mesh, obstacles);
+
+  const DistributedRegionExchange reliable =
+      distributed_region_exchange(mesh, obstacles, levels);
+  const LossConfig loss = chaos_links(77);
+  const DistributedRegionExchange lossy =
+      distributed_region_exchange(mesh, obstacles, levels, &loss);
+
+  // Same peers at every node (order may differ with delayed waves).
+  const auto sorted = [](std::vector<RegionEntry> v) {
+    std::sort(v.begin(), v.end(), [](const RegionEntry& a, const RegionEntry& b) {
+      return std::pair(a.node.y, a.node.x) < std::pair(b.node.y, b.node.x);
+    });
+    return v;
+  };
+  mesh.for_each_node([&](Coord c) {
+    EXPECT_EQ(sorted(lossy.row_peers[c]), sorted(reliable.row_peers[c])) << to_string(c);
+    EXPECT_EQ(sorted(lossy.col_peers[c]), sorted(reliable.col_peers[c])) << to_string(c);
+  });
+  EXPECT_GT(lossy.stats.dropped, 0);
+  EXPECT_EQ(lossy.stats.lost, 0);
+}
+
+TEST(LossyProtocols, BroadcastStillReachesEveryActiveNode) {
+  const Mesh2D mesh(12, 12);
+  Grid<bool> obstacles(12, 12, false);
+  obstacles[{5, 5}] = true;
+  obstacles[{5, 6}] = true;
+  const LossConfig loss = chaos_links(3);
+  const BroadcastResult r = broadcast_from(mesh, obstacles, {0, 0}, &loss);
+  EXPECT_EQ(r.reached, 144 - 2);
+  EXPECT_GT(r.stats.dropped, 0);
+  EXPECT_EQ(r.stats.lost, 0);
+}
+
 TEST(Broadcast, FromInactiveOriginReachesNothing) {
   const Mesh2D mesh(6, 6);
   Grid<bool> obstacles(6, 6, false);

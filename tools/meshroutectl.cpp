@@ -6,6 +6,13 @@
 //                       [--strategy s1|s2|s3|s4]
 //   meshroutectl route  --n 32 --faults 40 --seed 7 --src 2,2 --dst 28,30
 //                       [--policy boundary|global] [--ppm out.ppm] [--ascii]
+//                       [--chaos FILE|SPEC] [--ttl N]
+//
+// With --chaos, route runs the graceful-degradation ladder against a live
+// FaultSchedule (see src/chaos/fault_schedule.hpp for the spec grammar;
+// a readable file wins over an inline spec) instead of the frozen-world
+// router, printing every rung escalation and rendering the post-script
+// world. --ttl caps the ladder's hop budget (0 = auto).
 //
 // Flags take either `--key value` or `--key=value`; `--ascii` is a boolean.
 // Every invocation is deterministic under --seed.
@@ -17,11 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos_engine.hpp"
+#include "chaos/fault_schedule.hpp"
 #include "cond/strategies.hpp"
 #include "core/fault_tolerant_mesh.hpp"
+#include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
 #include "info/pivots.hpp"
 #include "render/render.hpp"
+#include "route/ladder.hpp"
 #include "route/path.hpp"
 
 using namespace meshroute;
@@ -42,6 +53,8 @@ struct Options {
   route::InfoPolicy policy = route::InfoPolicy::BoundaryInfo;
   std::optional<std::string> ppm;
   bool ascii = false;
+  std::optional<std::string> chaos;  ///< FaultSchedule file or inline spec
+  int ttl = 0;                       ///< ladder hop budget (0 = auto)
 };
 
 Coord parse_coord(const std::string& key, const std::string& s) {
@@ -71,7 +84,11 @@ void print_usage(std::ostream& os) {
         "                    [--src x,y --dst x,y] [--model fb|mcc]\n"
         "                    [--segment S] [--pivot-levels L] [--strategy s1|s2|s3|s4]\n"
         "                    [--policy boundary|global] [--ppm FILE] [--ascii]\n"
-        "flags accept both '--key value' and '--key=value'.\n";
+        "                    [--chaos FILE|SPEC] [--ttl N]\n"
+        "flags accept both '--key value' and '--key=value'.\n"
+        "--chaos routes with the degradation ladder under a fault schedule\n"
+        "(e.g. --chaos 'inject=3:5,5;lag=4' or a file of such directives);\n"
+        "--ttl caps its hop budget (0 = auto).\n";
 }
 
 /// Key/value parser: every argument is either a boolean flag or a key whose
@@ -158,9 +175,20 @@ Options parse(int argc, char** argv) {
       }
     } else if (key == "--ppm") {
       opt.ppm = next_value(key, attached);
+    } else if (key == "--chaos") {
+      opt.chaos = next_value(key, attached);
+    } else if (key == "--ttl") {
+      opt.ttl = static_cast<int>(parse_long(key, next_value(key, attached)));
+      if (opt.ttl < 0) throw std::invalid_argument("--ttl must be >= 0");
     } else {
       throw std::invalid_argument("unknown flag '" + key + "'");
     }
+  }
+  if (opt.chaos && opt.command != "route") {
+    throw std::invalid_argument("--chaos only applies to the route command");
+  }
+  if (opt.ttl != 0 && !opt.chaos) {
+    throw std::invalid_argument("--ttl requires --chaos");
   }
   return opt;
 }
@@ -246,6 +274,55 @@ int main(int argc, char** argv) {
     std::cout << "\n  ground truth: minimal path "
               << (ftm.minimal_path_exists(s, d) ? "exists" : "does not exist") << "\n";
     return 0;
+  }
+
+  if (opt.chaos) {
+    // Degradation-ladder routing under a live fault schedule.
+    chaos::FaultSchedule sched;
+    try {
+      if (std::ifstream probe(*opt.chaos); probe.good()) {
+        sched = chaos::FaultSchedule::load(*opt.chaos);
+      } else {
+        sched = chaos::FaultSchedule::parse(*opt.chaos);
+      }
+      sched = sched.materialized(ftm.mesh(), rng);
+    } catch (const std::exception& e) {
+      std::cerr << "error: --chaos: " << e.what() << "\n";
+      return 2;
+    }
+    const chaos::ChaosEngine engine(ftm.mesh(), faults.faults(), sched);
+    std::cout << "chaos: " << sched.entries().size() << " scheduled injections, horizon "
+              << engine.horizon() << ", lag " << sched.staleness.base_lag << "+"
+              << sched.staleness.per_hop_lag << "/hop\n";
+
+    route::LadderOptions lopts;
+    lopts.ttl = opt.ttl;
+    const route::LadderResult lr =
+        route::route_degradation_ladder(ftm.mesh(), engine, s, d, lopts, &rng);
+    for (const route::Escalation& esc : lr.escalations) {
+      std::cout << "  rung " << route::to_string(esc.abandoned) << " abandoned at ("
+                << esc.at.x << "," << esc.at.y << ") t=" << esc.time << ": "
+                << route::to_string(esc.reason) << "\n";
+    }
+    std::cout << "ladder: " << route::to_string(lr.status) << " on rung "
+              << route::to_string(lr.rung) << ", " << lr.path.length() << " hops (Manhattan "
+              << manhattan(s, d) << ", " << lr.detours << " detours), hop clock "
+              << lopts.start_time << " -> " << lr.end_time << "\n";
+
+    // Render the post-script world (every scheduled fault applied).
+    const auto final_blocks =
+        fault::build_faulty_blocks(ftm.mesh(), engine.final_state().faults());
+    if (opt.ppm) {
+      render::Image img =
+          render::render_blocks(ftm.mesh(), engine.final_state().faults(), final_blocks);
+      render::overlay_path(img, lr.path);
+      save_ppm(img, *opt.ppm);
+    }
+    if (draw_ascii) {
+      std::cout << render::ascii_map(ftm.mesh(), engine.final_state().faults(), final_blocks,
+                                     &lr.path);
+    }
+    return lr.delivered() ? 0 : 1;
   }
 
   // route
