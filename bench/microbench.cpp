@@ -6,14 +6,26 @@
 // tools/bench_compare:
 //
 //   {"bench":"core","n":...,"faults":...,"reps":...,
+//    "meta":{"git_rev":...,"build_type":...,"compiler":...,"threads":...,
+//            "trace_enabled":...},
 //    "kernels":[{"name":...,"iters":...,"median_us":...,"min_us":...,
 //                "max_us":...}, ...]}
+//
+// The meta block records the provenance a number is meaningless without:
+// which revision, build type, and compiler produced it (injected at
+// configure time), plus the machine's thread count and whether trace
+// emission was compiled in. bench_compare ignores it; humans reading a
+// stale BENCH file don't have to.
 //
 // The checked-in BENCH_core.json at the repository root holds the reference
 // medians (Release build); regenerate it with
 //   build/bench/microbench --json=BENCH_core.json
 // and compare runs with
 //   build/tools/bench_compare BENCH_core.json new.json
+//
+// --metrics=FILE|- additionally dumps the obs registry snapshot the kernels
+// accumulated (safety recomputes, trial builds, ...) for bench_compare
+// --metrics diffs.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +34,7 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cond/conditions.hpp"
@@ -32,6 +45,21 @@
 #include "fault/fault_set.hpp"
 #include "fault/mcc_model.hpp"
 #include "info/safety_level.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Provenance injected by bench/CMakeLists.txt; fall back cleanly when the
+// file is compiled outside that target (e.g. a one-off manual build).
+#ifndef MESHROUTE_GIT_REV
+#define MESHROUTE_GIT_REV "unknown"
+#endif
+#ifndef MESHROUTE_BUILD_TYPE
+#define MESHROUTE_BUILD_TYPE "unknown"
+#endif
+#ifndef MESHROUTE_COMPILER
+#define MESHROUTE_COMPILER "unknown"
+#endif
 
 namespace {
 
@@ -41,14 +69,16 @@ using Clock = std::chrono::steady_clock;
 struct Options {
   int reps = 9;
   bool quick = false;
-  std::string json;  // empty = no JSON; "-" = stdout
+  std::string json;     // empty = no JSON; "-" = stdout
+  std::string metrics;  // empty = off; "-" = stdout
 };
 
 [[noreturn]] void usage_and_exit() {
-  std::cerr << "usage: microbench [--reps=K] [--quick] [--json=FILE|-]\n"
-               "  --reps=K   repetitions per kernel; the median is reported (default 9)\n"
-               "  --quick    3 reps and reduced inner iteration counts (smoke mode)\n"
-               "  --json=F   emit the bench_compare schema to F ('-' for stdout)\n";
+  std::cerr << "usage: microbench [--reps=K] [--quick] [--json=FILE|-] [--metrics=FILE|-]\n"
+               "  --reps=K     repetitions per kernel; the median is reported (default 9)\n"
+               "  --quick      3 reps and reduced inner iteration counts (smoke mode)\n"
+               "  --json=F     emit the bench_compare schema to F ('-' for stdout)\n"
+               "  --metrics=F  emit the obs registry snapshot to F ('-' for stdout)\n";
   std::exit(2);
 }
 
@@ -65,6 +95,9 @@ Options parse_options(int argc, char** argv) {
       if (opt.reps < 1) usage_and_exit();
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json = arg.substr(7);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      opt.metrics = arg.substr(10);
+      if (opt.metrics.empty()) usage_and_exit();
     } else {
       usage_and_exit();
     }
@@ -182,11 +215,18 @@ int main(int argc, char** argv) {
       k["max_us"] = r.max_us;
       kernels.emplace_back(std::move(k));
     }
+    experiment::json::Value::Object meta;
+    meta["git_rev"] = MESHROUTE_GIT_REV;
+    meta["build_type"] = MESHROUTE_BUILD_TYPE;
+    meta["compiler"] = MESHROUTE_COMPILER;
+    meta["threads"] = static_cast<double>(std::thread::hardware_concurrency());
+    meta["trace_enabled"] = MESHROUTE_TRACE_ENABLED != 0;
     experiment::json::Value::Object doc;
     doc["bench"] = "core";
     doc["n"] = static_cast<double>(kSide);
     doc["faults"] = static_cast<double>(kFaults);
     doc["reps"] = static_cast<double>(opt.reps);
+    doc["meta"] = std::move(meta);
     doc["kernels"] = std::move(kernels);
     const std::string text = experiment::json::to_string(experiment::json::Value(doc));
     if (opt.json == "-") {
@@ -199,6 +239,10 @@ int main(int argc, char** argv) {
       }
       os << text << "\n";
     }
+  }
+  if (!opt.metrics.empty() &&
+      !obs::write_metrics_json(opt.metrics, obs::Registry::global().snapshot())) {
+    return 1;
   }
   return 0;
 }

@@ -6,6 +6,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace meshroute::chaos {
 namespace {
 
@@ -65,7 +68,13 @@ ChaosEngine::ChaosEngine(const Mesh2D& mesh, std::span<const Coord> initial_faul
     replay_.update.cols_resweeped += u.cols_resweeped;
     stamp_newly_bad(entry.time);
     epochs_.push_back(Epoch{entry.time, entry.node, sorted_blocks(state_)});
+    MESHROUTE_TRACE_EVENT(obs::EventKind::ChaosInjection, 0, entry.time, entry.node,
+                          static_cast<std::int64_t>(epochs_.size()) - 1,
+                          static_cast<std::int64_t>(epochs_.back().blocks.size()));
   }
+  static obs::Counter& injections_ctr =
+      obs::Registry::global().counter("chaos.injections_applied");
+  injections_ctr.add(replay_.injections_applied);
 }
 
 bool ChaosEngine::truly_bad(Coord c, std::int64_t time) const {

@@ -12,6 +12,9 @@
 
 #include "experiment/json.hpp"
 #include "experiment/workspace.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace meshroute::experiment {
 namespace {
@@ -31,14 +34,15 @@ int parse_int(const std::string& flag, const char* value) {
 std::string SweepConfig::usage() {
   return
       "usage: <bench> [--trials=N] [--dests=N] [--n=N] [--seed=S] [--threads=T]\n"
-      "               [--json=FILE|-] [--quick]\n"
-      "  --trials=N   fault configurations per sweep point   (default 60)\n"
-      "  --dests=N    destinations per configuration          (default 40)\n"
-      "  --n=N        mesh side                               (default 200)\n"
-      "  --seed=S     base seed, decimal or 0x hex            (default 0x5eed2002)\n"
-      "  --threads=T  worker threads, 0 = hardware            (default 0)\n"
-      "  --json=FILE  structured output; '-' writes the JSON as stdout's last line\n"
-      "  --quick      smoke-test sweep (trials=8, dests=10)\n";
+      "               [--json=FILE|-] [--metrics=FILE|-] [--quick]\n"
+      "  --trials=N     fault configurations per sweep point   (default 60)\n"
+      "  --dests=N      destinations per configuration          (default 40)\n"
+      "  --n=N          mesh side                               (default 200)\n"
+      "  --seed=S       base seed, decimal or 0x hex            (default 0x5eed2002)\n"
+      "  --threads=T    worker threads, 0 = hardware            (default 0)\n"
+      "  --json=FILE    structured output; '-' writes the JSON as stdout's last line\n"
+      "  --metrics=FILE flat counter/histogram snapshot (obs registry); '-' = stdout\n"
+      "  --quick        smoke-test sweep (trials=8, dests=10)\n";
 }
 
 std::optional<SweepConfig> SweepConfig::try_parse(int argc, char** argv, std::string* error) {
@@ -71,6 +75,9 @@ std::optional<SweepConfig> SweepConfig::try_parse(int argc, char** argv, std::st
       } else if (const char* v = value_of("--json=")) {
         if (*v == '\0') throw std::invalid_argument("--json expects a file name or '-'");
         cfg.json_path = v;
+      } else if (const char* v = value_of("--metrics=")) {
+        if (*v == '\0') throw std::invalid_argument("--metrics expects a file name or '-'");
+        cfg.metrics_path = v;
       } else if (arg == "--quick") {
         cfg.quick = true;
         cfg.trials = 8;
@@ -192,8 +199,19 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const TrialFn& fn) 
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
+  // Per-cell wall time feeds the sweep.cell_us histogram: two steady_clock
+  // reads per cell, noise next to a trial's work. Cells are counted too so
+  // --metrics always reports how much grid a run covered.
+  obs::Counter& cells_ctr = obs::Registry::global().counter("sweep.cells");
+  obs::Histogram& cell_us_hist = obs::Registry::global().histogram("sweep.cell_us");
+
   const auto worker = [&]() {
     TrialWorkspace workspace;
+    // Each worker thread collects trace events into its own buffer; the
+    // canonical event order is value-based, so the thread assignment of
+    // cells never shows in sorted output.
+    std::optional<obs::TraceScope> scope;
+    if (trace_sink_ != nullptr) scope.emplace(*trace_sink_);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) return;
@@ -201,7 +219,12 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const TrialFn& fn) 
       const SweepPoint& p = points[ref.point];
       Rng rng(cell_seed(config_.seed, p.faults, p.n, ref.trial));
       try {
-        fn(SweepCell{p, ref.trial}, rng, workspace, raw[i]);
+        const auto c0 = std::chrono::steady_clock::now();
+        fn(SweepCell{p, ref.trial, ref.point}, rng, workspace, raw[i]);
+        const auto c1 = std::chrono::steady_clock::now();
+        cells_ctr.add(1);
+        cell_us_hist.observe(
+            std::chrono::duration_cast<std::chrono::microseconds>(c1 - c0).count());
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -271,18 +294,28 @@ void write_sweep_json(std::ostream& os, const SweepConfig& config,
 
 bool write_sweep_json(const SweepConfig& config, const std::vector<TaggedTable>& tables,
                       double wall_ms) {
-  if (config.json_path.empty()) return false;
-  if (config.json_path == "-") {
-    write_sweep_json(std::cout, config, tables, wall_ms);
-    return true;
+  bool wrote = false;
+  if (!config.json_path.empty()) {
+    if (config.json_path == "-") {
+      write_sweep_json(std::cout, config, tables, wall_ms);
+    } else {
+      std::ofstream file(config.json_path);
+      if (!file) {
+        std::cerr << "error: cannot open --json file '" << config.json_path << "'\n";
+        std::exit(1);
+      }
+      write_sweep_json(file, config, tables, wall_ms);
+    }
+    wrote = true;
   }
-  std::ofstream file(config.json_path);
-  if (!file) {
-    std::cerr << "error: cannot open --json file '" << config.json_path << "'\n";
-    std::exit(1);
+  if (!config.metrics_path.empty()) {
+    if (!obs::write_metrics_json(config.metrics_path, obs::Registry::global().snapshot())) {
+      std::cerr << "error: cannot open --metrics file '" << config.metrics_path << "'\n";
+      std::exit(1);
+    }
+    wrote = true;
   }
-  write_sweep_json(file, config, tables, wall_ms);
-  return true;
+  return wrote;
 }
 
 }  // namespace meshroute::experiment

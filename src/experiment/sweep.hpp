@@ -46,12 +46,17 @@
 #include "common/rng.hpp"
 #include "experiment/table.hpp"
 
+namespace meshroute::obs {
+class TraceSink;
+}  // namespace meshroute::obs
+
 namespace meshroute::experiment {
 
 struct TrialWorkspace;
 
 /// Shared bench configuration, parsed from the common flag set:
-///   --trials=N --dests=N --n=N --seed=S --threads=T --json=FILE|- --quick
+///   --trials=N --dests=N --n=N --seed=S --threads=T --json=FILE|-
+///   --metrics=FILE|- --quick
 /// Unknown flags are rejected with a usage message (parse() exits; try_parse
 /// reports the error for tests).
 struct SweepConfig {
@@ -61,6 +66,7 @@ struct SweepConfig {
   std::uint64_t seed = 0x5eed2002; ///< base seed (hex accepted on the flag)
   int threads = 0;                 ///< worker threads; 0 = hardware concurrency
   std::string json_path;           ///< --json target; "" = off, "-" = stdout
+  std::string metrics_path;        ///< --metrics target; "" = off, "-" = stdout
   bool quick = false;              ///< --quick given (trials=8, dests=10)
   std::vector<std::size_t> fault_counts;  ///< default k = 10..200 step 10
 
@@ -99,10 +105,18 @@ struct SweepPoint {
 struct SweepCell {
   SweepPoint point;
   int trial = 0;
+  std::size_t point_index = 0;  ///< position of `point` in the sweep's grid
 
   [[nodiscard]] Dist n() const noexcept { return point.n; }
   [[nodiscard]] std::size_t faults() const noexcept { return point.faults; }
   [[nodiscard]] double x() const noexcept { return point.x; }
+
+  /// Logical trace stream for this cell's events (obs::TraceEvent::track):
+  /// unique per (point, trial), never 0 — track 0 stays the global stream.
+  [[nodiscard]] std::uint64_t track_id() const noexcept {
+    return ((static_cast<std::uint64_t>(point_index) + 1) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(trial));
+  }
 };
 
 /// The independent seed for a grid cell (SplitMix64 hash chain over base
@@ -193,11 +207,17 @@ class SweepRunner {
   /// reduced k grids, ...).
   [[nodiscard]] SweepResult run(std::vector<SweepPoint> points, const TrialFn& fn) const;
 
+  /// Collect trace events from every worker thread into `sink` (null = off,
+  /// the default). The sink must outlive run(). With MESHROUTE_TRACE
+  /// compiled out this is accepted but no events arrive.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
+
   [[nodiscard]] const SweepConfig& config() const noexcept { return config_; }
 
  private:
   SweepConfig config_;
   std::vector<std::string> columns_;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 /// Points with x = k for a plain fault-count sweep.
@@ -216,8 +236,10 @@ struct TaggedTable {
 void write_sweep_json(std::ostream& os, const SweepConfig& config,
                       const std::vector<TaggedTable>& tables, double wall_ms);
 
-/// Honor `config.json_path`: no-op when empty, stdout when "-", else the
-/// named file (truncating). Returns true when something was written.
+/// Honor `config.json_path` (no-op when empty, stdout when "-", else the
+/// named file, truncating) AND `config.metrics_path` (same semantics: a
+/// flat obs::Registry snapshot via obs::write_metrics_json). Returns true
+/// when either output was written.
 bool write_sweep_json(const SweepConfig& config, const std::vector<TaggedTable>& tables,
                       double wall_ms);
 

@@ -5,6 +5,7 @@
 
 #include "cond/wang.hpp"
 #include "experiment/workspace.hpp"
+#include "obs/metrics.hpp"
 
 namespace meshroute::experiment {
 
@@ -26,7 +27,14 @@ Trial& make_trial(const TrialConfig& config, Rng& rng, TrialWorkspace& workspace
   const Coord source = config.source.value_or(mesh.center());
   if (!mesh.in_bounds(source)) throw std::invalid_argument("make_trial: source outside mesh");
 
+  // Cold vs warm workspace builds distinguish per-thread setup cost from
+  // steady-state reuse in --metrics output.
+  static obs::Counter& cold_ctr =
+      obs::Registry::global().counter("experiment.trials.workspace_cold");
+  static obs::Counter& trials_ctr = obs::Registry::global().counter("experiment.trials.built");
+  trials_ctr.add(1);
   if (!workspace.trial) {
+    cold_ctr.add(1);
     workspace.trial.emplace(Trial{mesh, source, fault::FaultSet{}, fault::BlockSet{},
                                   fault::MccSet{}, Grid<bool>{}, Grid<bool>{}, Grid<bool>{},
                                   info::SafetyGrid{}, info::SafetyGrid{}});

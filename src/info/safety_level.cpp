@@ -1,5 +1,8 @@
 #include "info/safety_level.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace meshroute::info {
 namespace {
 
@@ -58,6 +61,12 @@ SafetyGrid compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles
 }
 
 void compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles, SafetyGrid& out) {
+  static obs::Counter& recompute_ctr =
+      obs::Registry::global().counter("info.safety.recomputes");
+  recompute_ctr.add(1);
+  MESHROUTE_TRACE_EVENT(obs::EventKind::SafetyRecompute, 0, 0,
+                        (Coord{mesh.width(), mesh.height()}),
+                        static_cast<std::int64_t>(mesh.width()) * mesh.height(), 0);
   if (out.width() != mesh.width() || out.height() != mesh.height()) {
     out = SafetyGrid(mesh.width(), mesh.height());
   }

@@ -7,6 +7,8 @@
 
 #include "cond/wang.hpp"
 #include "mesh/frame.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace meshroute::netsim {
 namespace {
@@ -97,6 +99,8 @@ class Simulator {
         result.deadlock = true;
         ++result.watchdog_trips;
         result.deadlocked_packets = injected_ - delivered_;
+        MESHROUTE_TRACE_EVENT(obs::EventKind::WatchdogTrip, 0, cycle_, (Coord{0, 0}),
+                              flits_in_flight_, result.deadlocked_packets);
         break;
       }
     }
@@ -115,6 +119,21 @@ class Simulator {
     result.throughput = static_cast<double>(measured_delivered_ * cfg_.packet_length) /
                         (static_cast<double>(mesh_.node_count()) *
                          static_cast<double>(cfg_.measure_cycles));
+
+    static obs::Counter& runs_ctr = obs::Registry::global().counter("netsim.wormhole.runs");
+    static obs::Counter& injected_ctr =
+        obs::Registry::global().counter("netsim.wormhole.injected");
+    static obs::Counter& delivered_ctr =
+        obs::Registry::global().counter("netsim.wormhole.delivered");
+    static obs::Counter& stalls_ctr =
+        obs::Registry::global().counter("netsim.wormhole.flit_stalls");
+    static obs::Counter& trips_ctr =
+        obs::Registry::global().counter("netsim.wormhole.watchdog_trips");
+    runs_ctr.add(1);
+    injected_ctr.add(injected_);
+    delivered_ctr.add(delivered_);
+    stalls_ctr.add(flit_stalls_);
+    trips_ctr.add(result.watchdog_trips);
     return result;
   }
 
@@ -271,6 +290,11 @@ class Simulator {
           if (ivc.fifo.empty()) continue;
           if (peer.in[to_port][vc].fifo.size() >=
               static_cast<std::size_t>(cfg_.buffer_depth)) {
+            // Downstream buffer full: the allocated channel exists but the
+            // flit cannot advance this cycle — the congestion signal.
+            ++flit_stalls_;
+            MESHROUTE_TRACE_EVENT(obs::EventKind::FlitStall, ivc.fifo.front().packet,
+                                  cycle_, n, ivc.fifo.front().packet, dir);
             continue;
           }
           moves.push_back(Move{n, ovc.owner_port, ovc.owner_vc, to, to_port, vc});
@@ -357,6 +381,7 @@ class Simulator {
 
   std::int64_t cycle_ = 0;
   std::int64_t flits_in_flight_ = 0;
+  std::int64_t flit_stalls_ = 0;
   std::int64_t injected_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t undeliverable_ = 0;

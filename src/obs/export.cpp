@@ -1,0 +1,150 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace meshroute::obs {
+namespace {
+
+void append_int(std::string& out, std::int64_t v) { out += std::to_string(v); }
+
+void append_uint(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+/// Doubles print as integers when exactly integral (the common case for
+/// percentile estimates on small counts), else shortest-ish %.17g — both
+/// forms parse back through experiment::json.
+void append_double(std::string& out, double v) {
+  if (v >= -9.0e15 && v <= 9.0e15) {  // exact int64<->double range
+    const auto as_int = static_cast<std::int64_t>(v);
+    if (static_cast<double>(as_int) == v) {
+      append_int(out, as_int);
+      return;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, const char* s) {
+  out += '"';
+  out += s;  // every emitted name is a plain identifier; no escaping needed
+  out += '"';
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events,
+                      std::uint64_t dropped) {
+  std::string out;
+  out += "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":";
+    append_quoted(out, to_string(e.kind));
+    out += ",\"cat\":\"meshroute\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    append_int(out, e.time);
+    out += ",\"pid\":1,\"tid\":";
+    append_uint(out, e.track);
+    out += ",\"args\":{\"x\":";
+    append_int(out, e.at.x);
+    out += ",\"y\":";
+    append_int(out, e.at.y);
+    out += ",\"a\":";
+    append_int(out, e.a);
+    out += ",\"b\":";
+    append_int(out, e.b);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+  append_uint(out, dropped);
+  out += "}}";
+  os << out << "\n";
+}
+
+void write_trace_json(std::ostream& os, const TraceSink& sink) {
+  write_trace_json(os, sink.sorted_events(), sink.dropped());
+}
+
+bool write_trace_json(const std::string& path, const TraceSink& sink) {
+  if (path.empty()) return false;
+  if (path == "-") {
+    write_trace_json(std::cout, sink);
+    return true;
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::cerr << "error: cannot open --trace file '" << path << "'\n";
+    return false;
+  }
+  write_trace_json(file, sink);
+  return true;
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name.c_str());
+    out += ':';
+    append_int(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name.c_str());
+    out += ":{\"count\":";
+    append_int(out, hist.count);
+    out += ",\"sum\":";
+    append_int(out, hist.sum);
+    out += ",\"p50\":";
+    append_double(out, hist.percentile(0.50));
+    out += ",\"p95\":";
+    append_double(out, hist.percentile(0.95));
+    out += ",\"p99\":";
+    append_double(out, hist.percentile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;  // sparse: only occupied buckets
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[';
+      append_int(out, HistogramSnapshot::bucket_lo(i));
+      out += ',';
+      append_int(out, HistogramSnapshot::bucket_hi(i));
+      out += ',';
+      append_int(out, hist.buckets[i]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  os << out << "\n";
+}
+
+bool write_metrics_json(const std::string& path, const MetricsSnapshot& snapshot) {
+  if (path.empty()) return false;
+  if (path == "-") {
+    write_metrics_json(std::cout, snapshot);
+    return true;
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::cerr << "error: cannot open --metrics file '" << path << "'\n";
+    return false;
+  }
+  write_metrics_json(file, snapshot);
+  return true;
+}
+
+}  // namespace meshroute::obs

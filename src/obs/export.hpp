@@ -1,0 +1,46 @@
+// Exporters: the canonical event stream as Chrome trace-event JSON (loads
+// directly into Perfetto / chrome://tracing) and a registry snapshot as a
+// flat metrics JSON document.
+//
+// Both emitters write keys in a fixed order from deterministically ordered
+// inputs, so a seeded run's exports are byte-identical across thread counts
+// (modulo genuinely non-deterministic measurements such as wall-time
+// histograms). Both documents parse back through experiment::json — a ctest
+// smoke and tests/test_obs.cpp hold that door shut.
+//
+// Schemas:
+//   trace:   {"traceEvents":[{"name","cat","ph":"i","s":"t","ts",<logical>,
+//             "pid":1,"tid":<track>,"args":{"x","y","a","b"}},...],
+//             "displayTimeUnit":"ms","otherData":{"dropped":N}}
+//   metrics: {"counters":{name:value,...},
+//             "histograms":{name:{"count","sum","p50","p95","p99",
+//                                 "buckets":[[lo,hi,count],...]},...}}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace meshroute::obs {
+
+/// Serialize an already-ordered event list (see TraceSink::sorted_events).
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events,
+                      std::uint64_t dropped = 0);
+
+/// Convenience: canonical stream of `sink`, with its drop count.
+void write_trace_json(std::ostream& os, const TraceSink& sink);
+
+/// Honor a --trace style target: no-op when `path` is empty, stdout when
+/// "-", else the named file (truncating). Returns true when written; prints
+/// to stderr and returns false when the file cannot be opened.
+bool write_trace_json(const std::string& path, const TraceSink& sink);
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// --metrics target semantics, as write_trace_json(path, ...).
+bool write_metrics_json(const std::string& path, const MetricsSnapshot& snapshot);
+
+}  // namespace meshroute::obs

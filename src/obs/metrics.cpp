@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace meshroute::obs {
+
+std::size_t HistogramSnapshot::bucket_of(std::int64_t value) noexcept {
+  if (value <= 0) return 0;
+  return static_cast<std::size_t>(std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+std::int64_t HistogramSnapshot::bucket_lo(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  return std::int64_t{1} << (bucket - 1);
+}
+
+std::int64_t HistogramSnapshot::bucket_hi(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= kBuckets - 1) return (std::int64_t{1} << 62) - 1 + (std::int64_t{1} << 62);
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  if (count <= 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the target sample (1-based); walk the cumulative distribution
+  // and interpolate linearly inside the covering bucket.
+  const double rank = p * static_cast<double>(count - 1) + 1.0;
+  double cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (rank <= next) {
+      const auto lo = static_cast<double>(bucket_lo(i));
+      const auto hi = static_cast<double>(bucket_hi(i));
+      const double within = (rank - cumulative) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(bucket_hi(kBuckets - 1));
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+}  // namespace meshroute::obs

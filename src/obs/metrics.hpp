@@ -1,0 +1,128 @@
+// Thread-safe metrics: named monotonic counters and fixed-log2-bucket
+// histograms behind a process-global (or instantiable) registry.
+//
+// Aggregation model: hot paths mutate atomics with relaxed ordering — the
+// only cross-thread operations are commutative adds, so totals are
+// deterministic for a seeded workload regardless of thread count or
+// interleaving. Distribution shape lives in 64 power-of-two buckets
+// (bucket i >= 1 covers [2^(i-1), 2^i - 1], bucket 0 covers <= 0), whose
+// merge is element-wise addition — associative and commutative, which
+// tests/test_obs.cpp asserts directly.
+//
+// Intended hot-path idiom (one registry lookup ever, then lock-free):
+//
+//   static obs::Counter& hops = obs::Registry::global().counter("route.ladder.hops");
+//   hops.add(result.stats.hops);
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace meshroute::obs {
+
+/// Monotonic (well, signed — deltas may be any int64) event counter.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Frozen histogram state: plain integers, mergeable, queryable. This is
+/// both Registry::snapshot()'s currency and the unit the exporters and
+/// bench_compare --metrics consume.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  /// Bucket index for a value: 0 for v <= 0, else bit_width(v).
+  [[nodiscard]] static std::size_t bucket_of(std::int64_t value) noexcept;
+  /// Inclusive value range [lo, hi] a bucket covers.
+  [[nodiscard]] static std::int64_t bucket_lo(std::size_t bucket) noexcept;
+  [[nodiscard]] static std::int64_t bucket_hi(std::size_t bucket) noexcept;
+
+  /// Estimate the p-quantile (p in [0, 1]) by linear interpolation inside
+  /// the covering bucket. 0 when empty. Deterministic.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  /// Element-wise addition — the associative merge the sweep reduction and
+  /// bench_compare rely on.
+  void merge(const HistogramSnapshot& other) noexcept;
+
+  friend bool operator==(const HistogramSnapshot&, const HistogramSnapshot&) = default;
+};
+
+/// Concurrent histogram with fixed log2 buckets. observe() is two relaxed
+/// atomic adds; snapshot() is not atomic across buckets (take it after the
+/// workload quiesces, as Registry::snapshot does).
+class Histogram {
+ public:
+  void observe(std::int64_t value) noexcept {
+    buckets_[HistogramSnapshot::bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::int64_t>, HistogramSnapshot::kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Everything a registry knew at one instant, keys sorted (std::map) so
+/// serialization is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
+};
+
+/// Named metric store. Lookup takes a mutex; the returned references are
+/// stable for the registry's lifetime, so call sites cache them in statics
+/// and never pay the lock again.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide default registry every built-in instrumentation site
+  /// uses. Tests needing isolation either diff values or reset().
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (registrations and handle addresses
+  /// survive — outstanding cached references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace meshroute::obs

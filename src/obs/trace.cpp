@@ -1,0 +1,62 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace meshroute::obs {
+
+namespace detail {
+thread_local TraceBuffer* tls_buffer = nullptr;
+}  // namespace detail
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::RouteHop: return "route_hop";
+    case EventKind::RungEscalation: return "rung_escalation";
+    case EventKind::SafetyRecompute: return "safety_recompute";
+    case EventKind::ChaosInjection: return "chaos_injection";
+    case EventKind::ArqRetry: return "arq_retry";
+    case EventKind::FlitStall: return "flit_stall";
+    case EventKind::WatchdogTrip: return "watchdog_trip";
+  }
+  return "unknown";
+}
+
+bool trace_event_less(const TraceEvent& lhs, const TraceEvent& rhs) noexcept {
+  return std::tuple(lhs.track, lhs.time, static_cast<std::uint8_t>(lhs.kind), lhs.at.y,
+                    lhs.at.x, lhs.a, lhs.b) <
+         std::tuple(rhs.track, rhs.time, static_cast<std::uint8_t>(rhs.kind), rhs.at.y,
+                    rhs.at.x, rhs.a, rhs.b);
+}
+
+void TraceBuffer::drain_into(std::vector<TraceEvent>& out) const {
+  // Oldest-first: [head_, end) then [0, head_) once the ring has wrapped.
+  for (std::size_t i = head_; i < events_.size(); ++i) out.push_back(events_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(events_[i]);
+}
+
+TraceBuffer& TraceSink::attach() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.emplace_back(capacity_);
+  return buffers_.back();
+}
+
+std::vector<TraceEvent> TraceSink::sorted_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  std::size_t total = 0;
+  for (const TraceBuffer& b : buffers_) total += b.size();
+  events.reserve(total);
+  for (const TraceBuffer& b : buffers_) b.drain_into(events);
+  std::sort(events.begin(), events.end(), trace_event_less);
+  return events;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const TraceBuffer& b : buffers_) total += b.dropped();
+  return total;
+}
+
+}  // namespace meshroute::obs

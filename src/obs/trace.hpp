@@ -1,0 +1,182 @@
+// Structured event tracing for the execution engines: typed, logically
+// clocked trace events collected into per-thread ring buffers and merged
+// into one canonical, deterministic stream.
+//
+// Design rules (DESIGN.md §9):
+//   * Emission is a macro, MESHROUTE_TRACE_EVENT. With the CMake option
+//     MESHROUTE_TRACE=OFF the macro expands to nothing — no argument
+//     evaluation, no call, no symbol reference (tests/trace_off_probe.cpp
+//     proves this at link time by using the macro WITHOUT linking this
+//     library). With tracing compiled in, an emission site costs one
+//     thread-local pointer test unless a TraceScope is installed.
+//   * Events carry only LOGICAL clocks (hop clocks, simulator cycles,
+//     protocol rounds) and logical stream ids ("tracks": a sweep cell, a
+//     packet, 0 for global). Never wall-clock time, never thread ids — so
+//     the canonical stream for a seeded run is identical for any --threads
+//     value and any machine.
+//   * Collectors are bounded rings: a runaway workload overwrites its own
+//     oldest events and counts the loss instead of exhausting memory.
+//     Determinism of the merged stream is guaranteed when dropped() == 0
+//     (sized-for-the-workload is the caller's contract).
+//
+// The canonical merge (TraceSink::sorted_events) orders by the full value
+// tuple (track, time, kind, at, a, b). Within one (track, time) tie the
+// order is canonicalized by content, which is exactly as deterministic as
+// emission order because a track is only ever written by one thread at a
+// time in this codebase.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/coord.hpp"
+
+// The CMake option MESHROUTE_TRACE=OFF defines MESHROUTE_TRACE_ENABLED=0
+// globally; a translation unit may also pre-define it before including this
+// header (how the zero-overhead probe pins the disabled expansion).
+#ifndef MESHROUTE_TRACE_ENABLED
+#define MESHROUTE_TRACE_ENABLED 1
+#endif
+
+namespace meshroute::obs {
+
+/// The event taxonomy. One enumerator per instrumented phenomenon; payload
+/// fields `a`/`b` are kind-specific (documented per emission site and in
+/// DESIGN.md §9).
+enum class EventKind : std::uint8_t {
+  RouteHop = 0,        ///< a packet advanced one hop (a = hop index, b = rung/policy)
+  RungEscalation = 1,  ///< the degradation ladder abandoned a rung (a = rung, b = reason)
+  SafetyRecompute = 2, ///< a full safety-level sweep ran (at = mesh dims)
+  ChaosInjection = 3,  ///< a scheduled fault fired (a = epoch index, b = block count)
+  ArqRetry = 4,        ///< run_lossy retransmitted a dropped crossing (a = attempt, b = backoff)
+  FlitStall = 5,       ///< a wormhole flit could not advance (a = packet, b = direction)
+  WatchdogTrip = 6,    ///< the no-progress watchdog fired (a = flits in flight, b = stuck packets)
+};
+
+/// Stable lower-snake name ("route_hop", ...) for exports and logs.
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// One trace record. Plain data, 40 bytes, no ownership — safe to ring-copy.
+struct TraceEvent {
+  std::uint64_t track = 0;  ///< logical stream (sweep cell, packet, 0 = global)
+  std::int64_t time = 0;    ///< logical clock within the track
+  EventKind kind = EventKind::RouteHop;
+  Coord at{0, 0};           ///< primary location
+  std::int64_t a = 0;       ///< kind-specific payload
+  std::int64_t b = 0;       ///< kind-specific payload
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Canonical order: the full value tuple, so the sorted stream is a pure
+/// function of the emitted multiset (thread-schedule independent).
+[[nodiscard]] bool trace_event_less(const TraceEvent& lhs, const TraceEvent& rhs) noexcept;
+
+/// One thread's collector: a bounded ring keeping the newest `capacity`
+/// events. Single-writer; the owning TraceSink reads it only after the
+/// writing threads are done (the SweepRunner joins its pool first).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  void emit(const TraceEvent& event) {
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+      return;
+    }
+    events_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  /// Events oldest-first (unwraps the ring).
+  void drain_into(std::vector<TraceEvent>& out) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< oldest slot once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Owner of per-thread collectors. attach() is thread-safe; reading the
+/// merged stream is meant for after the emitting threads have finished.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity_per_thread = kDefaultCapacity)
+      : capacity_(capacity_per_thread) {}
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Register a new collector (stable address for the sink's lifetime).
+  [[nodiscard]] TraceBuffer& attach();
+
+  /// All collected events in canonical order (see trace_event_less).
+  [[nodiscard]] std::vector<TraceEvent> sorted_events() const;
+
+  /// Events overwritten across all collectors. Non-zero means the canonical
+  /// stream is truncated (and its determinism contract void): enlarge the
+  /// per-thread capacity.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<TraceBuffer> buffers_;  ///< deque: attach() must not move collectors
+};
+
+namespace detail {
+/// The current thread's collector; null (the default) makes every emission
+/// site a single predictable-not-taken branch.
+extern thread_local TraceBuffer* tls_buffer;
+}  // namespace detail
+
+/// RAII: routes this thread's MESHROUTE_TRACE_EVENT emissions into a fresh
+/// collector attached to `sink`, restoring the previous target on
+/// destruction (scopes nest).
+class TraceScope {
+ public:
+  explicit TraceScope(TraceSink& sink)
+      : previous_(detail::tls_buffer) {
+    detail::tls_buffer = &sink.attach();
+  }
+  ~TraceScope() { detail::tls_buffer = previous_; }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceBuffer* previous_;
+};
+
+}  // namespace meshroute::obs
+
+#if MESHROUTE_TRACE_ENABLED
+/// Emit one typed trace event iff a TraceScope is installed on this thread.
+/// `kind` is an obs::EventKind; `track`/`time`/`a`/`b` convert to the
+/// TraceEvent integer fields; `at` is a Coord.
+#define MESHROUTE_TRACE_EVENT(kind, track, time, at, a, b)                               \
+  do {                                                                                   \
+    if (::meshroute::obs::detail::tls_buffer != nullptr) {                               \
+      ::meshroute::obs::detail::tls_buffer->emit(::meshroute::obs::TraceEvent{           \
+          static_cast<std::uint64_t>(track), static_cast<std::int64_t>(time), (kind),    \
+          (at), static_cast<std::int64_t>(a), static_cast<std::int64_t>(b)});            \
+    }                                                                                    \
+  } while (0)
+#else
+// Disabled build: the statement disappears entirely — arguments are not
+// evaluated and no obs symbol is referenced (the link-time probe relies on
+// this exact expansion).
+#define MESHROUTE_TRACE_EVENT(kind, track, time, at, a, b) static_cast<void>(0)
+#endif

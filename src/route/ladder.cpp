@@ -6,6 +6,8 @@
 #include "cond/wang.hpp"
 #include "common/grid.hpp"
 #include "mesh/frame.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace meshroute::route {
 namespace {
@@ -32,13 +34,37 @@ const char* to_string(Rung rung) noexcept {
 
 LadderResult route_degradation_ladder(const Mesh2D& mesh, const FaultView& view, Coord s,
                                       Coord d, const LadderOptions& opts, Rng* rng) {
+  // Registry lookups are a map walk under a mutex; resolve once per process,
+  // then flush per walk (not per hop) so the hot loop only touches locals.
+  static obs::Counter& walks_ctr = obs::Registry::global().counter("route.ladder.walks");
+  static obs::Counter& delivered_ctr =
+      obs::Registry::global().counter("route.ladder.delivered");
+  static obs::Counter& hops_ctr = obs::Registry::global().counter("route.ladder.hops");
+  static obs::Counter& detours_ctr = obs::Registry::global().counter("route.ladder.detours");
+  static obs::Counter& escalations_ctr =
+      obs::Registry::global().counter("route.ladder.escalations");
+
   LadderResult result;
   std::int64_t t = opts.start_time;
   result.end_time = t;
+
+  const auto finish = [&]() -> LadderResult& {
+    result.stats.hops = static_cast<int>(result.path.hops.size()) -
+                        (result.path.hops.empty() ? 0 : 1);
+    result.stats.detours = result.detours;
+    result.stats.escalations = static_cast<int>(result.escalations.size());
+    walks_ctr.add(1);
+    if (result.delivered()) delivered_ctr.add(1);
+    hops_ctr.add(result.stats.hops);
+    detours_ctr.add(result.stats.detours);
+    escalations_ctr.add(result.stats.escalations);
+    return result;
+  };
+
   if (!mesh.in_bounds(s) || !mesh.in_bounds(d) || view.truly_bad(s, t) ||
       view.truly_bad(d, t)) {
     result.status = RouteStatus::SourceBlocked;
-    return result;
+    return finish();
   }
 
   const int ttl = opts.ttl > 0 ? opts.ttl : 4 * (manhattan(s, d) + 8);
@@ -65,6 +91,8 @@ LadderResult route_degradation_ladder(const Mesh2D& mesh, const FaultView& view,
     prev = cur;
     cur = v;
     ++visits[v];
+    MESHROUTE_TRACE_EVENT(obs::EventKind::RouteHop, opts.trace_track, t, v, hops,
+                          static_cast<int>(result.rung));
   };
 
   while (cur != d) {
@@ -72,11 +100,11 @@ LadderResult route_degradation_ladder(const Mesh2D& mesh, const FaultView& view,
     // destroys it; one firing on the destination makes delivery impossible.
     if (view.truly_bad(cur, t) || view.truly_bad(d, t)) {
       fail(RouteStatus::EnteredNewFault);
-      return result;
+      return finish();
     }
     if (hops >= ttl) {
       fail(RouteStatus::TtlExceeded);
-      return result;
+      return finish();
     }
     view.believed_blocks(cur, t, believed);
 
@@ -123,6 +151,8 @@ LadderResult route_degradation_ladder(const Mesh2D& mesh, const FaultView& view,
       }
       if (spare) {
         result.escalations.push_back(Escalation{result.rung, reason, cur, t});
+        MESHROUTE_TRACE_EVENT(obs::EventKind::RungEscalation, opts.trace_track, t, cur,
+                              static_cast<int>(result.rung), static_cast<int>(reason));
         result.rung = std::max(result.rung, Rung::SpareDetour);
         --detour_budget;
         take(*spare);
@@ -136,6 +166,8 @@ LadderResult route_degradation_ladder(const Mesh2D& mesh, const FaultView& view,
     if (opts.max_rung >= Rung::BoundedMisroute) {
       if (!misroute_engaged) {
         result.escalations.push_back(Escalation{result.rung, reason, cur, t});
+        MESHROUTE_TRACE_EVENT(obs::EventKind::RungEscalation, opts.trace_track, t, cur,
+                              static_cast<int>(result.rung), static_cast<int>(reason));
         result.rung = Rung::BoundedMisroute;
         misroute_engaged = true;
       }
@@ -159,12 +191,12 @@ LadderResult route_degradation_ladder(const Mesh2D& mesh, const FaultView& view,
     }
 
     fail(reason);
-    return result;
+    return finish();
   }
 
   result.status = RouteStatus::Delivered;
   result.end_time = t;
-  return result;
+  return finish();
 }
 
 }  // namespace meshroute::route

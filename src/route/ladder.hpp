@@ -116,6 +116,21 @@ struct LadderOptions {
   /// BoundedMisroute abandons a walk that enters any node more than
   /// 1 + max_revisits times (loop/livelock detection).
   int max_revisits = 2;
+  /// Logical trace stream this walk's RouteHop/RungEscalation events carry
+  /// (obs::TraceEvent::track). Callers multiplexing many walks into one
+  /// obs::TraceSink (a sweep, a CLI run) assign distinct tracks; 0 is fine
+  /// for a single walk.
+  std::uint64_t trace_track = 0;
+};
+
+/// Aggregate walk counts, filled on every ladder return so callers get the
+/// numbers without re-deriving them from the path or the trace stream.
+struct RouteStats {
+  int hops = 0;         ///< hops actually walked (path length)
+  int detours = 0;      ///< hops that did not reduce distance
+  int escalations = 0;  ///< rungs abandoned along the way
+
+  friend bool operator==(const RouteStats&, const RouteStats&) = default;
 };
 
 /// One rung giving up: where, when, and the status it would have returned.
@@ -133,6 +148,7 @@ struct LadderResult {
   std::vector<Escalation> escalations; ///< one entry per rung abandoned
   int detours = 0;                     ///< hops that did not reduce distance
   std::int64_t end_time = 0;           ///< hop clock at termination
+  RouteStats stats;                    ///< aggregate counts, filled on every return
 
   [[nodiscard]] bool delivered() const noexcept { return status == RouteStatus::Delivered; }
 };

@@ -4,6 +4,8 @@
 
 #include "cond/wang.hpp"
 #include "mesh/frame.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace meshroute::route {
 namespace {
@@ -54,11 +56,24 @@ std::vector<Rect> MinimalRouter::known_rects(Coord at) const {
 }
 
 RouteResult MinimalRouter::route(Coord s, Coord d, Rng* rng) const {
+  static obs::Counter& walks_ctr = obs::Registry::global().counter("route.minimal.walks");
+  static obs::Counter& delivered_ctr =
+      obs::Registry::global().counter("route.minimal.delivered");
+  static obs::Counter& hops_ctr = obs::Registry::global().counter("route.minimal.hops");
+
   RouteResult result;
+  const auto finish = [&]() -> RouteResult& {
+    walks_ctr.add(1);
+    if (result.delivered()) delivered_ctr.add(1);
+    if (!result.path.hops.empty()) {
+      hops_ctr.add(static_cast<std::int64_t>(result.path.hops.size()) - 1);
+    }
+    return result;
+  };
   if (!mesh_.in_bounds(s) || !mesh_.in_bounds(d) || blocks_.is_block_node(s) ||
       blocks_.is_block_node(d)) {
     result.status = RouteStatus::SourceBlocked;
-    return result;
+    return finish();
   }
   result.path.hops.push_back(s);
 
@@ -120,13 +135,16 @@ RouteResult MinimalRouter::route(Coord s, Coord d, Rng* rng) const {
       next = *move_y;
     } else {
       result.status = RouteStatus::Stuck;
-      return result;
+      return finish();
     }
     result.path.hops.push_back(next);
     cur = next;
+    MESHROUTE_TRACE_EVENT(obs::EventKind::RouteHop, 0,
+                          static_cast<std::int64_t>(result.path.hops.size()) - 1, next,
+                          static_cast<std::int64_t>(result.path.hops.size()) - 1, 0);
   }
   result.status = RouteStatus::Delivered;
-  return result;
+  return finish();
 }
 
 RouteResult MinimalRouter::route_via(Coord s, Coord via, Coord d, Rng* rng) const {

@@ -29,6 +29,8 @@
 #include "common/grid.hpp"
 #include "common/rng.hpp"
 #include "mesh/mesh2d.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace meshroute::simsub {
 
@@ -132,6 +134,9 @@ class SyncNetwork {
   ProtocolStats run_lossy(const Handler& handler, std::int64_t max_rounds,
                           const LossConfig& loss) {
     Rng rng(loss.seed);
+    // stats_ accumulates across run()/run_lossy() calls on one network, so
+    // flush only this call's delta into the registry at the end.
+    const ProtocolStats before = stats_;
     // Transfers due at a given round, processed in queue order (deterministic
     // for a fixed seed; there is no cross-thread concurrency here).
     struct Transfer {
@@ -171,8 +176,12 @@ class SyncNetwork {
           ++stats_.retries;
           // Exponential backoff, capped so the wait stays bounded.
           const int exponent = t.attempts < 5 ? t.attempts : 5;
-          t.due = stats_.rounds + (static_cast<std::int64_t>(loss.retry_interval) << exponent);
+          const std::int64_t backoff = static_cast<std::int64_t>(loss.retry_interval)
+                                       << exponent;
+          t.due = stats_.rounds + backoff;
           ++t.attempts;
+          MESHROUTE_TRACE_EVENT(obs::EventKind::ArqRetry, 0, stats_.rounds, t.env.to,
+                                t.attempts, backoff);
           wheel.push_back(std::move(t));
           continue;
         }
@@ -191,6 +200,16 @@ class SyncNetwork {
       }
       enqueue_pending(stats_.rounds + 1);
     }
+    static obs::Counter& runs_ctr = obs::Registry::global().counter("simsub.lossy.runs");
+    static obs::Counter& retries_ctr =
+        obs::Registry::global().counter("simsub.lossy.retries");
+    static obs::Counter& dropped_ctr =
+        obs::Registry::global().counter("simsub.lossy.dropped");
+    static obs::Counter& lost_ctr = obs::Registry::global().counter("simsub.lossy.lost");
+    runs_ctr.add(1);
+    retries_ctr.add(stats_.retries - before.retries);
+    dropped_ctr.add(stats_.dropped - before.dropped);
+    lost_ctr.add(stats_.lost - before.lost);
     return stats_;
   }
 

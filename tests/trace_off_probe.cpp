@@ -1,0 +1,61 @@
+// Link-time proof of the MESHROUTE_TRACE=OFF zero-overhead contract.
+//
+// This translation unit pins MESHROUTE_TRACE_ENABLED=0 (the CMake target
+// defines it; the guard below makes the probe self-sufficient), includes the
+// trace header, and uses MESHROUTE_TRACE_EVENT — but the target links ONLY
+// meshroute_common, never meshroute_obs. The probe therefore builds and
+// links iff the disabled macro expands to nothing:
+//
+//   * no symbol reference — detail::tls_buffer, TraceBuffer::emit and the
+//     TraceEvent machinery live in meshroute_obs, which is absent here, so
+//     any residual reference is an undefined-symbol link error;
+//   * no argument evaluation — the arguments below have side effects that
+//     main() asserts never happened.
+//
+// A plain `return` communicates the runtime half: exit 0 = arguments were
+// not evaluated, exit 1 = the "disabled" macro still ran code.
+#ifndef MESHROUTE_TRACE_ENABLED
+#define MESHROUTE_TRACE_ENABLED 0
+#endif
+
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace {
+
+int evaluations = 0;
+
+// [[maybe_unused]]: with the macro compiled out, nothing references these —
+// which is exactly the property under test.
+[[maybe_unused]] meshroute::Coord observe_coord() {
+  ++evaluations;
+  return {1, 2};
+}
+
+[[maybe_unused]] long observe_payload() {
+  ++evaluations;
+  return 7;
+}
+
+}  // namespace
+
+int main() {
+  static_assert(MESHROUTE_TRACE_ENABLED == 0,
+                "probe must compile with tracing disabled");
+
+  for (int i = 0; i < 3; ++i) {
+    MESHROUTE_TRACE_EVENT(meshroute::obs::EventKind::RouteHop, observe_payload(),
+                          observe_payload(), observe_coord(), observe_payload(), i);
+  }
+
+  if (evaluations != 0) {
+    std::fprintf(stderr,
+                 "trace_off_probe: disabled MESHROUTE_TRACE_EVENT evaluated its "
+                 "arguments %d time(s)\n",
+                 evaluations);
+    return 1;
+  }
+  std::puts("trace_off_probe: disabled macro evaluates nothing, links without obs");
+  return 0;
+}

@@ -8,6 +8,11 @@
 // regressed; 2 on usage/parse errors. Kernels present in only one file are
 // reported but do not fail the comparison (adding or retiring a kernel must
 // not break CI against a stale baseline).
+//
+// With --metrics the inputs are instead two --metrics snapshots (the
+// {"counters":{...},"histograms":{...}} schema obs::write_metrics_json
+// emits); every counter and histogram count/p50 is diffed side by side.
+// The diff is informational — exit is 0 unless the files fail to parse.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,7 +27,8 @@ namespace {
 using meshroute::experiment::json::Value;
 
 [[noreturn]] void usage_and_exit() {
-  std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.10]\n";
+  std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.10]\n"
+               "       bench_compare --metrics OLD.json NEW.json\n";
   std::exit(2);
 }
 
@@ -56,15 +62,89 @@ std::map<std::string, double> medians(const Value& doc, const std::string& path)
   return out;
 }
 
+/// Diff two --metrics snapshots: counters by value, histograms by count and
+/// median. Names present in only one file show as "-" on the other side.
+int compare_metrics(const std::string& old_path, const std::string& new_path) {
+  const Value old_doc = load(old_path);
+  const Value new_doc = load(new_path);
+
+  const auto counters = [](const Value& doc, const std::string& path) {
+    std::map<std::string, double> out;
+    try {
+      for (const auto& kv : doc.at("counters").as_object()) {
+        out[kv.first] = kv.second.as_number();
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bench_compare: " << path << ": unexpected schema: " << e.what() << "\n";
+      std::exit(2);
+    }
+    return out;
+  };
+  const auto old_counters = counters(old_doc, old_path);
+  const auto new_counters = counters(new_doc, new_path);
+
+  std::printf("%-34s %14s %14s %12s\n", "counter", "old", "new", "delta");
+  std::map<std::string, bool> names;
+  for (const auto& kv : old_counters) names[kv.first] = true;
+  for (const auto& kv : new_counters) names[kv.first] = true;
+  for (const auto& kv : names) {
+    const std::string& name = kv.first;
+    const auto o = old_counters.find(name);
+    const auto n = new_counters.find(name);
+    if (o == old_counters.end()) {
+      std::printf("%-34s %14s %14.0f %12s\n", name.c_str(), "-", n->second, "new");
+    } else if (n == new_counters.end()) {
+      std::printf("%-34s %14.0f %14s %12s\n", name.c_str(), o->second, "-", "gone");
+    } else {
+      std::printf("%-34s %14.0f %14.0f %+12.0f\n", name.c_str(), o->second, n->second,
+                  n->second - o->second);
+    }
+  }
+
+  const auto histograms = [](const Value& doc) {
+    std::map<std::string, std::pair<double, double>> out;  // name -> (count, p50)
+    if (!doc.has("histograms")) return out;
+    for (const auto& kv : doc.at("histograms").as_object()) {
+      out[kv.first] = {kv.second.at("count").as_number(), kv.second.at("p50").as_number()};
+    }
+    return out;
+  };
+  const auto old_hists = histograms(old_doc);
+  const auto new_hists = histograms(new_doc);
+  if (!old_hists.empty() || !new_hists.empty()) {
+    std::printf("%-34s %14s %14s %12s\n", "histogram", "old n/p50", "new n/p50", "");
+    std::map<std::string, bool> hnames;
+    for (const auto& kv : old_hists) hnames[kv.first] = true;
+    for (const auto& kv : new_hists) hnames[kv.first] = true;
+    for (const auto& kv : hnames) {
+      const std::string& name = kv.first;
+      const auto fmt = [](const std::map<std::string, std::pair<double, double>>& m,
+                          const std::string& key) {
+        const auto it = m.find(key);
+        if (it == m.end()) return std::string("-");
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f/%.0f", it->second.first, it->second.second);
+        return std::string(buf);
+      };
+      std::printf("%-34s %14s %14s\n", name.c_str(), fmt(old_hists, name).c_str(),
+                  fmt(new_hists, name).c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string old_path;
   std::string new_path;
   double threshold = 0.10;
+  bool metrics_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threshold=", 0) == 0) {
+    if (arg == "--metrics") {
+      metrics_mode = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
       try {
         threshold = std::stod(arg.substr(12));
       } catch (const std::exception&) {
@@ -80,6 +160,7 @@ int main(int argc, char** argv) {
     }
   }
   if (new_path.empty()) usage_and_exit();
+  if (metrics_mode) return compare_metrics(old_path, new_path);
 
   const auto old_medians = medians(load(old_path), old_path);
   const auto new_medians = medians(load(new_path), new_path);

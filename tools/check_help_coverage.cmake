@@ -1,0 +1,39 @@
+# ctest script: `meshroutectl --help` must document every flag the parser
+# accepts and every command it dispatches. A PASS_REGULAR_EXPRESSION can only
+# assert one pattern, so this runs the binary once and string-searches the
+# output per key, failing with the first undocumented one.
+#
+#   cmake -DCTL=<path-to-meshroutectl> -P check_help_coverage.cmake
+#
+# Keep the key list in sync with parse() in meshroutectl.cpp — a new flag
+# lands here in the same commit or this test names it.
+if(NOT DEFINED CTL)
+  message(FATAL_ERROR "pass -DCTL=<path-to-meshroutectl>")
+endif()
+
+execute_process(COMMAND ${CTL} --help
+                OUTPUT_VARIABLE help_text
+                ERROR_VARIABLE help_err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "meshroutectl --help exited with ${rc}: ${help_err}")
+endif()
+
+set(commands map decide route)
+set(flags
+  --n --faults --seed --src --dst --model --segment --pivot-levels --strategy
+  --policy --ppm --ascii --chaos --ttl --trace --help)
+
+foreach(cmd IN LISTS commands)
+  string(FIND "${help_text}" "${cmd}" idx)
+  if(idx EQUAL -1)
+    message(FATAL_ERROR "--help does not document command '${cmd}'")
+  endif()
+endforeach()
+foreach(flag IN LISTS flags)
+  string(FIND "${help_text}" "${flag}" idx)
+  if(idx EQUAL -1)
+    message(FATAL_ERROR "--help does not document accepted flag '${flag}'")
+  endif()
+endforeach()
+message(STATUS "--help covers all commands and flags")

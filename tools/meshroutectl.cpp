@@ -6,13 +6,16 @@
 //                       [--strategy s1|s2|s3|s4]
 //   meshroutectl route  --n 32 --faults 40 --seed 7 --src 2,2 --dst 28,30
 //                       [--policy boundary|global] [--ppm out.ppm] [--ascii]
-//                       [--chaos FILE|SPEC] [--ttl N]
+//                       [--chaos FILE|SPEC] [--ttl N] [--trace FILE|-]
 //
 // With --chaos, route runs the graceful-degradation ladder against a live
 // FaultSchedule (see src/chaos/fault_schedule.hpp for the spec grammar;
 // a readable file wins over an inline spec) instead of the frozen-world
 // router, printing every rung escalation and rendering the post-script
-// world. --ttl caps the ladder's hop budget (0 = auto).
+// world. --ttl caps the ladder's hop budget (0 = auto). --trace captures
+// the run's structured event stream (route hops, escalations, safety
+// recomputes, chaos epochs) as Chrome trace-event JSON loadable in
+// Perfetto; logical clocks make it deterministic under --seed.
 //
 // Flags take either `--key value` or `--key=value`; `--ascii` is a boolean.
 // Every invocation is deterministic under --seed.
@@ -31,6 +34,8 @@
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
 #include "info/pivots.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "render/render.hpp"
 #include "route/ladder.hpp"
 #include "route/path.hpp"
@@ -55,6 +60,7 @@ struct Options {
   bool ascii = false;
   std::optional<std::string> chaos;  ///< FaultSchedule file or inline spec
   int ttl = 0;                       ///< ladder hop budget (0 = auto)
+  std::string trace;                 ///< --trace target; "" = off, "-" = stdout
 };
 
 Coord parse_coord(const std::string& key, const std::string& s) {
@@ -80,15 +86,30 @@ long parse_long(const std::string& key, const std::string& s) {
 }
 
 void print_usage(std::ostream& os) {
-  os << "usage: meshroutectl <map|decide|route> --n N --faults K --seed S\n"
-        "                    [--src x,y --dst x,y] [--model fb|mcc]\n"
-        "                    [--segment S] [--pivot-levels L] [--strategy s1|s2|s3|s4]\n"
-        "                    [--policy boundary|global] [--ppm FILE] [--ascii]\n"
-        "                    [--chaos FILE|SPEC] [--ttl N]\n"
-        "flags accept both '--key value' and '--key=value'.\n"
-        "--chaos routes with the degradation ladder under a fault schedule\n"
-        "(e.g. --chaos 'inject=3:5,5;lag=4' or a file of such directives);\n"
-        "--ttl caps its hop budget (0 = auto).\n";
+  os << "usage: meshroutectl <map|decide|route> [flags]\n"
+        "commands:\n"
+        "  map     build the fault world and render the block map\n"
+        "  decide  evaluate the sufficient conditions for a (src, dst) pair\n"
+        "  route   walk a packet from --src to --dst\n"
+        "flags (accept both '--key value' and '--key=value'):\n"
+        "  --n N                    mesh side                       (default 32)\n"
+        "  --faults K               uniform random fault count      (default 0)\n"
+        "  --seed S                 RNG seed, decimal or 0x hex     (default 1)\n"
+        "  --src x,y                source node (decide/route)\n"
+        "  --dst x,y                destination node (decide/route)\n"
+        "  --model fb|mcc           fault model for decide          (default fb)\n"
+        "  --segment S              boundary segment size (decide)  (default 1)\n"
+        "  --pivot-levels L         pivot hierarchy levels (decide) (default 0)\n"
+        "  --strategy s1|s2|s3|s4   evaluate one strategy only (decide)\n"
+        "  --policy boundary|global information policy for route   (default boundary)\n"
+        "  --ppm FILE               render the world (and path) as a PPM image\n"
+        "  --ascii                  force the ASCII map even for n > 64\n"
+        "  --chaos FILE|SPEC        route with the degradation ladder under a fault\n"
+        "                           schedule, e.g. --chaos 'inject=3:5,5;lag=4'\n"
+        "  --ttl N                  ladder hop budget with --chaos  (0 = auto)\n"
+        "  --trace FILE|-           write the run's event stream as Chrome trace-event\n"
+        "                           JSON ('-' = stdout); load the file in Perfetto\n"
+        "  --help                   print this message and exit\n";
 }
 
 /// Key/value parser: every argument is either a boolean flag or a key whose
@@ -180,6 +201,9 @@ Options parse(int argc, char** argv) {
     } else if (key == "--ttl") {
       opt.ttl = static_cast<int>(parse_long(key, next_value(key, attached)));
       if (opt.ttl < 0) throw std::invalid_argument("--ttl must be >= 0");
+    } else if (key == "--trace") {
+      opt.trace = next_value(key, attached);
+      if (opt.trace.empty()) throw std::invalid_argument("--trace expects a file name or '-'");
     } else {
       throw std::invalid_argument("unknown flag '" + key + "'");
     }
@@ -208,18 +232,7 @@ const char* decision_text(cond::Decision d) {
   return "unknown (sufficient conditions cannot tell)";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options opt;
-  try {
-    opt = parse(argc, argv);
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    print_usage(std::cerr);
-    return 2;
-  }
-
+int run_command(const Options& opt) {
   FaultTolerantMesh ftm(opt.n, opt.n);
   Rng rng(opt.seed);
   const auto exclude = [&](Coord c) {
@@ -308,6 +321,8 @@ int main(int argc, char** argv) {
               << route::to_string(lr.rung) << ", " << lr.path.length() << " hops (Manhattan "
               << manhattan(s, d) << ", " << lr.detours << " detours), hop clock "
               << lopts.start_time << " -> " << lr.end_time << "\n";
+    std::cout << "stats: " << lr.stats.hops << " hops, " << lr.stats.detours
+              << " detours, " << lr.stats.escalations << " escalations\n";
 
     // Render the post-script world (every scheduled fault applied).
     const auto final_blocks =
@@ -346,4 +361,38 @@ int main(int argc, char** argv) {
     std::cout << render::ascii_map(ftm.mesh(), ftm.faults(), ftm.blocks(), &r.path);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      print_usage(std::cout);
+      return 0;
+    }
+  }
+  Options opt;
+  try {
+    opt = parse(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  // Install the trace collector before any work so world construction
+  // (safety-level recomputes, chaos epochs) is captured along with routing.
+  obs::TraceSink trace_sink;
+  std::optional<obs::TraceScope> trace_scope;
+  if (!opt.trace.empty()) trace_scope.emplace(trace_sink);
+
+  const int rc = run_command(opt);
+
+  if (!opt.trace.empty()) {
+    trace_scope.reset();
+    if (!obs::write_trace_json(opt.trace, trace_sink)) return 2;
+    if (opt.trace != "-") std::cout << "wrote " << opt.trace << "\n";
+  }
+  return rc;
 }

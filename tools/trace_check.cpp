@@ -1,0 +1,62 @@
+// trace_check — ctest helper closing the export loop: load a Chrome
+// trace-event JSON file produced by --trace back through experiment::json
+// and assert its shape, so a schema drift in the exporter fails a test
+// instead of silently breaking Perfetto imports.
+//
+//   trace_check FILE [MIN_EVENTS]
+//
+// MIN_EVENTS defaults to 1; a build with MESHROUTE_TRACE=OFF passes 0 (the
+// file must still parse, with an empty traceEvents array).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "experiment/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: trace_check FILE [MIN_EVENTS]\n";
+    return 2;
+  }
+  long min_events = 1;
+  if (argc == 3) {
+    try {
+      min_events = std::stol(argv[2]);
+    } catch (const std::exception&) {
+      std::cerr << "trace_check: MIN_EVENTS expects an integer, got '" << argv[2] << "'\n";
+      return 2;
+    }
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "trace_check: cannot open '" << argv[1] << "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  namespace json = meshroute::experiment::json;
+  try {
+    const json::Value doc = json::parse(buffer.str());
+    const auto& events = doc.at("traceEvents").as_array();
+    if (static_cast<long>(events.size()) < min_events) {
+      std::cerr << "trace_check: expected at least " << min_events << " events, found "
+                << events.size() << "\n";
+      return 1;
+    }
+    for (const json::Value& e : events) {
+      (void)e.at("name").as_string();
+      (void)e.at("ts").as_number();
+      (void)e.at("tid").as_number();
+      (void)e.at("args").at("x").as_number();
+      (void)e.at("args").at("y").as_number();
+    }
+    (void)doc.at("otherData").at("dropped").as_number();
+    std::cout << "trace_check: " << events.size() << " events, schema ok\n";
+  } catch (const std::exception& e) {
+    std::cerr << "trace_check: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
