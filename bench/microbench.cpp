@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bitgrid.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
 #include "experiment/json.hpp"
@@ -177,6 +178,11 @@ int main(int argc, char** argv) {
     results.push_back(run_kernel(name, opt.reps, std::max(1, iters / scale), fn));
   };
 
+  // The historical kernel names time the PRODUCTION entry points (bit-plane
+  // dispatch unless MESHROUTE_FORCE_SCALAR), so they stay comparable across
+  // BENCH files; scalar_* pins the reference kernels and bitgrid_* calls the
+  // word-parallel kernels directly (no dispatch, and for safety/reach no
+  // byte-mask pack either).
   bench("block_build", 32, [&] { fault::build_faulty_blocks(mesh, faults, blocks_out,
                                                             block_scratch); });
   bench("mcc_build", 32, [&] { fault::build_mcc(mesh, faults, fault::MccKind::TypeOne,
@@ -185,6 +191,24 @@ int main(int argc, char** argv) {
   bench("safety_build", 64, [&] { info::compute_safety_levels(mesh, fb_mask, safety_out); });
   bench("reach_oracle", 256, [&] { cond::monotone_reachability(mesh, fault_mask, source,
                                                                reach); });
+  bench("scalar_block_build", 32,
+        [&] { fault::build_faulty_blocks_scalar(mesh, faults, blocks_out, block_scratch); });
+  bench("scalar_mcc_build", 32, [&] {
+    fault::build_mcc_scalar(mesh, faults, fault::MccKind::TypeOne, mcc_out, mcc_scratch);
+  });
+  bench("bitgrid_block_build", 32,
+        [&] { fault::build_faulty_blocks_bitplane(mesh, faults, blocks_out, block_scratch); });
+  bench("bitgrid_mcc_build", 32, [&] {
+    fault::build_mcc_bitplane(mesh, faults, fault::MccKind::TypeOne, mcc_out, mcc_scratch);
+  });
+  core::BitGrid fb_plane;
+  fb_plane.assign(fb_mask);
+  bench("bitgrid_safety", 64, [&] { info::compute_safety_levels(mesh, fb_plane, safety_out); });
+  core::BitGrid fault_plane;
+  fault_plane.assign(fault_mask);
+  core::BitGrid reach_plane;
+  bench("bitgrid_reach", 256,
+        [&] { cond::monotone_reachability(mesh, fault_plane, source, reach_plane); });
   bench("perdest_dp", 256,
         [&] { sink = cond::monotone_path_exists(mesh, fault_mask, source, far_dest); });
   bench("rects_dp", 4096,

@@ -33,17 +33,13 @@ ChaosEngine::ChaosEngine(const Mesh2D& mesh, std::span<const Coord> initial_faul
     throw std::invalid_argument(
         "ChaosEngine: schedule has a pending rand directive; materialize it first");
   }
-  // The "stamp every node whose obstacle bit just flipped" sweep after each
-  // injection. The mask diff (rather than the injected node alone) is what
-  // picks up disable-rule casualties and absorbed-block interiors.
-  const auto stamp_newly_bad = [&](std::int64_t since) {
-    const Grid<bool>& bad = state_.obstacle_mask();
-    for (Dist y = 0; y < mesh_.height(); ++y) {
-      for (Dist x = 0; x < mesh_.width(); ++x) {
-        const Coord c{x, y};
-        if (bad[c] && bad_since_[c] == kNeverBad) bad_since_[c] = since;
-      }
-    }
+  // Stamp the injection's epoch delta: inject_fault reports the exact set of
+  // nodes that flipped from good to bad (the injected node, disable-rule
+  // casualties, absorbed-block interiors), so each stamp is O(|delta|)
+  // instead of a whole-mesh mask scan. Every node turns bad in exactly one
+  // delta, so the stamps match the scan's first-flip semantics.
+  const auto stamp_delta = [&](std::int64_t since) {
+    for (const Coord c : state_.last_changed()) bad_since_[c] = since;
   };
 
   for (const Coord c : initial_faults) {
@@ -51,8 +47,8 @@ ChaosEngine::ChaosEngine(const Mesh2D& mesh, std::span<const Coord> initial_faul
       throw std::invalid_argument("ChaosEngine: initial fault out of bounds");
     }
     state_.inject_fault(c);
+    stamp_delta(kAlwaysBad);
   }
-  stamp_newly_bad(kAlwaysBad);
   epochs_.push_back(Epoch{kAlwaysBad, Coord{0, 0}, sorted_blocks(state_)});
 
   for (const TimedFault& entry : schedule_.entries()) {
@@ -66,7 +62,7 @@ ChaosEngine::ChaosEngine(const Mesh2D& mesh, std::span<const Coord> initial_faul
     replay_.update.absorbed_blocks += u.absorbed_blocks;
     replay_.update.rows_resweeped += u.rows_resweeped;
     replay_.update.cols_resweeped += u.cols_resweeped;
-    stamp_newly_bad(entry.time);
+    stamp_delta(entry.time);
     epochs_.push_back(Epoch{entry.time, entry.node, sorted_blocks(state_)});
     MESHROUTE_TRACE_EVENT(obs::EventKind::ChaosInjection, 0, entry.time, entry.node,
                           static_cast<std::int64_t>(epochs_.size()) - 1,

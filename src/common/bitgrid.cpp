@@ -1,0 +1,70 @@
+#include "common/bitgrid.hpp"
+
+namespace meshroute::core {
+namespace {
+
+constexpr std::uint64_t kLowBits = 0x0101010101010101ULL;
+constexpr std::uint64_t kLow7 = 0x7F7F7F7F7F7F7F7FULL;
+
+/// Collapse 8 bytes (loaded little-endian into `v`) to 8 bits: bit i of the
+/// result is 1 iff byte i of `v` is nonzero. The multiply gathers one bit
+/// per byte into the top byte; the partial-product positions are pairwise
+/// distinct, so no carries corrupt the gather.
+[[nodiscard]] std::uint64_t pack8(std::uint64_t v) noexcept {
+  const std::uint64_t nonzero = (((v & kLow7) + kLow7) | v) & ~kLow7;  // bit7 per nonzero byte
+  return ((nonzero >> 7) * 0x0102040810204080ULL) >> 56;
+}
+
+/// Spread 8 bits to 8 bytes of 0x00/0x01 (inverse of pack8 for 0/1 bytes).
+[[nodiscard]] std::uint64_t spread8(std::uint64_t bits) noexcept {
+  const std::uint64_t placed = (bits * kLowBits) & 0x8040201008040201ULL;
+  return (((placed & kLow7) + kLow7) | placed) >> 7 & kLowBits;
+}
+
+}  // namespace
+
+void BitGrid::assign(const Grid<bool>& g) {
+  resize(g.width(), g.height());
+  const std::uint8_t* cells = g.data().data();
+  const auto w = static_cast<std::size_t>(width_);
+  for (Dist y = 0; y < height_; ++y) {
+    const std::uint8_t* src = cells + static_cast<std::size_t>(y) * w;
+    std::uint64_t* dst = row(y);
+    std::size_t x = 0;
+    for (; x + 8 <= w; x += 8) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, src + x, 8);
+      dst[x >> 6] |= pack8(chunk) << (x & 63);
+    }
+    for (; x < w; ++x) {
+      if (src[x] != 0) dst[x >> 6] |= std::uint64_t{1} << (x & 63);
+    }
+  }
+}
+
+void BitGrid::unpack(Grid<bool>& g) const {
+  if (g.width() != width_ || g.height() != height_) {
+    g = Grid<bool>(width_, height_, false);
+  }
+  std::uint8_t* cells = g.data().data();
+  const auto w = static_cast<std::size_t>(width_);
+  for (Dist y = 0; y < height_; ++y) {
+    const std::uint64_t* src = row(y);
+    std::uint8_t* dst = cells + static_cast<std::size_t>(y) * w;
+    std::size_t x = 0;
+    for (; x + 8 <= w; x += 8) {
+      const std::uint64_t bytes = spread8((src[x >> 6] >> (x & 63)) & 0xFF);
+      std::memcpy(dst + x, &bytes, 8);
+    }
+    for (; x < w; ++x) {
+      dst[x] = static_cast<std::uint8_t>((src[x >> 6] >> (x & 63)) & 1);
+    }
+  }
+}
+
+void BitGrid::transpose_into(BitGrid& out) const {
+  out.resize(height_, width_);
+  for_each_set([&](Coord c) { out.set({c.y, c.x}); });
+}
+
+}  // namespace meshroute::core

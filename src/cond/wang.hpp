@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/bitgrid.hpp"
 #include "common/coord.hpp"
 #include "common/grid.hpp"
 #include "common/rect.hpp"
@@ -38,6 +39,18 @@ void monotone_reachability(const Mesh2D& mesh, const Grid<bool>& blocked, Coord 
                            Grid<bool>& out);
 [[nodiscard]] Grid<bool> monotone_reachability(const Mesh2D& mesh, const Grid<bool>& blocked,
                                                Coord source);
+
+/// Bit-plane overload: the same four-quadrant DP as one occluded fill pair
+/// per row (reach = fill(prev-row reach, ~blocked) on each side of the
+/// source column). The byte-grid overload packs/unpacks around this kernel
+/// unless MESHROUTE_FORCE_SCALAR pins it to the scalar sweep.
+void monotone_reachability(const Mesh2D& mesh, const core::BitGrid& blocked, Coord source,
+                           core::BitGrid& out);
+
+/// The scalar reference sweep — the oracle the bit-plane kernel is tested
+/// against.
+void monotone_reachability_scalar(const Mesh2D& mesh, const Grid<bool>& blocked, Coord source,
+                                  Grid<bool>& out);
 
 /// Number of distinct monotone (minimal) paths from s to d avoiding blocked
 /// nodes, saturated at kMaxPathCount. Fault-free meshes have binomial-many

@@ -1,5 +1,6 @@
 #include "dynamic/dynamic_state.hpp"
 
+#include <bit>
 #include <deque>
 
 namespace meshroute::dynamic {
@@ -107,19 +108,28 @@ void DynamicMeshState::rebuild_block_around(std::vector<Coord>& changed, UpdateS
 }
 
 void DynamicMeshState::resweep_lines(const std::vector<Coord>& changed, UpdateStats& stats) {
-  std::set<Dist> rows;
-  std::set<Dist> cols;
+  // Dirty-line bitsets instead of ordered sets: marking is one OR per cell,
+  // and the word scan below visits lines in the same ascending order.
+  const Dist w = mesh_.width();
+  const Dist h = mesh_.height();
+  row_dirty_.assign((static_cast<std::size_t>(h) + 63) / 64, 0);
+  col_dirty_.assign((static_cast<std::size_t>(w) + 63) / 64, 0);
   for (const Coord c : changed) {
-    rows.insert(c.y);
-    cols.insert(c.x);
+    row_dirty_[static_cast<std::size_t>(c.y) >> 6] |= std::uint64_t{1} << (c.y & 63);
+    col_dirty_[static_cast<std::size_t>(c.x) >> 6] |= std::uint64_t{1} << (c.x & 63);
   }
   const auto chain = [&](bool obstacle, Dist v) {
     if (obstacle) return Dist{0};
     return is_infinite(v) ? kInfiniteDistance : v + 1;
   };
-  const Dist w = mesh_.width();
-  const Dist h = mesh_.height();
-  for (const Dist y : rows) {
+  const auto for_each_dirty = [](const std::vector<std::uint64_t>& dirty, auto&& fn) {
+    for (std::size_t j = 0; j < dirty.size(); ++j) {
+      for (std::uint64_t m = dirty[j]; m != 0; m &= m - 1) {
+        fn(static_cast<Dist>(j * 64 + static_cast<std::size_t>(std::countr_zero(m))));
+      }
+    }
+  };
+  for_each_dirty(row_dirty_, [&](Dist y) {
     safety_[{w - 1, y}].e = kInfiniteDistance;
     for (Dist x = w - 2; x >= 0; --x) {
       safety_[{x, y}].e = chain(bad_[{x + 1, y}], safety_[{x + 1, y}].e);
@@ -129,8 +139,8 @@ void DynamicMeshState::resweep_lines(const std::vector<Coord>& changed, UpdateSt
       safety_[{x, y}].w = chain(bad_[{x - 1, y}], safety_[{x - 1, y}].w);
     }
     ++stats.rows_resweeped;
-  }
-  for (const Dist x : cols) {
+  });
+  for_each_dirty(col_dirty_, [&](Dist x) {
     safety_[{x, h - 1}].n = kInfiniteDistance;
     for (Dist y = h - 2; y >= 0; --y) {
       safety_[{x, y}].n = chain(bad_[{x, y + 1}], safety_[{x, y + 1}].n);
@@ -140,21 +150,22 @@ void DynamicMeshState::resweep_lines(const std::vector<Coord>& changed, UpdateSt
       safety_[{x, y}].s = chain(bad_[{x, y - 1}], safety_[{x, y - 1}].s);
     }
     ++stats.cols_resweeped;
-  }
+  });
 }
 
 UpdateStats DynamicMeshState::inject_fault(Coord c) {
   UpdateStats stats;
+  changed_.clear();
   if (faults_.contains(c)) return stats;
   faults_.add(c);
   if (bad_[c]) return stats;  // was a disabled block node; structure unchanged
 
   bad_[c] = true;
-  std::vector<Coord> changed{c};
-  const std::vector<Coord> cascaded = propagate_from(changed);
-  changed.insert(changed.end(), cascaded.begin(), cascaded.end());
-  rebuild_block_around(changed, stats);
-  resweep_lines(changed, stats);
+  changed_.push_back(c);
+  const std::vector<Coord> cascaded = propagate_from(changed_);
+  changed_.insert(changed_.end(), cascaded.begin(), cascaded.end());
+  rebuild_block_around(changed_, stats);
+  resweep_lines(changed_, stats);
   return stats;
 }
 

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "common/coord.hpp"
@@ -58,6 +57,13 @@ class DynamicMeshState {
   /// Extended safety levels, maintained incrementally.
   [[nodiscard]] const info::SafetyGrid& safety() const noexcept { return safety_; }
 
+  /// The exact set of nodes the last inject_fault flipped from good to bad
+  /// (faulty, relabeled, and rectangle-filled cells alike; empty for no-op
+  /// injections). This is the injection's epoch delta — consumers that
+  /// mirror per-node becomes-bad state (e.g. chaos::ChaosEngine's bad-since
+  /// stamps) update from it in O(|delta|) instead of re-scanning the mesh.
+  [[nodiscard]] const std::vector<Coord>& last_changed() const noexcept { return changed_; }
+
  private:
   /// Re-run the disable rule from a seed neighborhood; returns newly-bad
   /// nodes (monotone, so the incremental fixed point equals the global one).
@@ -76,6 +82,9 @@ class DynamicMeshState {
   Grid<bool> bad_;
   std::vector<Rect> blocks_;
   info::SafetyGrid safety_;
+  std::vector<Coord> changed_;               ///< last injection's epoch delta
+  std::vector<std::uint64_t> row_dirty_;     ///< resweep_lines scratch bitsets
+  std::vector<std::uint64_t> col_dirty_;
 };
 
 }  // namespace meshroute::dynamic

@@ -1,5 +1,6 @@
 #include "experiment/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -199,11 +200,14 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const TrialFn& fn) 
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
-  // Per-cell wall time feeds the sweep.cell_us histogram: two steady_clock
-  // reads per cell, noise next to a trial's work. Cells are counted too so
-  // --metrics always reports how much grid a run covered.
+  // Per-cell wall time is split into the trial/model construction share
+  // (whatever make_trial charged to workspace.build_us) and the remainder
+  // (routing + oracle evaluation): two steady_clock reads per cell, noise
+  // next to a trial's work. Cells are counted too so --metrics always
+  // reports how much grid a run covered.
   obs::Counter& cells_ctr = obs::Registry::global().counter("sweep.cells");
-  obs::Histogram& cell_us_hist = obs::Registry::global().histogram("sweep.cell_us");
+  obs::Histogram& build_us_hist = obs::Registry::global().histogram("sweep.build_us");
+  obs::Histogram& route_us_hist = obs::Registry::global().histogram("sweep.route_us");
 
   const auto worker = [&]() {
     TrialWorkspace workspace;
@@ -219,12 +223,16 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const TrialFn& fn) 
       const SweepPoint& p = points[ref.point];
       Rng rng(cell_seed(config_.seed, p.faults, p.n, ref.trial));
       try {
+        workspace.build_us = 0.0;
         const auto c0 = std::chrono::steady_clock::now();
         fn(SweepCell{p, ref.trial, ref.point}, rng, workspace, raw[i]);
         const auto c1 = std::chrono::steady_clock::now();
         cells_ctr.add(1);
-        cell_us_hist.observe(
-            std::chrono::duration_cast<std::chrono::microseconds>(c1 - c0).count());
+        const auto total_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(c1 - c0).count();
+        const auto build_us = static_cast<std::int64_t>(workspace.build_us);
+        build_us_hist.observe(std::min<std::int64_t>(build_us, total_us));
+        route_us_hist.observe(std::max<std::int64_t>(total_us - build_us, 0));
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

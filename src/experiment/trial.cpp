@@ -1,5 +1,6 @@
 #include "experiment/trial.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -23,6 +24,11 @@ Trial make_trial(const TrialConfig& config, Rng& rng) {
 }
 
 Trial& make_trial(const TrialConfig& config, Rng& rng, TrialWorkspace& workspace) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto charge_build_time = [&] {
+    workspace.build_us +=
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0).count();
+  };
   const Mesh2D mesh = Mesh2D::square(config.n);
   const Coord source = config.source.value_or(mesh.center());
   if (!mesh.in_bounds(source)) throw std::invalid_argument("make_trial: source outside mesh");
@@ -58,8 +64,17 @@ Trial& make_trial(const TrialConfig& config, Rng& rng, TrialWorkspace& workspace
     trial.faulty_mask = trial.faults.mask();
     info::obstacle_mask(mesh, trial.blocks, trial.fb_mask);
     info::obstacle_mask(mesh, trial.mcc1, trial.mcc_mask);
+#if defined(MESHROUTE_FORCE_SCALAR)
     info::compute_safety_levels(mesh, trial.fb_mask, trial.fb_safety);
     info::compute_safety_levels(mesh, trial.mcc_mask, trial.mcc_safety);
+#else
+    // The builders leave their final obstacle planes in the scratch
+    // (bad_plane = union of block rects, labeled_plane = MCC status != 0),
+    // so the safety sweeps skip the byte-mask pack.
+    info::compute_safety_levels(mesh, workspace.block.bad_plane, trial.fb_safety);
+    info::compute_safety_levels(mesh, workspace.mcc.labeled_plane, trial.mcc_safety);
+#endif
+    charge_build_time();
     return trial;
   }
   throw std::runtime_error("make_trial: could not place source outside all blocks");

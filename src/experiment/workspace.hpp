@@ -27,6 +27,11 @@ struct TrialWorkspace {
   fault::BlockScratch block;
   fault::MccScratch mcc;
   Grid<bool> reach;                ///< reachability-oracle output buffer
+  /// Microseconds make_trial spent building this workspace's Trial since the
+  /// caller last reset it. The sweep worker zeroes it before each trial
+  /// functor call and splits the functor's wall time into
+  /// sweep.build_us / sweep.route_us from it.
+  double build_us = 0.0;
 };
 
 /// Workspace overload of make_trial: rebuilds workspace.trial in place and

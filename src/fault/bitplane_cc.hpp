@@ -1,0 +1,155 @@
+// Connected-component labeling over a BitGrid by per-row run merging —
+// support machinery for the bit-plane block/MCC builders (not part of the
+// fault-model API). Runs of consecutive set bits are extracted per row with
+// ctz scans and unioned with the overlapping runs of the previous row
+// (4-adjacency), so the cost is O(words + runs α(runs)) instead of an
+// O(area) DFS over byte grids.
+//
+// Component numbering contract: final ids are assigned in row-major order of
+// each component's first node, exactly matching the scalar builders' DFS
+// discovery order — the equivalence tests rely on this.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitgrid.hpp"
+#include "common/rect.hpp"
+
+namespace meshroute::fault::detail {
+
+/// Union-find run labeling of one bit plane. All storage is reusable;
+/// build() reallocates nothing in steady state.
+struct RunCC {
+  struct Run {
+    Dist y;
+    Dist x0;
+    Dist x1;
+    std::int32_t comp;  ///< provisional id; map through final_id_of()
+  };
+
+  std::vector<Run> runs;              ///< every run, row-major
+  std::vector<std::int32_t> parent;   ///< provisional union-find forest
+  std::vector<std::int64_t> first;    ///< per provisional root: min row-major index
+  std::vector<Rect> box;              ///< per provisional root: bounding box
+  std::vector<std::int32_t> final_of; ///< provisional id -> final id (via root)
+  std::vector<std::int32_t> order;    ///< final id -> provisional root
+  std::size_t count = 0;              ///< number of components
+
+  [[nodiscard]] std::int32_t find(std::int32_t i) noexcept {
+    while (parent[static_cast<std::size_t>(i)] != i) {
+      parent[static_cast<std::size_t>(i)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(i)])];
+      i = parent[static_cast<std::size_t>(i)];
+    }
+    return i;
+  }
+
+  /// Final (row-major) id of the component a run belongs to.
+  [[nodiscard]] std::int32_t final_id_of(std::int32_t provisional) noexcept {
+    return final_of[static_cast<std::size_t>(find(provisional))];
+  }
+
+  void build(const core::BitGrid& plane) {
+    runs.clear();
+    parent.clear();
+    first.clear();
+    box.clear();
+    const Dist h = plane.height();
+    const auto w64 = static_cast<std::int64_t>(plane.width());
+    const std::size_t nw = plane.words_per_row();
+
+    std::size_t prev_begin = 0;
+    std::size_t prev_end = 0;
+    for (Dist y = 0; y < h; ++y) {
+      const std::size_t cur_begin = runs.size();
+      extract_runs(plane.row(y), nw, y);
+
+      // Merge with overlapping previous-row runs (two pointers; both lists
+      // are ascending and disjoint in x).
+      std::size_t p = prev_begin;
+      for (std::size_t c = cur_begin; c < runs.size(); ++c) {
+        while (p < prev_end && runs[p].x1 < runs[c].x0) ++p;
+        for (std::size_t q = p; q < prev_end && runs[q].x0 <= runs[c].x1; ++q) {
+          if (runs[c].comp < 0) {
+            runs[c].comp = find(runs[q].comp);
+          } else {
+            runs[c].comp = unite(runs[c].comp, runs[q].comp);
+          }
+        }
+        Run& r = runs[c];
+        if (r.comp < 0) {  // fresh component
+          r.comp = static_cast<std::int32_t>(parent.size());
+          parent.push_back(r.comp);
+          first.push_back(static_cast<std::int64_t>(y) * w64 + r.x0);
+          box.push_back(Rect{r.x0, r.x1, y, y});
+        } else {
+          Rect& b = box[static_cast<std::size_t>(r.comp)];
+          b = b.united(Rect{r.x0, r.x1, y, y});
+        }
+      }
+      prev_begin = cur_begin;
+      prev_end = runs.size();
+    }
+
+    // Final numbering: roots sorted by first-node index = the scalar
+    // builders' row-major discovery order.
+    order.clear();
+    for (std::size_t i = 0; i < parent.size(); ++i) {
+      if (parent[i] == static_cast<std::int32_t>(i)) order.push_back(static_cast<std::int32_t>(i));
+    }
+    std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+      return first[static_cast<std::size_t>(a)] < first[static_cast<std::size_t>(b)];
+    });
+    count = order.size();
+    final_of.assign(parent.size(), -1);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      final_of[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+    }
+  }
+
+ private:
+  /// Union two provisional components, keeping the root with the smaller
+  /// first-node index (so root metadata stays row-major canonical).
+  std::int32_t unite(std::int32_t a, std::int32_t b) noexcept {
+    const std::int32_t ra = find(a);
+    const std::int32_t rb = find(b);
+    if (ra == rb) return ra;
+    const bool keep_a = first[static_cast<std::size_t>(ra)] <= first[static_cast<std::size_t>(rb)];
+    const std::int32_t keep = keep_a ? ra : rb;
+    const std::int32_t drop = keep_a ? rb : ra;
+    parent[static_cast<std::size_t>(drop)] = keep;
+    box[static_cast<std::size_t>(keep)] =
+        box[static_cast<std::size_t>(keep)].united(box[static_cast<std::size_t>(drop)]);
+    if (first[static_cast<std::size_t>(drop)] < first[static_cast<std::size_t>(keep)]) {
+      first[static_cast<std::size_t>(keep)] = first[static_cast<std::size_t>(drop)];
+    }
+    return keep;
+  }
+
+  /// Append the maximal set-bit runs of one row, ascending, comp = -1.
+  void extract_runs(const std::uint64_t* r, std::size_t nw, Dist y) {
+    for (std::size_t j = 0; j < nw; ++j) {
+      std::uint64_t m = r[j];
+      Dist off = static_cast<Dist>(j * 64);
+      while (m != 0) {
+        const int s = std::countr_zero(m);
+        m >>= s;
+        const int len = std::countr_one(m);
+        const Dist x0 = off + s;
+        const Dist x1 = x0 + len - 1;
+        if (!runs.empty() && runs.back().y == y && runs.back().x1 == x0 - 1) {
+          runs.back().x1 = x1;  // continuation across a word boundary
+        } else {
+          runs.push_back(Run{y, x0, x1, -1});
+        }
+        if (len >= 64) break;  // the whole word was one run
+        m >>= len;
+        off += static_cast<Dist>(s + len);
+      }
+    }
+  }
+};
+
+}  // namespace meshroute::fault::detail

@@ -166,6 +166,15 @@ BlockSet build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults) {
 
 void build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
                          BlockScratch& scratch) {
+#if defined(MESHROUTE_FORCE_SCALAR)
+  build_faulty_blocks_scalar(mesh, faults, out, scratch);
+#else
+  build_faulty_blocks_bitplane(mesh, faults, out, scratch);
+#endif
+}
+
+void build_faulty_blocks_scalar(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
+                                BlockScratch& scratch) {
   Grid<bool>& bad = scratch.bad;
   bad = faults.mask();
   // Alternate labeling and rectangular closure until the bad set is stable.
@@ -222,6 +231,124 @@ void build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults, BlockSet& o
       labels[c] = NodeLabel::Disabled;
     }
   });
+  out.assign(mesh, blocks, labels);
+}
+
+namespace {
+
+/// Definition 1's fixed point on a bit plane: a cell turns bad when it has a
+/// bad horizontal AND a bad vertical neighbor. Vertical eligibility is a
+/// word-OR of the adjacent rows; horizontal propagation within a row is an
+/// occluded fill through the eligible cells seeded one column off the
+/// already-bad cells. Alternating upward/downward Gauss-Seidel sweeps reach
+/// the (unique, monotone) fixed point in a handful of passes.
+void disable_fixpoint(core::BitGrid& bad, std::vector<std::uint64_t>& vmask,
+                      std::vector<std::uint64_t>& seed, std::vector<std::uint64_t>& fill) {
+  const Dist h = bad.height();
+  const std::size_t nw = bad.words_per_row();
+  const std::uint64_t tail = bad.tail_mask();
+  vmask.resize(nw);
+  seed.resize(nw);
+  fill.resize(nw);
+
+  const auto sweep_row = [&](Dist y) {
+    std::uint64_t* r = bad.row(y);
+    const std::uint64_t* up = y + 1 < h ? bad.row(y + 1) : nullptr;
+    const std::uint64_t* dn = y > 0 ? bad.row(y - 1) : nullptr;
+    for (std::size_t j = 0; j < nw; ++j) {
+      vmask[j] = (up != nullptr ? up[j] : 0) | (dn != nullptr ? dn[j] : 0);
+    }
+    core::shift_east_row(r, seed.data(), nw, tail);
+    core::fill_east_row(seed.data(), vmask.data(), fill.data(), nw);
+    core::shift_west_row(r, seed.data(), nw);
+    core::fill_west_row(seed.data(), vmask.data(), seed.data(), nw);
+    bool changed = false;
+    for (std::size_t j = 0; j < nw; ++j) {
+      const std::uint64_t add = (fill[j] | seed[j]) & ~r[j];
+      if (add != 0) {
+        r[j] |= add;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Dist y = 0; y < h; ++y) changed |= sweep_row(y);
+    for (Dist y = h; y-- > 0;) changed |= sweep_row(y);
+  }
+}
+
+}  // namespace
+
+void build_faulty_blocks_bitplane(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
+                                  BlockScratch& scratch) {
+  const Dist w = mesh.width();
+  const Dist h = mesh.height();
+  core::BitGrid& fplane = scratch.fault_plane;
+  fplane.resize(w, h);
+  for (const Coord f : faults.faults()) fplane.set(f);
+  core::BitGrid& bad = scratch.bad_plane;
+  bad = fplane;
+  const std::size_t nw = bad.words_per_row();
+
+  // Alternate the disable fixed point and the rectangular closure until the
+  // bad plane is stable — the same loop as the scalar builder, with each leg
+  // word-parallel.
+  while (true) {
+    disable_fixpoint(bad, scratch.vmask, scratch.seed_row, scratch.fill_row);
+    scratch.cc.build(bad);
+    scratch.boxes.clear();
+    for (const std::int32_t root : scratch.cc.order) {
+      scratch.boxes.push_back(scratch.cc.box[static_cast<std::size_t>(root)]);
+    }
+    merge_overlapping(scratch.boxes);
+    bool grew = false;
+    for (const Rect& r : scratch.boxes) {
+      const auto area = static_cast<std::int64_t>(r.width()) * r.height();
+      std::int64_t present = 0;
+      for (Dist y = r.ymin; y <= r.ymax; ++y) {
+        present += core::row_range_popcount(bad.row(y), r.xmin, r.xmax);
+      }
+      if (present == area) continue;
+      grew = true;
+      for (Dist y = r.ymin; y <= r.ymax; ++y) {
+        core::row_range_set(bad.row(y), r.xmin, r.xmax);
+      }
+    }
+    if (!grew) break;
+  }
+
+  std::vector<FaultyBlock>& blocks = scratch.blocks;
+  blocks.clear();
+  blocks.reserve(scratch.boxes.size());
+  for (const Rect& r : scratch.boxes) {
+    FaultyBlock blk{r, 0, 0};
+    for (Dist y = r.ymin; y <= r.ymax; ++y) {
+      blk.faulty_count +=
+          static_cast<std::int32_t>(core::row_range_popcount(fplane.row(y), r.xmin, r.xmax));
+    }
+    blk.disabled_count =
+        static_cast<std::int32_t>(static_cast<std::int64_t>(r.width()) * r.height()) -
+        blk.faulty_count;
+    blocks.push_back(blk);
+  }
+
+  Grid<NodeLabel>& labels = scratch.labels;
+  if (labels.width() != w || labels.height() != h) {
+    labels = Grid<NodeLabel>(w, h, NodeLabel::Enabled);
+  } else {
+    labels.fill(NodeLabel::Enabled);
+  }
+  for (Dist y = 0; y < h; ++y) {
+    NodeLabel* lrow = labels.data().data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    core::BitGrid::for_each_set_in_row(bad.row(y), nw,
+                                       [&](Dist x) { lrow[x] = NodeLabel::Disabled; });
+  }
+  for (const Coord f : faults.faults()) labels[f] = NodeLabel::Faulty;
+
   out.assign(mesh, blocks, labels);
 }
 

@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitgrid.hpp"
 #include "common/coord.hpp"
 #include "common/grid.hpp"
 #include "common/rect.hpp"
+#include "fault/bitplane_cc.hpp"
 #include "fault/fault_set.hpp"
 #include "mesh/mesh2d.hpp"
 
@@ -78,8 +80,9 @@ class BlockSet {
   Grid<std::int32_t> id_;
 };
 
-/// Reusable buffers for the in-place builder (one per worker thread).
+/// Reusable buffers for the in-place builders (one per worker thread).
 struct BlockScratch {
+  // Scalar-path buffers.
   Grid<bool> bad;
   Grid<bool> seen;
   Grid<NodeLabel> labels;
@@ -88,6 +91,15 @@ struct BlockScratch {
   std::vector<Coord> grown;
   std::vector<Rect> boxes;
   std::vector<FaultyBlock> blocks;
+  // Bit-plane-path buffers. After build_faulty_blocks_bitplane returns,
+  // `bad_plane` holds the final obstacle plane (the union of the block
+  // rects) — make_trial feeds it straight into the safety sweeps.
+  core::BitGrid bad_plane;
+  core::BitGrid fault_plane;
+  std::vector<std::uint64_t> vmask;
+  std::vector<std::uint64_t> seed_row;
+  std::vector<std::uint64_t> fill_row;
+  detail::RunCC cc;
 };
 
 /// Run Definition 1 to its fixed point and package the resulting disjoint
@@ -96,9 +108,22 @@ struct BlockScratch {
 
 /// In-place overload: rebuilds `out` reusing its storage and `scratch`'s
 /// buffers; zero allocations in steady state. The allocating overload
-/// delegates here, so the two produce identical BlockSets.
+/// delegates here, so the two produce identical BlockSets. Dispatches to the
+/// bit-plane kernel (the scalar one under MESHROUTE_FORCE_SCALAR).
 void build_faulty_blocks(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
                          BlockScratch& scratch);
+
+/// The scalar reference implementation (worklist propagation + DFS
+/// components). Kept callable unconditionally: it is the oracle the
+/// bit-plane kernel is equivalence-tested against.
+void build_faulty_blocks_scalar(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
+                                BlockScratch& scratch);
+
+/// The word-parallel implementation: Gauss-Seidel disable sweeps over bit
+/// rows, run-union components, word-filled rectangular closure. Produces a
+/// BlockSet identical (blocks, labels, ids) to the scalar builder.
+void build_faulty_blocks_bitplane(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
+                                  BlockScratch& scratch);
 
 /// Just the disable-labeling fixed point (no rectangular closure); exposed
 /// separately so tests can assert the classic "components are rectangles"

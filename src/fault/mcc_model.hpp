@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitgrid.hpp"
 #include "common/coord.hpp"
 #include "common/grid.hpp"
 #include "common/rect.hpp"
+#include "fault/bitplane_cc.hpp"
 #include "fault/fault_set.hpp"
 #include "mesh/mesh2d.hpp"
 
@@ -105,12 +107,23 @@ class MccSet {
   std::vector<MccComponent> components_;
 };
 
-/// Reusable buffers for the in-place builder (one per worker thread).
+/// Reusable buffers for the in-place builders (one per worker thread).
 struct MccScratch {
+  // Scalar-path buffers.
   Grid<std::uint8_t> status;
   Grid<std::int32_t> comp_id;
   std::vector<MccComponent> components;
   std::vector<Coord> work;
+  // Bit-plane-path buffers. After build_mcc_bitplane returns,
+  // `labeled_plane` holds the obstacle plane (every faulty/useless/
+  // can't-reach node) — make_trial feeds it straight into the safety sweeps.
+  core::BitGrid fault_plane;
+  core::BitGrid useless_plane;
+  core::BitGrid cant_reach_plane;
+  core::BitGrid labeled_plane;
+  std::vector<std::uint64_t> amask;
+  std::vector<std::uint64_t> seed_row;
+  detail::RunCC cc;
 };
 
 /// Run Definition 2 to its fixed point for one labeling kind.
@@ -118,9 +131,22 @@ struct MccScratch {
 
 /// In-place overload: rebuilds `out` reusing its storage and `scratch`'s
 /// buffers. The allocating overload delegates here, so the two produce
-/// identical MccSets.
+/// identical MccSets. Dispatches to the bit-plane kernel (the scalar one
+/// under MESHROUTE_FORCE_SCALAR).
 void build_mcc(const Mesh2D& mesh, const FaultSet& faults, MccKind kind, MccSet& out,
                MccScratch& scratch);
+
+/// The scalar reference implementation (worklist label propagation + DFS
+/// components) — the oracle the bit-plane kernel is tested against.
+void build_mcc_scalar(const Mesh2D& mesh, const FaultSet& faults, MccKind kind, MccSet& out,
+                      MccScratch& scratch);
+
+/// The word-parallel implementation: both labels are single directed row
+/// sweeps (the monotone closure's dependencies point strictly north+east or
+/// south+west, so one occluded fill per row reaches the fixed point), then
+/// run-union components. Identical output to the scalar builder.
+void build_mcc_bitplane(const Mesh2D& mesh, const FaultSet& faults, MccKind kind, MccSet& out,
+                        MccScratch& scratch);
 
 /// Both labelings; every node carries the paper's dual status
 /// (status1 for quadrant I/III, status2 for quadrant II/IV).

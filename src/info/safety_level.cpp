@@ -1,5 +1,8 @@
 #include "info/safety_level.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -10,6 +13,17 @@ namespace {
 Dist chain(bool neighbor_is_obstacle, Dist neighbor_value) {
   if (neighbor_is_obstacle) return 0;
   return is_infinite(neighbor_value) ? kInfiniteDistance : neighbor_value + 1;
+}
+
+/// Shared entry bookkeeping (one recompute per safety build regardless of
+/// which overload the caller reached).
+void note_recompute(const Mesh2D& mesh) {
+  static obs::Counter& recompute_ctr =
+      obs::Registry::global().counter("info.safety.recomputes");
+  recompute_ctr.add(1);
+  MESHROUTE_TRACE_EVENT(obs::EventKind::SafetyRecompute, 0, 0,
+                        (Coord{mesh.width(), mesh.height()}),
+                        static_cast<std::int64_t>(mesh.width()) * mesh.height(), 0);
 }
 
 }  // namespace
@@ -61,12 +75,20 @@ SafetyGrid compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles
 }
 
 void compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles, SafetyGrid& out) {
-  static obs::Counter& recompute_ctr =
-      obs::Registry::global().counter("info.safety.recomputes");
-  recompute_ctr.add(1);
-  MESHROUTE_TRACE_EVENT(obs::EventKind::SafetyRecompute, 0, 0,
-                        (Coord{mesh.width(), mesh.height()}),
-                        static_cast<std::int64_t>(mesh.width()) * mesh.height(), 0);
+#if defined(MESHROUTE_FORCE_SCALAR)
+  compute_safety_levels_scalar(mesh, obstacles, out);
+#else
+  // Pack into a per-thread plane and run the bit kernel; packing is one
+  // byte-compare pass and the kernel then touches only obstacle positions.
+  thread_local core::BitGrid plane;
+  plane.assign(obstacles);
+  compute_safety_levels(mesh, plane, out);
+#endif
+}
+
+void compute_safety_levels_scalar(const Mesh2D& mesh, const Grid<bool>& obstacles,
+                                  SafetyGrid& out) {
+  note_recompute(mesh);
   if (out.width() != mesh.width() || out.height() != mesh.height()) {
     out = SafetyGrid(mesh.width(), mesh.height());
   }
@@ -111,6 +133,65 @@ void compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles, Safe
     for (std::size_t x = 0; x < w; ++x) {
       row[x].s = chain(obelow[x] != 0, below[x].s);
     }
+  }
+}
+
+void compute_safety_levels(const Mesh2D& mesh, const core::BitGrid& obstacles, SafetyGrid& out) {
+  note_recompute(mesh);
+  if (out.width() != mesh.width() || out.height() != mesh.height()) {
+    out = SafetyGrid(mesh.width(), mesh.height());
+  }
+  const Dist w = mesh.width();
+  const Dist h = mesh.height();
+  const std::size_t nw = obstacles.words_per_row();
+  const auto sw = static_cast<std::size_t>(w);
+  ExtendedSafetyLevel* grid = out.data().data();
+
+  // E/W: the values between two consecutive obstacles in a row are pure
+  // functions of the obstacle positions, so iterate the set bits and fill
+  // whole segments — O(width/64 + obstacles) per row instead of O(width).
+  for (Dist y = 0; y < h; ++y) {
+    ExtendedSafetyLevel* row = grid + static_cast<std::size_t>(y) * sw;
+    Dist prev = -1;  // previous obstacle x, or -1
+    core::BitGrid::for_each_set_in_row(obstacles.row(y), nw, [&](Dist o) {
+      if (prev < 0) {
+        for (Dist x = 0; x <= o; ++x) row[x].w = kInfiniteDistance;
+      } else {
+        for (Dist x = prev + 1; x <= o; ++x) row[x].w = x - prev - 1;
+      }
+      for (Dist x = prev < 0 ? 0 : prev; x < o; ++x) row[x].e = o - x - 1;
+      prev = o;
+    });
+    if (prev < 0) {
+      for (Dist x = 0; x < w; ++x) {
+        row[x].w = kInfiniteDistance;
+        row[x].e = kInfiniteDistance;
+      }
+    } else {
+      for (Dist x = prev + 1; x < w; ++x) row[x].w = x - prev - 1;
+      for (Dist x = prev; x < w; ++x) row[x].e = kInfiniteDistance;
+    }
+  }
+
+  // N/S: per-column "row of the nearest obstacle so far" counters, streamed
+  // row-major in the sweep direction. Sentinels are chosen so the min()
+  // clamps an obstacle-free column to exactly kInfiniteDistance.
+  thread_local std::vector<Dist> col_last;
+  col_last.assign(sw, -kInfiniteDistance - 1);
+  for (Dist y = 0; y < h; ++y) {  // south: ascending, nearest obstacle below
+    ExtendedSafetyLevel* row = grid + static_cast<std::size_t>(y) * sw;
+    const Dist* last = col_last.data();
+    for (Dist x = 0; x < w; ++x) row[x].s = std::min(y - last[x] - 1, kInfiniteDistance);
+    core::BitGrid::for_each_set_in_row(obstacles.row(y), nw,
+                                       [&](Dist x) { col_last[static_cast<std::size_t>(x)] = y; });
+  }
+  col_last.assign(sw, h + kInfiniteDistance);
+  for (Dist y = h; y-- > 0;) {  // north: descending, nearest obstacle above
+    ExtendedSafetyLevel* row = grid + static_cast<std::size_t>(y) * sw;
+    const Dist* next = col_last.data();
+    for (Dist x = 0; x < w; ++x) row[x].n = std::min(next[x] - y - 1, kInfiniteDistance);
+    core::BitGrid::for_each_set_in_row(obstacles.row(y), nw,
+                                       [&](Dist x) { col_last[static_cast<std::size_t>(x)] = y; });
   }
 }
 

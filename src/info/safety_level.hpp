@@ -9,6 +9,7 @@
 // (the paper's default (inf, inf, inf, inf)).
 #pragma once
 
+#include "common/bitgrid.hpp"
 #include "common/coord.hpp"
 #include "common/grid.hpp"
 #include "fault/block_model.hpp"
@@ -68,5 +69,19 @@ void obstacle_mask(const Mesh2D& mesh, const fault::MccSet& mcc, Grid<bool>& out
 /// steady state; every field of every cell is overwritten.
 [[nodiscard]] SafetyGrid compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles);
 void compute_safety_levels(const Mesh2D& mesh, const Grid<bool>& obstacles, SafetyGrid& out);
+
+/// Bit-plane overload: reads the obstacle set straight from a BitGrid (the
+/// plane the fault builders leave in their scratch), skipping the byte-mask
+/// round trip. E/W come from per-row obstacle-position segment fills; N/S
+/// from per-column last-obstacle counters streamed row-major (see DESIGN
+/// §10 for why no transposed plane is involved). Output is identical to the
+/// Grid<bool> overload on the unpacked plane.
+void compute_safety_levels(const Mesh2D& mesh, const core::BitGrid& obstacles, SafetyGrid& out);
+
+/// The scalar reference sweeps — the oracle the bit-plane kernel is tested
+/// against, and the body behind the public entry under
+/// MESHROUTE_FORCE_SCALAR.
+void compute_safety_levels_scalar(const Mesh2D& mesh, const Grid<bool>& obstacles,
+                                  SafetyGrid& out);
 
 }  // namespace meshroute::info

@@ -14,6 +14,7 @@
 
 #include "chaos/chaos_engine.hpp"
 #include "chaos/fault_schedule.hpp"
+#include "dynamic/dynamic_state.hpp"
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
 #include "info/boundary.hpp"
@@ -145,6 +146,41 @@ TEST(ChaosEngine, DisableRuleCasualtiesAreStampedWithTheInjectionTime) {
   }
   ASSERT_EQ(engine.blocks_at(3).size(), 1u);
   EXPECT_EQ(engine.blocks_at(3)[0], (Rect{4, 5, 4, 5}));
+}
+
+TEST(ChaosEngine, DeltaStampsMatchFullScanReference) {
+  // The engine stamps bad-since times from each injection's epoch delta
+  // (DynamicMeshState::last_changed). That must be bit-identical to the
+  // definitional full-mesh sweep — "stamp every node whose obstacle bit is
+  // newly set" — across a long random schedule that mixes fresh faults,
+  // duplicates, and injections into already-bad interiors.
+  Rng rng(0x57A1E);
+  const Mesh2D mesh(24, 24);
+  const auto draw = [&] {
+    return Coord{static_cast<Dist>(rng.uniform(0, 23)), static_cast<Dist>(rng.uniform(0, 23))};
+  };
+  std::vector<Coord> initial;
+  for (int i = 0; i < 6; ++i) initial.push_back(draw());
+  FaultSchedule sched;
+  for (std::int64_t t = 1; t <= 80; ++t) sched.add(t, draw());
+  const ChaosEngine engine(mesh, initial, sched);
+
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+  dynamic::DynamicMeshState state(mesh);
+  Grid<std::int64_t> ref(mesh.width(), mesh.height(), kNever);
+  const auto stamp_scan = [&](std::int64_t since) {
+    mesh.for_each_node([&](Coord c) {
+      if (state.obstacle_mask()[c] && ref[c] == kNever) ref[c] = since;
+    });
+  };
+  for (const Coord c : initial) state.inject_fault(c);
+  stamp_scan(std::numeric_limits<std::int64_t>::min());
+  for (const TimedFault& entry : sched.entries()) {
+    if (state.obstacle_mask()[entry.node]) continue;
+    state.inject_fault(entry.node);
+    stamp_scan(entry.time);
+  }
+  mesh.for_each_node([&](Coord c) { ASSERT_EQ(engine.bad_since(c), ref[c]) << to_string(c); });
 }
 
 TEST(ChaosEngine, StalenessLawDelaysBeliefByDistance) {

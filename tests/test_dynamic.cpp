@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <vector>
 
 #include "dynamic/dynamic_state.hpp"
 #include "fault/block_model.hpp"
@@ -182,6 +184,49 @@ INSTANTIATE_TEST_SUITE_P(SeedsAndSizes, DynamicStressEveryStep,
                                            StressCase{77u, 24, 260},
                                            StressCase{0xC0FFEEu, 33, 300},
                                            StressCase{419u, 48, 240}));
+
+TEST(DynamicState, ResweepBoundedByAffectedBand) {
+  // The re-swept line counts are exactly the distinct rows/columns of the
+  // injection's epoch delta (last_changed) — bounded by the affected band's
+  // bounding box, never by the mesh dimensions. Also: deltas partition the
+  // becomes-bad events (no cell ever appears in two deltas), which is what
+  // lets ChaosEngine stamp bad-since times from them.
+  Rng rng(0xBAD5EED);
+  const Mesh2D mesh(160, 90);
+  DynamicMeshState dyn(mesh);
+  std::set<Coord> ever_changed;
+  for (int i = 0; i < 250; ++i) {
+    const Coord c{static_cast<Dist>(rng.uniform(0, 159)),
+                  static_cast<Dist>(rng.uniform(0, 89))};
+    const UpdateStats s = dyn.inject_fault(c);
+    const std::vector<Coord>& delta = dyn.last_changed();
+    std::set<Dist> rows;
+    std::set<Dist> cols;
+    Rect band;
+    for (const Coord d : delta) {
+      rows.insert(d.y);
+      cols.insert(d.x);
+      band = band.united(d);
+      EXPECT_TRUE(ever_changed.insert(d).second) << "cell in two deltas: " << to_string(d);
+      EXPECT_TRUE(dyn.obstacle_mask()[d]);
+    }
+    EXPECT_EQ(s.rows_resweeped, static_cast<std::int64_t>(rows.size()));
+    EXPECT_EQ(s.cols_resweeped, static_cast<std::int64_t>(cols.size()));
+    if (delta.empty()) {
+      EXPECT_EQ(s.rows_resweeped, 0);
+      EXPECT_EQ(s.cols_resweeped, 0);
+    } else {
+      EXPECT_LE(s.rows_resweeped, band.height());
+      EXPECT_LE(s.cols_resweeped, band.width());
+      EXPECT_LT(s.rows_resweeped, mesh.height());
+      EXPECT_LT(s.cols_resweeped, mesh.width());
+    }
+  }
+  // The union of all deltas is exactly today's obstacle set.
+  std::int64_t bad_count = 0;
+  mesh.for_each_node([&](Coord c) { bad_count += dyn.obstacle_mask()[c] ? 1 : 0; });
+  EXPECT_EQ(bad_count, static_cast<std::int64_t>(ever_changed.size()));
+}
 
 TEST(DynamicState, WorkIsLocallyBounded) {
   // Scattered faults on a big mesh: each injection re-sweeps only the

@@ -48,6 +48,29 @@ Value load(const std::string& path) {
   }
 }
 
+/// Warn when the two documents' meta blocks disagree on a field that makes
+/// their medians incomparable (tracing compiled in, different build type).
+/// Advisory only: stale baselines should be regenerated, not silently
+/// trusted — but a meta-less (older-schema) file still compares.
+void warn_on_meta_mismatch(const Value& old_doc, const Value& new_doc) {
+  if (!old_doc.has("meta") || !new_doc.has("meta")) return;
+  const Value& old_meta = old_doc.at("meta");
+  const Value& new_meta = new_doc.at("meta");
+  const auto check = [&](const char* field, auto&& render) {
+    if (!old_meta.has(field) || !new_meta.has(field)) return;
+    const std::string o = render(old_meta.at(field));
+    const std::string n = render(new_meta.at(field));
+    if (o != n) {
+      std::fprintf(stderr,
+                   "bench_compare: warning: meta.%s differs (old=%s, new=%s); "
+                   "medians are not comparable across this difference\n",
+                   field, o.c_str(), n.c_str());
+    }
+  };
+  check("trace_enabled", [](const Value& v) { return v.as_bool() ? "true" : "false"; });
+  check("build_type", [](const Value& v) { return v.as_string(); });
+}
+
 /// kernel name -> median_us, from a document's "kernels" array.
 std::map<std::string, double> medians(const Value& doc, const std::string& path) {
   std::map<std::string, double> out;
@@ -162,8 +185,11 @@ int main(int argc, char** argv) {
   if (new_path.empty()) usage_and_exit();
   if (metrics_mode) return compare_metrics(old_path, new_path);
 
-  const auto old_medians = medians(load(old_path), old_path);
-  const auto new_medians = medians(load(new_path), new_path);
+  const Value old_doc = load(old_path);
+  const Value new_doc = load(new_path);
+  warn_on_meta_mismatch(old_doc, new_doc);
+  const auto old_medians = medians(old_doc, old_path);
+  const auto new_medians = medians(new_doc, new_path);
 
   int regressions = 0;
   std::printf("%-16s %12s %12s %9s\n", "kernel", "old_us", "new_us", "delta");
