@@ -10,6 +10,7 @@
 #include "experiment/table.hpp"
 #include "experiment/workspace.hpp"
 #include "info/pivots.hpp"
+#include "route/query.hpp"
 
 int main(int argc, char** argv) {
   using namespace meshroute;
@@ -33,14 +34,19 @@ int main(int argc, char** argv) {
     trial.reachability(ws.reach);
     const auto pivots = info::generate_pivots(trial.quadrant1_area(), 3,
                                               info::PivotPlacement::Random, &rng);
+    // The consolidated query surface (route/query.hpp): the same
+    // decide_strategy entry point the serve layer batches over.
+    const route::QueryView view = trial.query_view();
     for (int s = 0; s < cfg.dests; ++s) {
       const Coord d = experiment::sample_quadrant1_dest(trial, rng);
       out.count(kExist, ws.reach[d]);
-      const cond::RoutingProblem pf = trial.fb_problem(d);
-      const cond::RoutingProblem pm = trial.mcc_problem(d);
       for (std::size_t i = 0; i < 4; ++i) {
-        const Decision df = cond::run_strategy(pf, ids[i], strategy_cfg, pivots);
-        const Decision dm = cond::run_strategy(pm, ids[i], strategy_cfg, pivots);
+        const Decision df =
+            route::decide_strategy(view, trial.source, d, route::QueryModel::FaultyBlock,
+                                   ids[i], pivots, strategy_cfg);
+        const Decision dm = route::decide_strategy(view, trial.source, d,
+                                                   route::QueryModel::Mcc, ids[i], pivots,
+                                                   strategy_cfg);
         out.count(kFb0 + i, df == Decision::Minimal);
         out.count(kFb0 + 4 + i, dm == Decision::Minimal);
         if (ids[i] == StrategyId::S4) {

@@ -75,12 +75,20 @@ cond::RoutingProblem FaultTolerantMesh::problem(Coord s, Coord d, FaultModel mod
   return {&mesh_, &obstacles(model, q), &safety(model, q), s, d};
 }
 
-const char* to_string(FaultModel model) noexcept {
-  switch (model) {
-    case FaultModel::FaultyBlock: return "faulty-block";
-    case FaultModel::Mcc: return "mcc";
-  }
-  return "?";
+route::QueryView FaultTolerantMesh::query_view() const {
+  const Derived& der = derived();
+  route::QueryView v;
+  v.mesh = &mesh_;
+  v.blocks = &der.blocks;
+  v.boundary = &der.boundary;
+  v.faulty_mask = &der.faulty_mask;
+  v.fb_mask = &der.fb_mask;
+  v.fb_safety = &der.fb_safety;
+  v.mcc1_mask = &der.mcc1_mask;
+  v.mcc1_safety = &der.mcc1_safety;
+  v.mcc2_mask = &der.mcc2_mask;
+  v.mcc2_safety = &der.mcc2_safety;
+  return v;
 }
 
 const char* to_string(Method m) noexcept {

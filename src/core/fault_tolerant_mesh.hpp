@@ -26,14 +26,14 @@
 #include "info/boundary.hpp"
 #include "info/safety_level.hpp"
 #include "mesh/mesh2d.hpp"
+#include "route/query.hpp"
 #include "route/router.hpp"
 
 namespace meshroute {
 
-/// Which fault model a query runs under.
-enum class FaultModel : std::uint8_t { FaultyBlock = 0, Mcc = 1 };
-
-[[nodiscard]] const char* to_string(FaultModel model) noexcept;
+/// Which fault model a query runs under. Alias of the consolidated query
+/// surface's model enum (route/query.hpp), kept under the historical name.
+using FaultModel = route::QueryModel;  // to_string comes with it via ADL
 
 /// Which sufficient conditions decide() may use, mirroring the paper's
 /// extensions. Defaults replicate strategy 4 minus pivots.
@@ -97,6 +97,13 @@ class FaultTolerantMesh {
 
   /// A cond::RoutingProblem wired to this mesh's state.
   [[nodiscard]] cond::RoutingProblem problem(Coord s, Coord d, FaultModel model) const;
+
+  /// The consolidated read-side bundle over this mesh's current derived
+  /// state (route/query.hpp) — the preferred query surface; the direct
+  /// decide/route methods below are kept for convenience but deprecated for
+  /// new call sites (DESIGN §11). The view borrows the lazily-built derived
+  /// state: it stays valid until the next fault injection / clear_faults().
+  [[nodiscard]] route::QueryView query_view() const;
 
   /// Evaluate the sufficient conditions at the source.
   [[nodiscard]] cond::Decision decide(Coord s, Coord d, FaultModel model,

@@ -17,6 +17,7 @@
 #include "fault/mcc_model.hpp"
 #include "info/safety_level.hpp"
 #include "mesh/mesh2d.hpp"
+#include "route/query.hpp"
 
 namespace meshroute::experiment {
 
@@ -45,6 +46,22 @@ struct Trial {
   }
   [[nodiscard]] cond::RoutingProblem mcc_problem(Coord dest) const {
     return {&mesh, &mcc_mask, &mcc_safety, source, dest};
+  }
+
+  /// The consolidated read-side bundle (route/query.hpp) over this trial's
+  /// planes. Only type-one MCC planes are built (the paper's quadrant-I
+  /// destinations), so Mcc-model queries into quadrants II/IV throw; no
+  /// boundary deposits means routing sees global information.
+  [[nodiscard]] route::QueryView query_view() const {
+    route::QueryView v;
+    v.mesh = &mesh;
+    v.blocks = &blocks;
+    v.faulty_mask = &faulty_mask;
+    v.fb_mask = &fb_mask;
+    v.fb_safety = &fb_safety;
+    v.mcc1_mask = &mcc_mask;
+    v.mcc1_safety = &mcc_safety;
+    return v;
   }
 
   /// First-quadrant submesh: from one hop past the source to the mesh

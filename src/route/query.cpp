@@ -1,0 +1,120 @@
+#include "route/query.hpp"
+
+#include <stdexcept>
+
+#include "cond/wang.hpp"
+#include "fault/mcc_model.hpp"
+
+namespace meshroute::route {
+
+const char* to_string(QueryModel model) noexcept {
+  switch (model) {
+    case QueryModel::FaultyBlock: return "faulty-block";
+    case QueryModel::Mcc: return "mcc";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void missing_plane(const char* what) {
+  throw std::invalid_argument(std::string("QueryView: ") + what +
+                              " plane is not populated for this query");
+}
+
+}  // namespace
+
+const Grid<bool>& QueryView::obstacles(QueryModel model, Quadrant q) const {
+  if (model == QueryModel::FaultyBlock) {
+    if (fb_mask == nullptr) missing_plane("faulty-block obstacle");
+    return *fb_mask;
+  }
+  if (fault::mcc_kind_for(q) == fault::MccKind::TypeOne) {
+    if (mcc1_mask == nullptr) missing_plane("type-one MCC obstacle");
+    return *mcc1_mask;
+  }
+  if (mcc2_mask == nullptr) missing_plane("type-two MCC obstacle");
+  return *mcc2_mask;
+}
+
+const info::SafetyGrid& QueryView::safety(QueryModel model, Quadrant q) const {
+  if (model == QueryModel::FaultyBlock) {
+    if (fb_safety == nullptr) missing_plane("faulty-block safety");
+    return *fb_safety;
+  }
+  if (fault::mcc_kind_for(q) == fault::MccKind::TypeOne) {
+    if (mcc1_safety == nullptr) missing_plane("type-one MCC safety");
+    return *mcc1_safety;
+  }
+  if (mcc2_safety == nullptr) missing_plane("type-two MCC safety");
+  return *mcc2_safety;
+}
+
+cond::RoutingProblem QueryView::problem(Coord s, Coord d, QueryModel model) const {
+  if (mesh == nullptr) missing_plane("mesh");
+  const Quadrant q = quadrant_of(s, d);
+  return {mesh, &obstacles(model, q), &safety(model, q), s, d};
+}
+
+StaticFaultView QueryView::fault_view() const {
+  if (blocks == nullptr) missing_plane("block");
+  return StaticFaultView(*blocks, boundary);
+}
+
+cond::Decision decide_strategy(const QueryView& view, Coord s, Coord d, QueryModel model,
+                               cond::StrategyId id, std::span<const Coord> pivots,
+                               const cond::StrategyConfig& cfg) {
+  return cond::run_strategy(view.problem(s, d, model), id, cfg, pivots);
+}
+
+void decide_batch(const QueryView& view, std::span<const QuerySpec> specs, QueryModel model,
+                  cond::StrategyId id, std::span<const Coord> pivots,
+                  const cond::StrategyConfig& cfg, std::vector<cond::Decision>& out) {
+  out.clear();
+  out.reserve(specs.size());
+  for (const QuerySpec& q : specs) {
+    out.push_back(decide_strategy(view, q.src, q.dst, model, id, pivots, cfg));
+  }
+}
+
+bool minimal_path_exists(const QueryView& view, Coord s, Coord d) {
+  if (view.mesh == nullptr || view.faulty_mask == nullptr) {
+    throw std::invalid_argument("QueryView: faulty-mask plane is not populated");
+  }
+  return cond::monotone_path_exists(*view.mesh, *view.faulty_mask, s, d);
+}
+
+void minimal_reachability(const QueryView& view, Coord s, Grid<bool>& out) {
+  if (view.mesh == nullptr || view.faulty_mask == nullptr) {
+    throw std::invalid_argument("QueryView: faulty-mask plane is not populated");
+  }
+  cond::monotone_reachability(*view.mesh, *view.faulty_mask, s, out);
+}
+
+RouteResult route(const QueryView& view, Coord s, Coord d, InfoPolicy policy, Rng* rng) {
+  if (view.mesh == nullptr || view.blocks == nullptr) {
+    throw std::invalid_argument("QueryView: block plane is not populated");
+  }
+  const MinimalRouter router(*view.mesh, *view.blocks, view.boundary, policy);
+  return router.route(s, d, rng);
+}
+
+LadderResult route_ladder(const QueryView& view, Coord s, Coord d, const LadderOptions& opts,
+                          Rng* rng) {
+  const StaticFaultView fv = view.fault_view();
+  return route_degradation_ladder(*view.mesh, fv, s, d, opts, rng);
+}
+
+void route_batch(const QueryView& view, std::span<const QuerySpec> specs,
+                 const LadderOptions& opts, std::vector<RouteAnswer>& out) {
+  const StaticFaultView fv = view.fault_view();
+  out.clear();
+  out.reserve(specs.size());
+  for (const QuerySpec& q : specs) {
+    const LadderResult r = route_degradation_ladder(*view.mesh, fv, q.src, q.dst, opts,
+                                                    /*rng=*/nullptr);
+    out.push_back(RouteAnswer{r.status, r.rung, r.stats});
+  }
+}
+
+}  // namespace meshroute::route

@@ -1,0 +1,148 @@
+// The consolidated public query API (one header for the whole read path).
+//
+// Before this header the query surface was scattered: decide_strategy and
+// minimal_reachability lived on the mutable core::FaultTolerantMesh facade,
+// degradation-ladder routing took a FaultView directly, and the raw
+// cond::monotone_reachability oracle took ad-hoc grids. Every one of those
+// entry points is a pure function of derived fault information, so they all
+// collapse onto one read-side bundle:
+//
+//   route::QueryView — const pointers to every plane a query consumes
+//     (masks, safety grids, blocks, boundary deposits). Producers:
+//       core::FaultTolerantMesh::query_view()   (live mesh, lazily derived)
+//       serve::RoutingSnapshot::query_view()    (immutable epoch snapshot)
+//       experiment::Trial::query_view()         (bench trial state)
+//
+// All functions here are const, allocation-free (given an out-buffer), and
+// thread-safe over a shared QueryView — the property the epoch-snapshotted
+// query server (src/serve) is built on. The direct query methods on the
+// mutable facade remain for convenience but are deprecated for new call
+// sites (see DESIGN §11); benches and the CLI route through this header.
+//
+// route::FaultView (ladder.hpp) stays the single *time-varying* read-side
+// abstraction: QueryView::fault_view() adapts the frozen world onto it, so
+// the ladder never takes ad-hoc grids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "cond/conditions.hpp"
+#include "cond/strategies.hpp"
+#include "fault/block_model.hpp"
+#include "info/boundary.hpp"
+#include "info/safety_level.hpp"
+#include "mesh/mesh2d.hpp"
+#include "route/ladder.hpp"
+#include "route/router.hpp"
+
+namespace meshroute::route {
+
+/// Which fault model a query runs under. Mirrors core's FaultModel (the
+/// facade aliases it) without making route depend on the facade.
+enum class QueryModel : std::uint8_t { FaultyBlock = 0, Mcc = 1 };
+
+[[nodiscard]] const char* to_string(QueryModel model) noexcept;
+
+/// The read-side bundle: non-owning const pointers into derived fault state.
+/// A QueryView is 11 pointers — pass it by value. The producer guarantees
+/// every plane was computed against the same fault set; all planes except
+/// the optional ones must be non-null.
+///
+/// Optional members:
+///   boundary     — null means global information at every node (the router
+///                  and ladder then see the whole block list everywhere).
+///   mcc2_*       — null means type-two MCC planes were not built; Mcc-model
+///                  queries into quadrants II/IV then throw. Producers that
+///                  only serve quadrant-I destinations (experiment::Trial)
+///                  leave them null.
+struct QueryView {
+  const Mesh2D* mesh = nullptr;
+  const fault::BlockSet* blocks = nullptr;
+  const info::BoundaryInfoMap* boundary = nullptr;
+  const Grid<bool>* faulty_mask = nullptr;  ///< truly faulty nodes (ground truth)
+  const Grid<bool>* fb_mask = nullptr;
+  const info::SafetyGrid* fb_safety = nullptr;
+  const Grid<bool>* mcc1_mask = nullptr;
+  const info::SafetyGrid* mcc1_safety = nullptr;
+  const Grid<bool>* mcc2_mask = nullptr;
+  const info::SafetyGrid* mcc2_safety = nullptr;
+
+  /// Obstacle mask / safety grid serving (model, quadrant). Throws
+  /// std::invalid_argument when the needed plane is null.
+  [[nodiscard]] const Grid<bool>& obstacles(QueryModel model, Quadrant q) const;
+  [[nodiscard]] const info::SafetyGrid& safety(QueryModel model, Quadrant q) const;
+
+  /// A cond::RoutingProblem wired to the planes serving quadrant_of(s, d).
+  [[nodiscard]] cond::RoutingProblem problem(Coord s, Coord d, QueryModel model) const;
+
+  /// The frozen-world FaultView over this bundle (truth = blocks, belief =
+  /// boundary deposits or the whole list). The adapter borrows `blocks` and
+  /// `boundary`; keep the producer alive for the adapter's lifetime.
+  [[nodiscard]] StaticFaultView fault_view() const;
+};
+
+/// One (source, destination) query of a batch.
+struct QuerySpec {
+  Coord src;
+  Coord dst;
+};
+
+/// Per-query outcome of route_batch: the ladder result minus the path.
+struct RouteAnswer {
+  RouteStatus status = RouteStatus::Stuck;
+  Rung rung = Rung::Minimal;       ///< highest rung engaged
+  RouteStats stats;                ///< hops / detours / escalations
+};
+
+// ---- Decision queries -----------------------------------------------------
+
+/// Evaluate one of the paper's combined strategies (Section 5) against the
+/// view. Bit-identical to core::FaultTolerantMesh::decide_strategy on the
+/// same fault set.
+[[nodiscard]] cond::Decision decide_strategy(const QueryView& view, Coord s, Coord d,
+                                             QueryModel model, cond::StrategyId id,
+                                             std::span<const Coord> pivots,
+                                             const cond::StrategyConfig& cfg = {});
+
+/// decide_strategy over a batch of pairs, one view dereference for the whole
+/// span. `out` is overwritten (resized to specs.size()); answers are
+/// positionally aligned with `specs` and independent of evaluation order.
+void decide_batch(const QueryView& view, std::span<const QuerySpec> specs, QueryModel model,
+                  cond::StrategyId id, std::span<const Coord> pivots,
+                  const cond::StrategyConfig& cfg, std::vector<cond::Decision>& out);
+
+// ---- Ground-truth oracle --------------------------------------------------
+
+/// Does a minimal path avoiding the truly faulty nodes exist?
+[[nodiscard]] bool minimal_path_exists(const QueryView& view, Coord s, Coord d);
+
+/// Batched ground truth: minimal_path_exists(view, s, d) for every d in one
+/// four-quadrant O(area) DP pass. Writes into a caller-owned grid (resized
+/// only on dimension mismatch) — zero allocations in steady state.
+void minimal_reachability(const QueryView& view, Coord s, Grid<bool>& out);
+
+// ---- Routing --------------------------------------------------------------
+
+/// Wu-protocol minimal routing over the view's frozen world.
+[[nodiscard]] RouteResult route(const QueryView& view, Coord s, Coord d,
+                                InfoPolicy policy = InfoPolicy::BoundaryInfo,
+                                Rng* rng = nullptr);
+
+/// Degradation-ladder routing over the view's frozen world (rung 0 over a
+/// QueryView reproduces route() hop for hop; see ladder.hpp).
+[[nodiscard]] LadderResult route_ladder(const QueryView& view, Coord s, Coord d,
+                                        const LadderOptions& opts = {}, Rng* rng = nullptr);
+
+/// Ladder routing over a batch of pairs. Deterministic: no RNG is consulted
+/// (rung-0 two-way ties break toward the dimension with more remaining
+/// distance), so answers depend only on (view, spec) — the property the
+/// serve layer's cross-thread bit-identity rests on. `out` is overwritten.
+void route_batch(const QueryView& view, std::span<const QuerySpec> specs,
+                 const LadderOptions& opts, std::vector<RouteAnswer>& out);
+
+}  // namespace meshroute::route

@@ -1,0 +1,47 @@
+#include "serve/builder.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace meshroute::serve {
+
+namespace {
+
+dynamic::DynamicMeshState seeded_state(Mesh2D mesh, std::span<const Coord> initial_faults) {
+  dynamic::DynamicMeshState state(std::move(mesh));
+  for (const Coord c : initial_faults) state.inject_fault(c);
+  return state;
+}
+
+}  // namespace
+
+SnapshotBuilder::SnapshotBuilder(Mesh2D mesh, std::span<const Coord> initial_faults)
+    : state_(seeded_state(std::move(mesh), initial_faults)),
+      next_epoch_(1),
+      store_(std::make_unique<const RoutingSnapshot>(state_, /*epoch=*/0, scratch_)) {}
+
+std::size_t SnapshotBuilder::inject(Coord c) {
+  state_.inject_fault(c);
+  const std::size_t delta = state_.last_changed().size();
+  if (delta > 0) {
+    ++stats_.injections;
+    ++stats_.pending_injections;
+    stats_.relabeled_nodes += static_cast<std::int64_t>(delta);
+  }
+  return delta;
+}
+
+std::uint64_t SnapshotBuilder::publish() {
+  auto snap = std::make_unique<const RoutingSnapshot>(state_, next_epoch_, scratch_);
+  ++next_epoch_;
+  ++stats_.published;
+  stats_.pending_injections = 0;
+  return store_.publish(std::move(snap));
+}
+
+std::uint64_t SnapshotBuilder::inject_publish(Coord c) {
+  inject(c);
+  return publish();
+}
+
+}  // namespace meshroute::serve

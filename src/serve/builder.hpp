@@ -1,0 +1,72 @@
+// SnapshotBuilder: the write side of routing-as-a-service.
+//
+// Owns the live world (a dynamic::DynamicMeshState, whose faulty blocks and
+// safety grid are maintained in O(|delta|) per injection) plus the
+// SnapshotStore readers subscribe to. Fault churn flows in through
+// inject(); publish() freezes the current world into an immutable
+// RoutingSnapshot — via the delta-fed constructor, so the expensive
+// faulty-block fixpoints are adopted rather than recomputed — and swaps it
+// in. Injections may be batched between publishes; readers simply keep
+// answering against the previous epoch until the swap (their measured
+// staleness is the serve.staleness_epochs histogram's subject).
+//
+// Single-writer: inject()/publish() must come from one thread (or be
+// externally serialized). Readers need no coordination with the builder at
+// all — that is the point of the store.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/coord.hpp"
+#include "dynamic/dynamic_state.hpp"
+#include "mesh/mesh2d.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/store.hpp"
+
+namespace meshroute::serve {
+
+/// Cumulative write-side work, for STATS reporting.
+struct BuilderStats {
+  std::uint64_t injections = 0;        ///< inject() calls that changed state
+  std::uint64_t published = 0;         ///< publishes after the initial one
+  std::int64_t relabeled_nodes = 0;    ///< summed delta sizes (nodes turned bad)
+  std::uint64_t pending_injections = 0;  ///< injections not yet published
+};
+
+class SnapshotBuilder {
+ public:
+  /// Builds and publishes epoch 0 from `initial_faults`.
+  explicit SnapshotBuilder(Mesh2D mesh, std::span<const Coord> initial_faults = {});
+
+  SnapshotBuilder(const SnapshotBuilder&) = delete;
+  SnapshotBuilder& operator=(const SnapshotBuilder&) = delete;
+
+  /// Inject one fault into the live state (incremental maintenance; cheap
+  /// no-op for already-bad nodes). Does NOT publish. Returns the delta size
+  /// (nodes that turned bad), i.e. |DynamicMeshState::last_changed()|.
+  std::size_t inject(Coord c);
+
+  /// Freeze the live state into a new snapshot (next epoch) and publish it.
+  /// Returns the published epoch. Publishing with no pending injections is
+  /// allowed (an identical world under a new epoch).
+  std::uint64_t publish();
+
+  /// inject() + publish() — the one-disturbance-one-epoch convenience.
+  std::uint64_t inject_publish(Coord c);
+
+  [[nodiscard]] SnapshotStore& store() noexcept { return store_; }
+  [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
+  [[nodiscard]] const dynamic::DynamicMeshState& state() const noexcept { return state_; }
+  [[nodiscard]] const Mesh2D& mesh() const noexcept { return state_.mesh(); }
+  [[nodiscard]] const BuilderStats& stats() const noexcept { return stats_; }
+
+ private:
+  dynamic::DynamicMeshState state_;
+  SnapshotScratch scratch_;
+  std::uint64_t next_epoch_;
+  BuilderStats stats_;
+  SnapshotStore store_;  ///< last: its initial snapshot is built from state_
+};
+
+}  // namespace meshroute::serve

@@ -1,0 +1,231 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define MESHROUTE_HAVE_SOCKETS 1
+#endif
+
+namespace meshroute::serve {
+
+namespace {
+
+const char* decision_name(cond::Decision d) {
+  switch (d) {
+    case cond::Decision::Minimal: return "minimal";
+    case cond::Decision::SubMinimal: return "sub-minimal";
+    case cond::Decision::Unknown: break;
+  }
+  return "unknown";
+}
+
+/// Split on runs of spaces/tabs. The grammar has no quoting.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool parse_dist(std::string_view tok, Dist& out) {
+  long v = 0;
+  bool neg = false;
+  std::size_t i = 0;
+  if (i < tok.size() && (tok[i] == '-' || tok[i] == '+')) neg = tok[i++] == '-';
+  if (i >= tok.size()) return false;
+  for (; i < tok.size(); ++i) {
+    if (tok[i] < '0' || tok[i] > '9') return false;
+    v = v * 10 + (tok[i] - '0');
+    if (v > 1 << 24) return false;  // far beyond any mesh side
+  }
+  out = static_cast<Dist>(neg ? -v : v);
+  return true;
+}
+
+bool parse_coords(const std::vector<std::string_view>& toks, std::size_t want,
+                  const Mesh2D& mesh, std::vector<Coord>& out, std::string& err) {
+  if (toks.size() != 1 + 2 * want) {
+    err = "expected " + std::to_string(2 * want) + " integer arguments";
+    return false;
+  }
+  out.clear();
+  for (std::size_t k = 0; k < want; ++k) {
+    Coord c{};
+    if (!parse_dist(toks[1 + 2 * k], c.x) || !parse_dist(toks[2 + 2 * k], c.y)) {
+      err = "malformed coordinate";
+      return false;
+    }
+    if (!mesh.in_bounds(c)) {
+      err = "coordinate outside the mesh";
+      return false;
+    }
+    out.push_back(c);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string handle_line(QueryServer::Session& session, std::string_view line, bool& quit) {
+  // Strip a trailing CR so the protocol works over telnet-style peers.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string_view> toks = tokenize(line);
+  if (toks.empty() || toks[0].front() == '#') return "";
+
+  QueryServer& server = session.server();
+  const std::string_view cmd = toks[0];
+  std::vector<Coord> args;
+  std::string err;
+  std::ostringstream reply;
+
+  if (cmd == "DECIDE" || cmd == "ROUTE") {
+    if (!parse_coords(toks, 2, server.builder().mesh(), args, err)) {
+      return "ERR " + std::string(cmd) + ": " + err;
+    }
+    const route::QuerySpec spec{args[0], args[1]};
+    if (cmd == "DECIDE") {
+      const cond::Decision dec = session.decide(spec);
+      reply << "OK DECIDE " << decision_name(dec) << " epoch=" << session.last_epoch();
+    } else {
+      const route::RouteAnswer ans = session.route(spec);
+      reply << "OK ROUTE " << route::to_string(ans.status)
+            << " rung=" << route::to_string(ans.rung) << " hops=" << ans.stats.hops
+            << " detours=" << ans.stats.detours << " epoch=" << session.last_epoch();
+    }
+    return reply.str();
+  }
+  if (cmd == "INJECT") {
+    if (!parse_coords(toks, 1, server.builder().mesh(), args, err)) {
+      return "ERR INJECT: " + err;
+    }
+    const std::size_t changed = server.builder().inject(args[0]);
+    const std::uint64_t epoch = server.builder().publish();
+    reply << "OK INJECT epoch=" << epoch << " changed=" << changed;
+    return reply.str();
+  }
+  if (cmd == "STATS") {
+    if (toks.size() != 1) return "ERR STATS takes no arguments";
+    return "OK STATS " + experiment::json::to_string(server.stats_json());
+  }
+  if (cmd == "EPOCH") {
+    if (toks.size() != 1) return "ERR EPOCH takes no arguments";
+    reply << "OK EPOCH " << server.builder().store().current_epoch();
+    return reply.str();
+  }
+  if (cmd == "QUIT") {
+    quit = true;
+    return "OK BYE";
+  }
+  return "ERR unknown command '" + std::string(cmd) + "'";
+}
+
+std::size_t run_session(QueryServer& server, std::istream& in, std::ostream& out) {
+  QueryServer::Session session(server);
+  std::size_t commands = 0;
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    const std::string reply = handle_line(session, line, quit);
+    if (reply.empty()) continue;
+    ++commands;
+    out << reply << '\n';
+  }
+  out.flush();
+  return commands;
+}
+
+#if defined(MESHROUTE_HAVE_SOCKETS)
+
+namespace {
+
+/// Line-buffered pump for one accepted connection.
+void serve_connection(QueryServer& server, int fd) {
+  QueryServer::Session session(server);
+  std::string pending;
+  char buf[4096];
+  bool quit = false;
+  while (!quit) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      const std::string_view line(pending.data() + start, nl - start);
+      start = nl + 1;
+      std::string reply = handle_line(session, line, quit);
+      if (reply.empty()) continue;
+      reply.push_back('\n');
+      std::size_t off = 0;
+      while (off < reply.size()) {
+        const ssize_t w = ::write(fd, reply.data() + off, reply.size() - off);
+        if (w <= 0) return;
+        off += static_cast<std::size_t>(w);
+      }
+      if (quit) break;
+    }
+    pending.erase(0, start);
+  }
+}
+
+}  // namespace
+
+int serve_tcp(QueryServer& server, std::uint16_t port, int max_connections) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("serve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror("serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  for (int served = 0; max_connections < 0 || served < max_connections; ++served) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::perror("serve: accept");
+      ::close(listener);
+      return 1;
+    }
+    serve_connection(server, fd);
+    ::close(fd);
+  }
+  ::close(listener);
+  return 0;
+}
+
+#else  // !MESHROUTE_HAVE_SOCKETS
+
+int serve_tcp(QueryServer&, std::uint16_t, int) {
+  std::fputs("serve: TCP mode is not supported on this platform\n", stderr);
+  return 1;
+}
+
+#endif
+
+}  // namespace meshroute::serve

@@ -1,0 +1,56 @@
+// The meshroutectl serve wire protocol: one request line in, one reply line
+// out, over stdin/stdout or a TCP connection.
+//
+//   request := DECIDE x0 y0 x1 y1     source-side guarantee for (s, d)
+//            | ROUTE  x0 y0 x1 y1     degradation-ladder walk s -> d
+//            | INJECT x y             inject a fault, publish the next epoch
+//            | STATS                  server status document (JSON)
+//            | EPOCH                  current published epoch
+//            | QUIT                   close the session
+//   reply   := 'OK' SP detail | 'ERR' SP message
+//
+// Coordinates are decimal integers separated by spaces. Blank lines and
+// lines starting with '#' are ignored (so scripts can be commented). Replies
+// are deterministic given the request stream and the server's seed world:
+//
+//   DECIDE -> OK DECIDE minimal|sub-minimal|unknown epoch=E
+//   ROUTE  -> OK ROUTE <status> rung=<rung> hops=H detours=D epoch=E
+//   INJECT -> OK INJECT epoch=E changed=N
+//   STATS  -> OK STATS {...}        (single-line JSON)
+//   EPOCH  -> OK EPOCH E
+//   QUIT   -> OK BYE
+//
+// Reads (DECIDE/ROUTE) go through one Session per connection — each answer
+// is consistent with exactly one published epoch, reported back as epoch=E.
+// Writes (INJECT) flow through the builder; the protocol loop is the single
+// writer, so commands within one connection are sequentially consistent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "serve/server.hpp"
+
+namespace meshroute::serve {
+
+/// Handle one request line against `session` (and its server's write side).
+/// Returns the reply line (no trailing newline); empty string for blank and
+/// comment lines. Sets `quit` on QUIT.
+[[nodiscard]] std::string handle_line(QueryServer::Session& session, std::string_view line,
+                                      bool& quit);
+
+/// Drive a whole request stream: one reply line per request line, until QUIT
+/// or end of stream. Returns the number of commands processed (excluding
+/// blanks/comments).
+std::size_t run_session(QueryServer& server, std::istream& in, std::ostream& out);
+
+/// Serve the protocol on a TCP port (loopback-friendly single-threaded
+/// accept loop: one connection at a time, each with its own Session).
+/// `max_connections` < 0 means serve forever; otherwise exit after that many
+/// connections have closed. Returns 0 on success, non-zero on socket errors
+/// (message on stderr). POSIX only.
+int serve_tcp(QueryServer& server, std::uint16_t port, int max_connections = -1);
+
+}  // namespace meshroute::serve

@@ -1,0 +1,96 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace meshroute::serve {
+
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+QueryServer::QueryServer(SnapshotBuilder& builder, ServeConfig config)
+    : builder_(builder), config_(std::move(config)) {}
+
+experiment::json::Value QueryServer::stats_json() const {
+  using experiment::json::Value;
+  const SnapshotStore& store = builder_.store();
+  const BuilderStats& bs = builder_.stats();
+  Value::Object o;
+  o["epoch"] = Value(static_cast<double>(store.current_epoch()));
+  o["width"] = Value(static_cast<double>(builder_.mesh().width()));
+  o["height"] = Value(static_cast<double>(builder_.mesh().height()));
+  o["faults"] = Value(static_cast<double>(builder_.state().faults().count()));
+  o["blocks"] = Value(static_cast<double>(builder_.state().blocks().size()));
+  o["injections"] = Value(static_cast<double>(bs.injections));
+  o["published"] = Value(static_cast<double>(bs.published));
+  o["pending_injections"] = Value(static_cast<double>(bs.pending_injections));
+  o["relabeled_nodes"] = Value(static_cast<double>(bs.relabeled_nodes));
+  o["readers"] = Value(static_cast<double>(store.registered_readers()));
+  o["retired"] = Value(static_cast<double>(store.retired_count()));
+  o["model"] = Value(route::to_string(config_.model));
+  o["strategy"] = Value(cond::to_string(config_.strategy));
+  return Value(std::move(o));
+}
+
+QueryServer::Session::Session(QueryServer& server)
+    : server_(server), reader_(server.builder().store()) {}
+
+void QueryServer::Session::note_batch(std::uint64_t held_epoch, std::size_t n,
+                                      std::int64_t elapsed_us) {
+  static obs::Histogram& query_us = obs::Registry::global().histogram("serve.query_us");
+  static obs::Histogram& staleness =
+      obs::Registry::global().histogram("serve.staleness_epochs");
+  static obs::Counter& queries = obs::Registry::global().counter("serve.queries");
+  static obs::Counter& batches = obs::Registry::global().counter("serve.batches");
+  last_epoch_ = held_epoch;
+  queries_ += n;
+  queries.add(static_cast<std::int64_t>(n));
+  batches.add(1);
+  // Staleness is measured against the epoch published by the time we answer:
+  // a batch served entirely against the snapshot it acquired reports how far
+  // the world moved underneath it.
+  const std::uint64_t published = server_.builder().store().current_epoch();
+  staleness.observe(static_cast<std::int64_t>(published - held_epoch));
+  if (n > 0) {
+    const std::int64_t per_query = elapsed_us / static_cast<std::int64_t>(n);
+    for (std::size_t i = 0; i < n; ++i) query_us.observe(per_query);
+  }
+}
+
+void QueryServer::Session::decide_batch(std::span<const route::QuerySpec> specs,
+                                        std::vector<cond::Decision>& out) {
+  const std::int64_t t0 = now_us();
+  const SnapshotStore::Ref snap = reader_.acquire();
+  const ServeConfig& cfg = server_.config_;
+  route::decide_batch(snap->query_view(), specs, cfg.model, cfg.strategy, cfg.pivots,
+                      cfg.strategy_cfg, out);
+  note_batch(snap->epoch(), specs.size(), now_us() - t0);
+}
+
+void QueryServer::Session::route_batch(std::span<const route::QuerySpec> specs,
+                                       std::vector<route::RouteAnswer>& out) {
+  const std::int64_t t0 = now_us();
+  const SnapshotStore::Ref snap = reader_.acquire();
+  route::route_batch(snap->query_view(), specs, server_.config_.ladder, out);
+  note_batch(snap->epoch(), specs.size(), now_us() - t0);
+}
+
+cond::Decision QueryServer::Session::decide(route::QuerySpec spec) {
+  decide_batch({&spec, 1}, decide_buf_);
+  return decide_buf_.front();
+}
+
+route::RouteAnswer QueryServer::Session::route(route::QuerySpec spec) {
+  route_batch({&spec, 1}, route_buf_);
+  return route_buf_.front();
+}
+
+}  // namespace meshroute::serve

@@ -1,0 +1,101 @@
+// QueryServer: routing-as-a-service over a SnapshotBuilder.
+//
+// The server couples the single write side (inject/publish on the builder)
+// with any number of read-side Sessions. A Session owns one registered
+// SnapshotStore::Reader plus reusable answer buffers; its batch entry points
+// acquire the current snapshot ONCE, answer every query in the batch against
+// that one epoch through the consolidated query API (route/query.hpp), and
+// release. Answers within a batch are therefore mutually consistent — a
+// batch never straddles an epoch swap — and bit-identical to issuing each
+// query alone against the same epoch (tests/test_serve.cpp asserts this).
+//
+// Observability: every batch feeds two global histograms,
+//   serve.query_us          — per-query service latency (microseconds),
+//   serve.staleness_epochs  — how many epochs behind the just-published
+//                             world the acquired snapshot was,
+// and the counters serve.queries / serve.batches, all via obs::Registry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "cond/strategies.hpp"
+#include "experiment/json.hpp"
+#include "route/query.hpp"
+#include "serve/builder.hpp"
+#include "serve/store.hpp"
+
+namespace meshroute::serve {
+
+/// Fixed per-server query defaults (the protocol has no per-command knobs).
+struct ServeConfig {
+  route::QueryModel model = route::QueryModel::FaultyBlock;
+  cond::StrategyId strategy = cond::StrategyId::S4;
+  cond::StrategyConfig strategy_cfg{};
+  std::vector<Coord> pivots;          ///< extension-3 pivot set (may be empty)
+  route::LadderOptions ladder{};
+};
+
+class QueryServer {
+ public:
+  explicit QueryServer(SnapshotBuilder& builder, ServeConfig config = {});
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  [[nodiscard]] SnapshotBuilder& builder() noexcept { return builder_; }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// Write side (single-threaded with respect to itself): inject one fault
+  /// and publish the next epoch. Readers racing this stay on the old epoch
+  /// until the swap lands.
+  std::uint64_t inject_publish(Coord c) { return builder_.inject_publish(c); }
+
+  /// Server-wide status document (epoch, world shape, write-side work,
+  /// reader registration) — the STATS protocol reply.
+  [[nodiscard]] experiment::json::Value stats_json() const;
+
+  /// One reader: a registered store slot plus reusable buffers. Create one
+  /// per querying thread; entry points are safe to call concurrently with
+  /// publishes and with other Sessions (never with themselves).
+  class Session {
+   public:
+    explicit Session(QueryServer& server);
+
+    /// Source-side guarantee per query, all against one acquired epoch.
+    void decide_batch(std::span<const route::QuerySpec> specs,
+                      std::vector<cond::Decision>& out);
+
+    /// Degradation-ladder walk per query, all against one acquired epoch.
+    /// Deterministic: no RNG is consulted (route::route_batch contract).
+    void route_batch(std::span<const route::QuerySpec> specs,
+                     std::vector<route::RouteAnswer>& out);
+
+    [[nodiscard]] cond::Decision decide(route::QuerySpec spec);
+    [[nodiscard]] route::RouteAnswer route(route::QuerySpec spec);
+
+    [[nodiscard]] QueryServer& server() noexcept { return server_; }
+
+    /// Epoch the most recent batch was answered against.
+    [[nodiscard]] std::uint64_t last_epoch() const noexcept { return last_epoch_; }
+    [[nodiscard]] std::uint64_t queries_served() const noexcept { return queries_; }
+
+   private:
+    void note_batch(std::uint64_t held_epoch, std::size_t n, std::int64_t elapsed_us);
+
+    QueryServer& server_;
+    SnapshotStore::Reader reader_;
+    std::uint64_t last_epoch_ = 0;
+    std::uint64_t queries_ = 0;
+    std::vector<cond::Decision> decide_buf_;
+    std::vector<route::RouteAnswer> route_buf_;
+  };
+
+ private:
+  SnapshotBuilder& builder_;
+  ServeConfig config_;
+};
+
+}  // namespace meshroute::serve

@@ -1,0 +1,134 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+
+#include "cond/wang.hpp"
+#include "dynamic/dynamic_state.hpp"
+#include "info/safety_level.hpp"
+
+namespace meshroute::serve {
+
+namespace {
+
+/// Package the incremental maintainer's rectangle list as a BlockSet (the
+/// labeled, id-mapped form the boundary walks and the ladder consume).
+/// Rectangles are sorted (ymin, xmin) so snapshot content is a pure function
+/// of the fault set, never of injection order.
+fault::BlockSet block_set_from_state(const dynamic::DynamicMeshState& state) {
+  std::vector<Rect> rects = state.blocks();
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    return a.ymin != b.ymin ? a.ymin < b.ymin : a.xmin < b.xmin;
+  });
+  const Mesh2D& mesh = state.mesh();
+  Grid<fault::NodeLabel> labels(mesh.width(), mesh.height(), fault::NodeLabel::Enabled);
+  std::vector<fault::FaultyBlock> blocks;
+  blocks.reserve(rects.size());
+  for (const Rect& r : rects) {
+    fault::FaultyBlock b{r, 0, 0};
+    for (Dist y = r.ymin; y <= r.ymax; ++y) {
+      for (Dist x = r.xmin; x <= r.xmax; ++x) {
+        const Coord c{x, y};
+        if (state.faults().contains(c)) {
+          labels[c] = fault::NodeLabel::Faulty;
+          ++b.faulty_count;
+        } else {
+          labels[c] = fault::NodeLabel::Disabled;
+          ++b.disabled_count;
+        }
+      }
+    }
+    blocks.push_back(b);
+  }
+  return fault::BlockSet(mesh, std::move(blocks), std::move(labels));
+}
+
+fault::BlockSet build_blocks_scratch(const Mesh2D& mesh, const fault::FaultSet& faults,
+                                     fault::BlockScratch& scratch) {
+  fault::BlockSet out;
+  fault::build_faulty_blocks(mesh, faults, out, scratch);
+  return out;
+}
+
+}  // namespace
+
+RoutingSnapshot::RoutingSnapshot(const Mesh2D& mesh, const fault::FaultSet& faults,
+                                 std::uint64_t epoch, SnapshotScratch& scratch)
+    : epoch_(epoch),
+      mesh_(mesh),
+      faults_(faults),
+      blocks_(build_blocks_scratch(mesh_, faults_, scratch.block)),
+      boundary_(mesh_, blocks_) {
+  info::obstacle_mask(mesh_, blocks_, fb_mask_);
+#if defined(MESHROUTE_FORCE_SCALAR)
+  info::compute_safety_levels(mesh_, fb_mask_, fb_safety_);
+#else
+  // The block builder leaves its final obstacle plane (the union of the
+  // block rects) in the scratch; feed it straight into the safety sweep.
+  info::compute_safety_levels(mesh_, scratch.block.bad_plane, fb_safety_);
+#endif
+  finish_derived(scratch);
+}
+
+RoutingSnapshot::RoutingSnapshot(const dynamic::DynamicMeshState& state, std::uint64_t epoch,
+                                 SnapshotScratch& scratch)
+    : epoch_(epoch),
+      mesh_(state.mesh()),
+      faults_(state.faults()),
+      blocks_(block_set_from_state(state)),
+      boundary_(mesh_, blocks_) {
+  // The expensive faulty-block fixpoints arrive pre-maintained in O(|delta|)
+  // per injection; adopting them here is two flat plane copies.
+  fb_mask_ = state.obstacle_mask();
+  fb_safety_ = state.safety();
+  finish_derived(scratch);
+}
+
+void RoutingSnapshot::finish_derived(SnapshotScratch& scratch) {
+  faulty_mask_ = faults_.mask();
+  fault::build_mcc(mesh_, faults_, fault::MccKind::TypeOne, mcc1_, scratch.mcc1);
+  fault::build_mcc(mesh_, faults_, fault::MccKind::TypeTwo, mcc2_, scratch.mcc2);
+  info::obstacle_mask(mesh_, mcc1_, mcc1_mask_);
+  info::obstacle_mask(mesh_, mcc2_, mcc2_mask_);
+#if defined(MESHROUTE_FORCE_SCALAR)
+  info::compute_safety_levels(mesh_, mcc1_mask_, mcc1_safety_);
+  info::compute_safety_levels(mesh_, mcc2_mask_, mcc2_safety_);
+#else
+  info::compute_safety_levels(mesh_, scratch.mcc1.labeled_plane, mcc1_safety_);
+  info::compute_safety_levels(mesh_, scratch.mcc2.labeled_plane, mcc2_safety_);
+#endif
+}
+
+route::QueryView RoutingSnapshot::query_view() const noexcept {
+  route::QueryView v;
+  v.mesh = &mesh_;
+  v.blocks = &blocks_;
+  v.boundary = &boundary_;
+  v.faulty_mask = &faulty_mask_;
+  v.fb_mask = &fb_mask_;
+  v.fb_safety = &fb_safety_;
+  v.mcc1_mask = &mcc1_mask_;
+  v.mcc1_safety = &mcc1_safety_;
+  v.mcc2_mask = &mcc2_mask_;
+  v.mcc2_safety = &mcc2_safety_;
+  return v;
+}
+
+void RoutingSnapshot::reachability(Coord src, Grid<bool>& out) const {
+  cond::monotone_reachability(mesh_, faulty_mask_, src, out);
+}
+
+bool RoutingSnapshot::truly_bad(Coord c, std::int64_t /*time*/) const {
+  return blocks_.is_block_node(c);
+}
+
+void RoutingSnapshot::believed_blocks(Coord at, std::int64_t /*time*/,
+                                      std::vector<Rect>& out) const {
+  out.clear();
+  for (const std::int32_t id : boundary_.known_blocks(at)) {
+    out.push_back(blocks_.blocks()[static_cast<std::size_t>(id)].rect);
+  }
+}
+
+bool RoutingSnapshot::is_stale(Coord /*at*/, std::int64_t /*time*/) const { return false; }
+
+}  // namespace meshroute::serve

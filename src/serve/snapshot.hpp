@@ -1,0 +1,122 @@
+// RoutingSnapshot: one immutable, epoch-stamped view of the whole fault
+// world — faulty blocks, both MCC labelings, boundary deposits, safety
+// planes, and the ground-truth mask — built once and then shared by any
+// number of reader threads with no synchronization at all. This is the unit
+// the routing-as-a-service layer publishes: queries are pure functions of a
+// snapshot, so millions of decide/route calls can run against one while
+// fault churn rebuilds the next off to the side (store.hpp).
+//
+// Two construction paths, identical results (tests/test_serve.cpp asserts
+// the equivalence):
+//   * from scratch — the PR-5 bit-plane builders (build_faulty_blocks /
+//     build_mcc word-parallel kernels) against a FaultSet, via the same
+//     scratch-buffer idiom as experiment::TrialWorkspace;
+//   * from the incremental maintainer — SnapshotBuilder (builder.hpp) feeds
+//     dynamic::DynamicMeshState's O(|delta|)-maintained blocks and safety
+//     grid straight in, so per-epoch rebuild work scales with the
+//     disturbance, not the mesh.
+//
+// RoutingSnapshot implements route::FaultView (the frozen-world reading:
+// truth = its block set, belief = its boundary deposits, never stale), so
+// the degradation ladder walks a snapshot directly, and exposes a
+// route::QueryView so every entry point of the consolidated query API
+// (route/query.hpp) runs against it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/coord.hpp"
+#include "common/grid.hpp"
+#include "common/rect.hpp"
+#include "fault/block_model.hpp"
+#include "fault/fault_set.hpp"
+#include "fault/mcc_model.hpp"
+#include "info/boundary.hpp"
+#include "info/safety_level.hpp"
+#include "mesh/mesh2d.hpp"
+#include "route/ladder.hpp"
+#include "route/query.hpp"
+
+namespace meshroute::dynamic {
+class DynamicMeshState;
+}  // namespace meshroute::dynamic
+
+namespace meshroute::serve {
+
+/// Reusable build buffers (one per builder/thread): the fault-model scratch
+/// planes the bit-plane kernels sweep. Snapshots never reference scratch
+/// memory — everything a snapshot holds is owned by the snapshot.
+struct SnapshotScratch {
+  fault::BlockScratch block;
+  fault::MccScratch mcc1;
+  fault::MccScratch mcc2;
+};
+
+class RoutingSnapshot final : public route::FaultView {
+ public:
+  /// From-scratch build against a fault set (bit-plane kernels throughout).
+  RoutingSnapshot(const Mesh2D& mesh, const fault::FaultSet& faults, std::uint64_t epoch,
+                  SnapshotScratch& scratch);
+
+  /// Delta-fed build: adopts the incrementally-maintained faulty blocks and
+  /// safety grid of `state` (no block/safety fixpoint is re-run); only the
+  /// MCC planes and boundary deposits are recomputed, with the bit-plane
+  /// kernels against `scratch`.
+  RoutingSnapshot(const dynamic::DynamicMeshState& state, std::uint64_t epoch,
+                  SnapshotScratch& scratch);
+
+  RoutingSnapshot(const RoutingSnapshot&) = delete;
+  RoutingSnapshot& operator=(const RoutingSnapshot&) = delete;
+
+  /// Monotone publication stamp: epoch 0 is the initial world, +1 per
+  /// published rebuild.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  [[nodiscard]] const Mesh2D& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] const fault::FaultSet& faults() const noexcept { return faults_; }
+  [[nodiscard]] const fault::BlockSet& blocks() const noexcept { return blocks_; }
+  [[nodiscard]] const fault::MccSet& mcc(fault::MccKind kind) const noexcept {
+    return kind == fault::MccKind::TypeOne ? mcc1_ : mcc2_;
+  }
+  [[nodiscard]] const info::BoundaryInfoMap& boundary() const noexcept { return boundary_; }
+
+  /// The consolidated query surface over this snapshot. The view borrows
+  /// the snapshot's planes: keep the snapshot alive (it is handed out as
+  /// shared_ptr / SnapshotRef precisely for this).
+  [[nodiscard]] route::QueryView query_view() const noexcept;
+
+  /// Four-quadrant reachability oracle: minimal-path existence from `src`
+  /// to every node in one O(area) DP pass over the ground-truth mask.
+  void reachability(Coord src, Grid<bool>& out) const;
+
+  // route::FaultView — the frozen-world reading; routing a ladder over a
+  // snapshot at rung 0 is hop-for-hop MinimalRouter on its block world.
+  [[nodiscard]] bool truly_bad(Coord c, std::int64_t time) const override;
+  void believed_blocks(Coord at, std::int64_t time, std::vector<Rect>& out) const override;
+  [[nodiscard]] bool is_stale(Coord at, std::int64_t time) const override;
+
+ private:
+  /// Shared tail of both ctors: ground-truth mask plus both MCC labelings
+  /// and their planes (the faulty-block planes come from the producer).
+  void finish_derived(SnapshotScratch& scratch);
+
+  std::uint64_t epoch_;
+  Mesh2D mesh_;
+  fault::FaultSet faults_;
+  fault::BlockSet blocks_;
+  fault::MccSet mcc1_;
+  fault::MccSet mcc2_;
+  info::BoundaryInfoMap boundary_;
+  Grid<bool> faulty_mask_;
+  Grid<bool> fb_mask_;
+  Grid<bool> mcc1_mask_;
+  Grid<bool> mcc2_mask_;
+  info::SafetyGrid fb_safety_;
+  info::SafetyGrid mcc1_safety_;
+  info::SafetyGrid mcc2_safety_;
+};
+
+}  // namespace meshroute::serve

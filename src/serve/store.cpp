@@ -1,0 +1,99 @@
+#include "serve/store.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace meshroute::serve {
+
+SnapshotStore::SnapshotStore(std::unique_ptr<const RoutingSnapshot> initial)
+    : current_(initial.get()), epoch_(initial->epoch()) {
+  initial.release();
+  retired_.reserve(16);
+}
+
+SnapshotStore::~SnapshotStore() {
+  // No readers may outlive the store (Reader holds a reference); anything
+  // still retired plus the current snapshot is ours to free.
+  for (const Retired& r : retired_) delete r.snap;
+  delete current_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SnapshotStore::publish(std::unique_ptr<const RoutingSnapshot> snap) {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  const RoutingSnapshot* next = snap.get();
+  const RoutingSnapshot* old = current_.load(std::memory_order_relaxed);
+  assert(next->epoch() > old->epoch() && "published epochs must be strictly increasing");
+  snap.release();
+  // Publication is this single pointer exchange; the epoch store afterwards
+  // is what readers announce against.
+  current_.store(next, std::memory_order_seq_cst);
+  epoch_.store(next->epoch(), std::memory_order_seq_cst);
+  retired_.push_back(Retired{old->epoch(), old});
+  collect_locked();
+  return next->epoch();
+}
+
+void SnapshotStore::collect_locked() {
+  std::uint64_t min_announced = std::numeric_limits<std::uint64_t>::max();
+  for (const Slot& slot : slots_) {
+    // seq_cst load: reading a reader's quiescent/re-announce store is the
+    // happens-before edge that justifies freeing what it no longer holds.
+    const std::uint64_t announced = slot.epoch.load(std::memory_order_seq_cst);
+    min_announced = std::min(min_announced, announced);  // kQuiescent = no constraint
+  }
+  auto dead = std::partition(retired_.begin(), retired_.end(), [&](const Retired& r) {
+    return r.epoch >= min_announced;  // keep: some reader may still hold it
+  });
+  for (auto it = dead; it != retired_.end(); ++it) delete it->snap;
+  retired_.erase(dead, retired_.end());
+}
+
+std::size_t SnapshotStore::retired_count() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  return retired_.size();
+}
+
+std::size_t SnapshotStore::registered_readers() const noexcept {
+  std::size_t n = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.claimed.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+SnapshotStore::Reader::Reader(SnapshotStore& store) : store_(store), slot_index_(kMaxReaders) {
+  for (std::size_t i = 0; i < kMaxReaders; ++i) {
+    bool expected = false;
+    if (store_.slots_[i].claimed.compare_exchange_strong(expected, true,
+                                                         std::memory_order_acq_rel)) {
+      slot_index_ = i;
+      return;
+    }
+  }
+  throw std::runtime_error("SnapshotStore: reader capacity exhausted");
+}
+
+SnapshotStore::Reader::~Reader() {
+  Slot& slot = store_.slots_[slot_index_];
+  slot.epoch.store(kQuiescent, std::memory_order_seq_cst);
+  slot.claimed.store(false, std::memory_order_release);
+}
+
+SnapshotStore::Ref SnapshotStore::Reader::acquire() noexcept {
+  std::atomic<std::uint64_t>& slot = store_.slots_[slot_index_].epoch;
+  assert(slot.load(std::memory_order_relaxed) == kQuiescent &&
+         "at most one live Ref per Reader");
+  for (;;) {
+    const std::uint64_t e = store_.epoch_.load(std::memory_order_seq_cst);
+    slot.store(e, std::memory_order_seq_cst);  // announce BEFORE loading the pointer
+    const RoutingSnapshot* snap = store_.current_.load(std::memory_order_seq_cst);
+    // `snap` was current after our announcement, so it is protected (see the
+    // header's safety argument) and safe to dereference. Validate that no
+    // publish slipped into the window, so the announced epoch is exactly the
+    // epoch we hand out.
+    if (snap->epoch() == e) return Ref(snap, &slot);
+  }
+}
+
+}  // namespace meshroute::serve

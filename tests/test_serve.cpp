@@ -1,0 +1,284 @@
+// The serve layer: snapshot equivalence (delta-fed vs from-scratch),
+// batch-vs-single bit-identity, RCU store retirement, the line protocol,
+// and the headline concurrency property — N reader threads batch-querying
+// across epoch swaps, every answer consistent with some published epoch.
+// Run this file under the tsan preset to verify the store's publication
+// protocol (readers never lock; see src/serve/store.hpp).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dynamic/dynamic_state.hpp"
+#include "experiment/json.hpp"
+#include "fault/fault_set.hpp"
+#include "route/query.hpp"
+#include "serve/builder.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/store.hpp"
+
+namespace meshroute {
+namespace {
+
+std::vector<route::QuerySpec> fixed_specs(const Mesh2D& mesh, std::size_t n,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<route::QuerySpec> specs(n);
+  for (route::QuerySpec& s : specs) {
+    s.src = {static_cast<Dist>(rng.uniform(0, mesh.width() - 1)),
+             static_cast<Dist>(rng.uniform(0, mesh.height() - 1))};
+    s.dst = {static_cast<Dist>(rng.uniform(0, mesh.width() - 1)),
+             static_cast<Dist>(rng.uniform(0, mesh.height() - 1))};
+  }
+  return specs;
+}
+
+/// Block rects as a sorted list — the two construction paths may discover
+/// blocks in different orders.
+std::vector<Rect> sorted_rects(const fault::BlockSet& blocks) {
+  std::vector<Rect> rects;
+  for (const fault::FaultyBlock& b : blocks.blocks()) rects.push_back(b.rect);
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    return a.ymin != b.ymin ? a.ymin < b.ymin : a.xmin < b.xmin;
+  });
+  return rects;
+}
+
+// ---- Snapshot equivalence: delta-fed vs from-scratch ----------------------
+
+TEST(RoutingSnapshot, DeltaFedEqualsFromScratch) {
+  const Mesh2D mesh = Mesh2D::square(32);
+  Rng rng(7);
+  const fault::FaultSet initial = fault::uniform_random_faults(mesh, 30, rng);
+
+  serve::SnapshotBuilder builder(mesh, initial.faults());
+  for (int i = 0; i < 12; ++i) {
+    builder.inject_publish({static_cast<Dist>(rng.uniform(0, 31)),
+                            static_cast<Dist>(rng.uniform(0, 31))});
+  }
+
+  // The same final fault set, built from scratch with the bit-plane kernels.
+  fault::FaultSet final_faults(mesh);
+  for (const Coord c : builder.state().faults().faults()) final_faults.add(c);
+  serve::SnapshotScratch scratch;
+  const serve::RoutingSnapshot reference(mesh, final_faults, /*epoch=*/99, scratch);
+
+  serve::SnapshotStore::Reader reader(builder.store());
+  const serve::SnapshotStore::Ref snap = reader.acquire();
+  EXPECT_EQ(snap->epoch(), 12u);
+
+  EXPECT_EQ(sorted_rects(snap->blocks()), sorted_rects(reference.blocks()));
+  EXPECT_EQ(snap->blocks().labels(), reference.blocks().labels());
+
+  const route::QueryView live = snap->query_view();
+  const route::QueryView ref = reference.query_view();
+  EXPECT_EQ(*live.faulty_mask, *ref.faulty_mask);
+  EXPECT_EQ(*live.fb_mask, *ref.fb_mask);
+  EXPECT_EQ(*live.fb_safety, *ref.fb_safety);
+  EXPECT_EQ(*live.mcc1_mask, *ref.mcc1_mask);
+  EXPECT_EQ(*live.mcc1_safety, *ref.mcc1_safety);
+  EXPECT_EQ(*live.mcc2_mask, *ref.mcc2_mask);
+  EXPECT_EQ(*live.mcc2_safety, *ref.mcc2_safety);
+
+  Grid<bool> reach_live;
+  Grid<bool> reach_ref;
+  const Coord src{1, 1};
+  snap->reachability(src, reach_live);
+  reference.reachability(src, reach_ref);
+  EXPECT_EQ(reach_live, reach_ref);
+}
+
+// ---- Batch answers are bit-identical to single queries --------------------
+
+TEST(QueryServerSession, BatchMatchesSingleQueries) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(11);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 24, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::QueryServer server(builder);
+  const std::vector<route::QuerySpec> specs = fixed_specs(mesh, 64, 5);
+
+  serve::QueryServer::Session session(server);
+  std::vector<cond::Decision> batch_decisions;
+  session.decide_batch(specs, batch_decisions);
+  std::vector<route::RouteAnswer> batch_routes;
+  session.route_batch(specs, batch_routes);
+
+  ASSERT_EQ(batch_decisions.size(), specs.size());
+  ASSERT_EQ(batch_routes.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(batch_decisions[i], session.decide(specs[i])) << "spec " << i;
+    const route::RouteAnswer single = session.route(specs[i]);
+    EXPECT_EQ(batch_routes[i].status, single.status) << "spec " << i;
+    EXPECT_EQ(batch_routes[i].rung, single.rung) << "spec " << i;
+    EXPECT_EQ(batch_routes[i].stats, single.stats) << "spec " << i;
+  }
+}
+
+// ---- Store retirement -----------------------------------------------------
+
+TEST(SnapshotStore, RetiresUntilReadersRelease) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  serve::SnapshotBuilder builder(mesh);
+  serve::SnapshotStore& store = builder.store();
+  EXPECT_EQ(store.current_epoch(), 0u);
+  EXPECT_EQ(store.registered_readers(), 0u);
+
+  serve::SnapshotStore::Reader reader(builder.store());
+  EXPECT_EQ(store.registered_readers(), 1u);
+  {
+    const serve::SnapshotStore::Ref held = reader.acquire();
+    EXPECT_EQ(held->epoch(), 0u);
+    builder.inject_publish({3, 3});
+    builder.inject_publish({9, 9});
+    EXPECT_EQ(store.current_epoch(), 2u);
+    // Epoch 0 is pinned by `held`; epoch 1 may already be collected.
+    EXPECT_GE(store.retired_count(), 1u);
+    // A fresh acquire sees the newest epoch while the old Ref stays valid.
+    serve::SnapshotStore::Reader other(builder.store());
+    EXPECT_EQ(other.acquire()->epoch(), 2u);
+    EXPECT_EQ(held->epoch(), 0u);
+  }
+  // All Refs released: the next publish sweeps the whole history.
+  builder.inject_publish({12, 5});
+  EXPECT_EQ(store.current_epoch(), 3u);
+  EXPECT_EQ(store.retired_count(), 0u);
+}
+
+// ---- Line protocol --------------------------------------------------------
+
+TEST(ServeProtocol, HandlesEveryCommandClass) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 20, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::QueryServer server(builder);
+  serve::QueryServer::Session session(server);
+
+  bool quit = false;
+  EXPECT_EQ(serve::handle_line(session, "", quit), "");
+  EXPECT_EQ(serve::handle_line(session, "# comment", quit), "");
+  EXPECT_EQ(serve::handle_line(session, "EPOCH", quit), "OK EPOCH 0");
+  EXPECT_TRUE(serve::handle_line(session, "DECIDE 2 2 20 21", quit)
+                  .starts_with("OK DECIDE "));
+  EXPECT_TRUE(serve::handle_line(session, "ROUTE 2 2 20 21\r", quit)
+                  .starts_with("OK ROUTE "));
+  EXPECT_TRUE(serve::handle_line(session, "INJECT 10 10", quit)
+                  .starts_with("OK INJECT epoch=1 changed="));
+  EXPECT_EQ(serve::handle_line(session, "EPOCH", quit), "OK EPOCH 1");
+  EXPECT_TRUE(serve::handle_line(session, "DECIDE 2 2", quit).starts_with("ERR DECIDE:"));
+  EXPECT_TRUE(serve::handle_line(session, "DECIDE 2 2 99 99", quit)
+                  .starts_with("ERR DECIDE: coordinate outside"));
+  EXPECT_TRUE(serve::handle_line(session, "WAT", quit).starts_with("ERR unknown command"));
+  EXPECT_FALSE(quit);
+  EXPECT_EQ(serve::handle_line(session, "QUIT", quit), "OK BYE");
+  EXPECT_TRUE(quit);
+}
+
+TEST(ServeProtocol, StatsJsonRoundTrips) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 20, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::QueryServer server(builder);
+  serve::QueryServer::Session session(server);
+
+  bool quit = false;
+  (void)serve::handle_line(session, "INJECT 5 5", quit);
+  const std::string reply = serve::handle_line(session, "STATS", quit);
+  ASSERT_TRUE(reply.starts_with("OK STATS "));
+  const experiment::json::Value doc =
+      experiment::json::parse(std::string_view(reply).substr(9));
+  EXPECT_EQ(doc.at("epoch").as_number(), 1.0);
+  EXPECT_EQ(doc.at("width").as_number(), 24.0);
+  EXPECT_EQ(doc.at("height").as_number(), 24.0);
+  EXPECT_EQ(doc.at("published").as_number(), 1.0);
+  EXPECT_GE(doc.at("faults").as_number(), 20.0);
+  EXPECT_TRUE(doc.has("readers"));
+  EXPECT_TRUE(doc.has("strategy"));
+}
+
+// ---- Concurrent readers across epoch swaps --------------------------------
+
+// The acceptance property: reader threads batch-query while the writer
+// injects and publishes; every batch's answers must be bit-identical to the
+// single-threaded answers for the epoch the batch reports, and the epochs a
+// session observes must be monotone. Run under the tsan preset to check the
+// store's memory ordering as well.
+TEST(ServeConcurrency, ReadersConsistentWithSomePublishedEpoch) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(17);
+  const fault::FaultSet initial = fault::uniform_random_faults(mesh, 20, rng);
+  constexpr int kEpochs = 16;
+  constexpr int kThreads = 4;
+
+  std::vector<Coord> sites(kEpochs);
+  for (Coord& c : sites) {
+    c = {static_cast<Dist>(rng.uniform(0, 23)), static_cast<Dist>(rng.uniform(0, 23))};
+  }
+  const std::vector<route::QuerySpec> specs = fixed_specs(mesh, 48, 29);
+
+  // Single-threaded oracle: expected decide answers per published epoch.
+  std::vector<std::vector<cond::Decision>> expected(kEpochs + 1);
+  {
+    serve::SnapshotBuilder oracle(mesh, initial.faults());
+    serve::QueryServer oracle_server(oracle);
+    serve::QueryServer::Session session(oracle_server);
+    session.decide_batch(specs, expected[0]);
+    for (int e = 1; e <= kEpochs; ++e) {
+      oracle.inject_publish(sites[static_cast<std::size_t>(e - 1)]);
+      session.decide_batch(specs, expected[static_cast<std::size_t>(e)]);
+    }
+  }
+
+  serve::SnapshotBuilder builder(mesh, initial.faults());
+  serve::QueryServer server(builder);
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> non_monotone{0};
+  std::atomic<long> batches{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      serve::QueryServer::Session session(server);
+      std::vector<cond::Decision> got;
+      std::uint64_t prev_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        session.decide_batch(specs, got);
+        const std::uint64_t e = session.last_epoch();
+        if (e < prev_epoch) non_monotone.fetch_add(1, std::memory_order_relaxed);
+        prev_epoch = e;
+        if (e > kEpochs || got != expected[static_cast<std::size_t>(e)]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (const Coord c : sites) {
+    builder.inject_publish(c);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Give readers one more window against the final epoch, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(non_monotone.load(), 0);
+  EXPECT_GT(batches.load(), 0);
+  EXPECT_EQ(builder.store().current_epoch(), static_cast<std::uint64_t>(kEpochs));
+}
+
+}  // namespace
+}  // namespace meshroute

@@ -1,13 +1,15 @@
 // Compare two microbench JSON files (the schema bench/microbench.cpp emits)
 // and fail when any kernel's median regressed beyond a threshold:
 //
-//   bench_compare OLD.json NEW.json [--threshold=0.10]
+//   bench_compare OLD.json NEW.json [--threshold=0.10] [--allow-meta-mismatch]
 //
 // Exit status: 0 when every kernel present in both files satisfies
 // new_median <= old_median * (1 + threshold); 1 when at least one kernel
-// regressed; 2 on usage/parse errors. Kernels present in only one file are
-// reported but do not fail the comparison (adding or retiring a kernel must
-// not break CI against a stale baseline).
+// regressed; 2 on usage/parse errors, and when the two meta blocks disagree
+// on a field that makes medians incomparable (trace_enabled, build_type) —
+// pass --allow-meta-mismatch to downgrade that to a warning. Kernels present
+// in only one file are reported but do not fail the comparison (adding or
+// retiring a kernel must not break CI against a stale baseline).
 //
 // With --metrics the inputs are instead two --metrics snapshots (the
 // {"counters":{...},"histograms":{...}} schema obs::write_metrics_json
@@ -27,7 +29,8 @@ namespace {
 using meshroute::experiment::json::Value;
 
 [[noreturn]] void usage_and_exit() {
-  std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.10]\n"
+  std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.10]"
+               " [--allow-meta-mismatch]\n"
                "       bench_compare --metrics OLD.json NEW.json\n";
   std::exit(2);
 }
@@ -48,27 +51,33 @@ Value load(const std::string& path) {
   }
 }
 
-/// Warn when the two documents' meta blocks disagree on a field that makes
+/// Detect the two documents' meta blocks disagreeing on a field that makes
 /// their medians incomparable (tracing compiled in, different build type).
-/// Advisory only: stale baselines should be regenerated, not silently
-/// trusted — but a meta-less (older-schema) file still compares.
-void warn_on_meta_mismatch(const Value& old_doc, const Value& new_doc) {
-  if (!old_doc.has("meta") || !new_doc.has("meta")) return;
+/// Returns the number of mismatched fields; a meta-less (older-schema) file
+/// still compares. Callers treat a nonzero return as a hard error unless
+/// --allow-meta-mismatch downgraded it: a cross-build comparison silently
+/// "passing" is worse than no comparison at all.
+int count_meta_mismatches(const Value& old_doc, const Value& new_doc,
+                          const char* severity) {
+  if (!old_doc.has("meta") || !new_doc.has("meta")) return 0;
   const Value& old_meta = old_doc.at("meta");
   const Value& new_meta = new_doc.at("meta");
+  int mismatches = 0;
   const auto check = [&](const char* field, auto&& render) {
     if (!old_meta.has(field) || !new_meta.has(field)) return;
     const std::string o = render(old_meta.at(field));
     const std::string n = render(new_meta.at(field));
     if (o != n) {
+      ++mismatches;
       std::fprintf(stderr,
-                   "bench_compare: warning: meta.%s differs (old=%s, new=%s); "
+                   "bench_compare: %s: meta.%s differs (old=%s, new=%s); "
                    "medians are not comparable across this difference\n",
-                   field, o.c_str(), n.c_str());
+                   severity, field, o.c_str(), n.c_str());
     }
   };
   check("trace_enabled", [](const Value& v) { return v.as_bool() ? "true" : "false"; });
   check("build_type", [](const Value& v) { return v.as_string(); });
+  return mismatches;
 }
 
 /// kernel name -> median_us, from a document's "kernels" array.
@@ -163,10 +172,13 @@ int main(int argc, char** argv) {
   std::string new_path;
   double threshold = 0.10;
   bool metrics_mode = false;
+  bool allow_meta_mismatch = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics") {
       metrics_mode = true;
+    } else if (arg == "--allow-meta-mismatch") {
+      allow_meta_mismatch = true;
     } else if (arg.rfind("--threshold=", 0) == 0) {
       try {
         threshold = std::stod(arg.substr(12));
@@ -187,7 +199,15 @@ int main(int argc, char** argv) {
 
   const Value old_doc = load(old_path);
   const Value new_doc = load(new_path);
-  warn_on_meta_mismatch(old_doc, new_doc);
+  const int meta_mismatches = count_meta_mismatches(
+      old_doc, new_doc, allow_meta_mismatch ? "warning" : "error");
+  if (meta_mismatches > 0 && !allow_meta_mismatch) {
+    std::fprintf(stderr,
+                 "bench_compare: refusing to compare across %d meta mismatch(es); "
+                 "regenerate the baseline or pass --allow-meta-mismatch\n",
+                 meta_mismatches);
+    return 2;
+  }
   const auto old_medians = medians(old_doc, old_path);
   const auto new_medians = medians(new_doc, new_path);
 

@@ -19,10 +19,10 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "meshroutectl --help exited with ${rc}: ${help_err}")
 endif()
 
-set(commands map decide route)
+set(commands map decide route serve)
 set(flags
   --n --faults --seed --src --dst --model --segment --pivot-levels --strategy
-  --policy --ppm --ascii --chaos --ttl --trace --help)
+  --policy --ppm --ascii --chaos --ttl --trace --script --port --max-conns --help)
 
 foreach(cmd IN LISTS commands)
   string(FIND "${help_text}" "${cmd}" idx)

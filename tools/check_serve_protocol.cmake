@@ -1,0 +1,58 @@
+# ctest script: end-to-end smoke of `meshroutectl serve` — the line protocol
+# over both --script and stdin. Asserts each command class produces its OK
+# reply (with the epoch swap after INJECT), malformed input produces ERR
+# without killing the session, and the STATS payload is a JSON object
+# carrying the expected fields (full parse round-trip lives in
+# tests/test_serve.cpp via experiment::json).
+#
+#   cmake -DCTL=<path-to-meshroutectl> -DWORK_DIR=<dir>
+#         -P check_serve_protocol.cmake
+if(NOT DEFINED CTL OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DCTL=<path-to-meshroutectl> -DWORK_DIR=<dir>")
+endif()
+
+set(script "${WORK_DIR}/serve_script.txt")
+file(WRITE "${script}"
+"# smoke script: every command class, plus a parse error mid-session
+EPOCH
+DECIDE 2 2 20 21
+ROUTE 2 2 20 21
+INJECT 10 10
+EPOCH
+DECIDE 2 2 20 21
+STATS
+BOGUS 1 2
+QUIT
+")
+
+foreach(mode script stdin)
+  if(mode STREQUAL "script")
+    execute_process(COMMAND ${CTL} serve --n 24 --faults 20 --seed 3 --script ${script}
+                    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  else()
+    execute_process(COMMAND ${CTL} serve --n 24 --faults 20 --seed 3
+                    INPUT_FILE ${script}
+                    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  endif()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serve (${mode}) exited with ${rc}:\n${out}${err}")
+  endif()
+  foreach(needle
+      "OK EPOCH 0"
+      "OK DECIDE"
+      "OK ROUTE"
+      "OK INJECT epoch=1"
+      "OK EPOCH 1"
+      "OK STATS {"
+      "\"epoch\":1"
+      "\"readers\":"
+      "ERR unknown command"
+      "OK BYE")
+    string(FIND "${out}" "${needle}" idx)
+    if(idx EQUAL -1)
+      message(FATAL_ERROR "serve (${mode}) output missing '${needle}':\n${out}")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "serve protocol replies match over --script and stdin")

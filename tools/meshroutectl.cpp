@@ -7,6 +7,14 @@
 //   meshroutectl route  --n 32 --faults 40 --seed 7 --src 2,2 --dst 28,30
 //                       [--policy boundary|global] [--ppm out.ppm] [--ascii]
 //                       [--chaos FILE|SPEC] [--ttl N] [--trace FILE|-]
+//   meshroutectl serve  --n 32 --faults 40 --seed 7 [--model fb|mcc]
+//                       [--strategy s1|s2|s3|s4] [--segment 5] [--pivot-levels 3]
+//                       [--script FILE] [--port P] [--max-conns C]
+//
+// serve runs the epoch-snapshotted query server (src/serve) speaking the
+// line protocol of serve/protocol.hpp — DECIDE/ROUTE/INJECT/STATS/EPOCH/QUIT
+// — over stdin/stdout, a --script file, or a loopback TCP --port. INJECT
+// publishes a new immutable snapshot; reads stay lock-free throughout.
 //
 // With --chaos, route runs the graceful-degradation ladder against a live
 // FaultSchedule (see src/chaos/fault_schedule.hpp for the spec grammar;
@@ -39,6 +47,10 @@
 #include "render/render.hpp"
 #include "route/ladder.hpp"
 #include "route/path.hpp"
+#include "route/query.hpp"
+#include "serve/builder.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 
 using namespace meshroute;
 
@@ -61,6 +73,9 @@ struct Options {
   std::optional<std::string> chaos;  ///< FaultSchedule file or inline spec
   int ttl = 0;                       ///< ladder hop budget (0 = auto)
   std::string trace;                 ///< --trace target; "" = off, "-" = stdout
+  std::optional<std::string> script; ///< serve: read requests from a file
+  std::optional<long> port;          ///< serve: TCP port instead of stdin
+  int max_conns = -1;                ///< serve: connections before exiting (-1 = forever)
 };
 
 Coord parse_coord(const std::string& key, const std::string& s) {
@@ -86,11 +101,13 @@ long parse_long(const std::string& key, const std::string& s) {
 }
 
 void print_usage(std::ostream& os) {
-  os << "usage: meshroutectl <map|decide|route> [flags]\n"
+  os << "usage: meshroutectl <map|decide|route|serve> [flags]\n"
         "commands:\n"
         "  map     build the fault world and render the block map\n"
         "  decide  evaluate the sufficient conditions for a (src, dst) pair\n"
         "  route   walk a packet from --src to --dst\n"
+        "  serve   run the epoch-snapshotted query server (DECIDE/ROUTE/INJECT/\n"
+        "          STATS/EPOCH/QUIT line protocol on stdin, --script, or --port)\n"
         "flags (accept both '--key value' and '--key=value'):\n"
         "  --n N                    mesh side                       (default 32)\n"
         "  --faults K               uniform random fault count      (default 0)\n"
@@ -109,6 +126,9 @@ void print_usage(std::ostream& os) {
         "  --ttl N                  ladder hop budget with --chaos  (0 = auto)\n"
         "  --trace FILE|-           write the run's event stream as Chrome trace-event\n"
         "                           JSON ('-' = stdout); load the file in Perfetto\n"
+        "  --script FILE            serve: read protocol requests from FILE\n"
+        "  --port P                 serve: listen on loopback TCP port P\n"
+        "  --max-conns C            serve: exit after C connections (default: forever)\n"
         "  --help                   print this message and exit\n";
 }
 
@@ -120,7 +140,8 @@ Options parse(int argc, char** argv) {
   if (argc < 2) throw std::invalid_argument("missing command (map|decide|route)");
   Options opt;
   opt.command = argv[1];
-  if (opt.command != "map" && opt.command != "decide" && opt.command != "route") {
+  if (opt.command != "map" && opt.command != "decide" && opt.command != "route" &&
+      opt.command != "serve") {
     throw std::invalid_argument("unknown command '" + opt.command + "'");
   }
 
@@ -204,6 +225,16 @@ Options parse(int argc, char** argv) {
     } else if (key == "--trace") {
       opt.trace = next_value(key, attached);
       if (opt.trace.empty()) throw std::invalid_argument("--trace expects a file name or '-'");
+    } else if (key == "--script") {
+      opt.script = next_value(key, attached);
+    } else if (key == "--port") {
+      opt.port = parse_long(key, next_value(key, attached));
+      if (*opt.port < 1 || *opt.port > 65535) {
+        throw std::invalid_argument("--port expects 1..65535");
+      }
+    } else if (key == "--max-conns") {
+      opt.max_conns = static_cast<int>(parse_long(key, next_value(key, attached)));
+      if (opt.max_conns < 1) throw std::invalid_argument("--max-conns must be >= 1");
     } else {
       throw std::invalid_argument("unknown flag '" + key + "'");
     }
@@ -213,6 +244,15 @@ Options parse(int argc, char** argv) {
   }
   if (opt.ttl != 0 && !opt.chaos) {
     throw std::invalid_argument("--ttl requires --chaos");
+  }
+  if ((opt.script || opt.port || opt.max_conns != -1) && opt.command != "serve") {
+    throw std::invalid_argument("--script/--port/--max-conns only apply to the serve command");
+  }
+  if (opt.script && opt.port) {
+    throw std::invalid_argument("--script and --port are mutually exclusive");
+  }
+  if (opt.max_conns != -1 && !opt.port) {
+    throw std::invalid_argument("--max-conns requires --port");
   }
   return opt;
 }
@@ -232,7 +272,45 @@ const char* decision_text(cond::Decision d) {
   return "unknown (sufficient conditions cannot tell)";
 }
 
+/// The serve command: seed a fault world, stand up the snapshot store, and
+/// speak the line protocol. Replies go to stdout; the world banner goes to
+/// stderr so scripted sessions can byte-compare stdout.
+int run_serve(const Options& opt) {
+  const Mesh2D mesh(opt.n, opt.n);
+  Rng rng(opt.seed);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, opt.faults, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+
+  serve::ServeConfig cfg;
+  cfg.model = opt.model;
+  if (opt.strategy) cfg.strategy = *opt.strategy;
+  cfg.strategy_cfg.segment_size = opt.segment;
+  if (opt.pivot_levels > 0) {
+    cfg.pivots = info::generate_pivots(mesh.bounds(), opt.pivot_levels,
+                                       info::PivotPlacement::Random, &rng);
+  }
+  serve::QueryServer server(builder, std::move(cfg));
+
+  std::cerr << "serving " << opt.n << "x" << opt.n << " mesh, " << faults.count()
+            << " seed faults, epoch " << builder.store().current_epoch() << "\n";
+  if (opt.port) {
+    return serve::serve_tcp(server, static_cast<std::uint16_t>(*opt.port), opt.max_conns);
+  }
+  if (opt.script) {
+    std::ifstream in(*opt.script);
+    if (!in) {
+      std::cerr << "error: cannot open --script file '" << *opt.script << "'\n";
+      return 2;
+    }
+    serve::run_session(server, in, std::cout);
+    return 0;
+  }
+  serve::run_session(server, std::cin, std::cout);
+  return 0;
+}
+
 int run_command(const Options& opt) {
+  if (opt.command == "serve") return run_serve(opt);
   FaultTolerantMesh ftm(opt.n, opt.n);
   Rng rng(opt.seed);
   const auto exclude = [&](Coord c) {
@@ -272,10 +350,17 @@ int run_command(const Options& opt) {
                                          info::PivotPlacement::Random, &rng);
   }
 
+  // All read-side queries below go through the consolidated query API
+  // (route/query.hpp) over the facade's view — the same surface the serve
+  // layer and the benches use.
+  const route::QueryView view = ftm.query_view();
+
   if (opt.command == "decide") {
     std::cout << "model: " << to_string(opt.model) << "\n";
     if (opt.strategy) {
-      const cond::Decision dec = ftm.decide_strategy(s, d, opt.model, *opt.strategy, dopts);
+      const cond::StrategyConfig cfg{.segment_size = opt.segment};
+      const cond::Decision dec =
+          route::decide_strategy(view, s, d, opt.model, *opt.strategy, dopts.pivots, cfg);
       std::cout << "decision (" << cond::to_string(*opt.strategy)
                 << "): " << decision_text(dec);
     } else {
@@ -285,7 +370,8 @@ int run_command(const Options& opt) {
       if (cert.method != Method::None) std::cout << "\n  via: " << to_string(cert.via);
     }
     std::cout << "\n  ground truth: minimal path "
-              << (ftm.minimal_path_exists(s, d) ? "exists" : "does not exist") << "\n";
+              << (route::minimal_path_exists(view, s, d) ? "exists" : "does not exist")
+              << "\n";
     return 0;
   }
 
@@ -341,7 +427,7 @@ int run_command(const Options& opt) {
   }
 
   // route
-  const auto r = ftm.route(s, d, opt.policy, &rng);
+  const auto r = route::route(view, s, d, opt.policy, &rng);
   if (!r.delivered()) {
     std::cout << "routing failed (" << (r.status == route::RouteStatus::SourceBlocked
                                             ? "endpoint inside a block"
