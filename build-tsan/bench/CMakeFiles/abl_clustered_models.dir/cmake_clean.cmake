@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_clustered_models.dir/abl_clustered_models.cpp.o"
+  "CMakeFiles/abl_clustered_models.dir/abl_clustered_models.cpp.o.d"
+  "abl_clustered_models"
+  "abl_clustered_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_clustered_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

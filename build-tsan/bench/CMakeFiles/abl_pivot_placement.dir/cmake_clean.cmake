@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pivot_placement.dir/abl_pivot_placement.cpp.o"
+  "CMakeFiles/abl_pivot_placement.dir/abl_pivot_placement.cpp.o.d"
+  "abl_pivot_placement"
+  "abl_pivot_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pivot_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

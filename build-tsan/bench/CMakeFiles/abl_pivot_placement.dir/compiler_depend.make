@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_pivot_placement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_router_info.dir/abl_router_info.cpp.o"
+  "CMakeFiles/abl_router_info.dir/abl_router_info.cpp.o.d"
+  "abl_router_info"
+  "abl_router_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_router_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_sweep.dir/chaos_sweep.cpp.o"
+  "CMakeFiles/chaos_sweep.dir/chaos_sweep.cpp.o.d"
+  "chaos_sweep"
+  "chaos_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_3d_meshes.dir/ext_3d_meshes.cpp.o"
+  "CMakeFiles/ext_3d_meshes.dir/ext_3d_meshes.cpp.o.d"
+  "ext_3d_meshes"
+  "ext_3d_meshes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_3d_meshes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mesh_scaling.dir/ext_mesh_scaling.cpp.o"
+  "CMakeFiles/ext_mesh_scaling.dir/ext_mesh_scaling.cpp.o.d"
+  "ext_mesh_scaling"
+  "ext_mesh_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mesh_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_affected_rows.dir/fig07_affected_rows.cpp.o"
+  "CMakeFiles/fig07_affected_rows.dir/fig07_affected_rows.cpp.o.d"
+  "fig07_affected_rows"
+  "fig07_affected_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_affected_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

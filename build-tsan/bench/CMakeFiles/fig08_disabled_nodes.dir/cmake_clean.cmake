@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_disabled_nodes.dir/fig08_disabled_nodes.cpp.o"
+  "CMakeFiles/fig08_disabled_nodes.dir/fig08_disabled_nodes.cpp.o.d"
+  "fig08_disabled_nodes"
+  "fig08_disabled_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_disabled_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_extension1.cpp" "bench/CMakeFiles/fig09_extension1.dir/fig09_extension1.cpp.o" "gcc" "bench/CMakeFiles/fig09_extension1.dir/fig09_extension1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/meshroute_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/experiment/CMakeFiles/meshroute_experiment.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/meshroute_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/route/CMakeFiles/meshroute_route.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cond/CMakeFiles/meshroute_cond.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simsub/CMakeFiles/meshroute_simsub.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/info/CMakeFiles/meshroute_info.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/meshroute_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/meshroute_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/meshroute_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/meshroute_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_extension1.dir/fig09_extension1.cpp.o"
+  "CMakeFiles/fig09_extension1.dir/fig09_extension1.cpp.o.d"
+  "fig09_extension1"
+  "fig09_extension1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_extension1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_extension2.dir/fig10_extension2.cpp.o"
+  "CMakeFiles/fig10_extension2.dir/fig10_extension2.cpp.o.d"
+  "fig10_extension2"
+  "fig10_extension2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_extension2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_extension3.dir/fig11_extension3.cpp.o"
+  "CMakeFiles/fig11_extension3.dir/fig11_extension3.cpp.o.d"
+  "fig11_extension3"
+  "fig11_extension3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_extension3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_strategies.dir/fig12_strategies.cpp.o"
+  "CMakeFiles/fig12_strategies.dir/fig12_strategies.cpp.o.d"
+  "fig12_strategies"
+  "fig12_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

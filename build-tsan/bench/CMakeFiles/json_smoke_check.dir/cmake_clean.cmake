@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_smoke_check.dir/json_smoke_check.cpp.o"
+  "CMakeFiles/json_smoke_check.dir/json_smoke_check.cpp.o.d"
+  "json_smoke_check"
+  "json_smoke_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_smoke_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

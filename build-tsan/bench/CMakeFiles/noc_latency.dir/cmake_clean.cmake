@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_latency.dir/noc_latency.cpp.o"
+  "CMakeFiles/noc_latency.dir/noc_latency.cpp.o.d"
+  "noc_latency"
+  "noc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_sweep.dir/serve_sweep.cpp.o"
+  "CMakeFiles/serve_sweep.dir/serve_sweep.cpp.o.d"
+  "serve_sweep"
+  "serve_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

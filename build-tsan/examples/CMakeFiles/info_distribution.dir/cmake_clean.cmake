@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/info_distribution.dir/info_distribution.cpp.o"
+  "CMakeFiles/info_distribution.dir/info_distribution.cpp.o.d"
+  "info_distribution"
+  "info_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/info_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_comparison.dir/mcc_comparison.cpp.o"
+  "CMakeFiles/mcc_comparison.dir/mcc_comparison.cpp.o.d"
+  "mcc_comparison"
+  "mcc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_packet_delivery.dir/noc_packet_delivery.cpp.o"
+  "CMakeFiles/noc_packet_delivery.dir/noc_packet_delivery.cpp.o.d"
+  "noc_packet_delivery"
+  "noc_packet_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_packet_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_reconfiguration.dir/online_reconfiguration.cpp.o"
+  "CMakeFiles/online_reconfiguration.dir/online_reconfiguration.cpp.o.d"
+  "online_reconfiguration"
+  "online_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

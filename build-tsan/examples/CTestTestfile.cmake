@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_smoke_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_smoke_quickstart PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_mcc_comparison "/root/repo/build-tsan/examples/mcc_comparison")
+set_tests_properties(example_smoke_mcc_comparison PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_info_distribution "/root/repo/build-tsan/examples/info_distribution")
+set_tests_properties(example_smoke_info_distribution PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_online_reconfiguration "/root/repo/build-tsan/examples/online_reconfiguration")
+set_tests_properties(example_smoke_online_reconfiguration PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_figure_gallery "/root/repo/build-tsan/examples/figure_gallery")
+set_tests_properties(example_smoke_figure_gallery PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("mesh")
+subdirs("mesh3d")
+subdirs("hypercube")
+subdirs("fault")
+subdirs("info")
+subdirs("simsub")
+subdirs("dynamic")
+subdirs("netsim")
+subdirs("cond")
+subdirs("route")
+subdirs("chaos")
+subdirs("render")
+subdirs("analysis")
+subdirs("experiment")
+subdirs("serve")
+subdirs("core")

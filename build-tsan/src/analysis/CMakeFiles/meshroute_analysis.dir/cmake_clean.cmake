@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_analysis.dir/stats.cpp.o"
+  "CMakeFiles/meshroute_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/meshroute_analysis.dir/theorem2.cpp.o"
+  "CMakeFiles/meshroute_analysis.dir/theorem2.cpp.o.d"
+  "libmeshroute_analysis.a"
+  "libmeshroute_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

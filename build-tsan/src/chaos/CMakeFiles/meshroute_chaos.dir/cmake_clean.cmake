@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_chaos.dir/chaos_engine.cpp.o"
+  "CMakeFiles/meshroute_chaos.dir/chaos_engine.cpp.o.d"
+  "CMakeFiles/meshroute_chaos.dir/fault_schedule.cpp.o"
+  "CMakeFiles/meshroute_chaos.dir/fault_schedule.cpp.o.d"
+  "libmeshroute_chaos.a"
+  "libmeshroute_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

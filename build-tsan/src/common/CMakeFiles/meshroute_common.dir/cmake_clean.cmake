@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_common.dir/bitgrid.cpp.o"
+  "CMakeFiles/meshroute_common.dir/bitgrid.cpp.o.d"
+  "CMakeFiles/meshroute_common.dir/coord.cpp.o"
+  "CMakeFiles/meshroute_common.dir/coord.cpp.o.d"
+  "CMakeFiles/meshroute_common.dir/rect.cpp.o"
+  "CMakeFiles/meshroute_common.dir/rect.cpp.o.d"
+  "CMakeFiles/meshroute_common.dir/rng.cpp.o"
+  "CMakeFiles/meshroute_common.dir/rng.cpp.o.d"
+  "libmeshroute_common.a"
+  "libmeshroute_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_cond.dir/conditions.cpp.o"
+  "CMakeFiles/meshroute_cond.dir/conditions.cpp.o.d"
+  "CMakeFiles/meshroute_cond.dir/strategies.cpp.o"
+  "CMakeFiles/meshroute_cond.dir/strategies.cpp.o.d"
+  "CMakeFiles/meshroute_cond.dir/wang.cpp.o"
+  "CMakeFiles/meshroute_cond.dir/wang.cpp.o.d"
+  "libmeshroute_cond.a"
+  "libmeshroute_cond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_cond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

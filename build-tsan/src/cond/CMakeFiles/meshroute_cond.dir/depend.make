@@ -1,0 +1,2 @@
+# Empty dependencies file for meshroute_cond.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_core.dir/fault_tolerant_mesh.cpp.o"
+  "CMakeFiles/meshroute_core.dir/fault_tolerant_mesh.cpp.o.d"
+  "libmeshroute_core.a"
+  "libmeshroute_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

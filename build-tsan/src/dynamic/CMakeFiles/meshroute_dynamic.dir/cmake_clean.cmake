@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_dynamic.dir/dynamic_state.cpp.o"
+  "CMakeFiles/meshroute_dynamic.dir/dynamic_state.cpp.o.d"
+  "libmeshroute_dynamic.a"
+  "libmeshroute_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_experiment.dir/json.cpp.o"
+  "CMakeFiles/meshroute_experiment.dir/json.cpp.o.d"
+  "CMakeFiles/meshroute_experiment.dir/sweep.cpp.o"
+  "CMakeFiles/meshroute_experiment.dir/sweep.cpp.o.d"
+  "CMakeFiles/meshroute_experiment.dir/table.cpp.o"
+  "CMakeFiles/meshroute_experiment.dir/table.cpp.o.d"
+  "CMakeFiles/meshroute_experiment.dir/trial.cpp.o"
+  "CMakeFiles/meshroute_experiment.dir/trial.cpp.o.d"
+  "libmeshroute_experiment.a"
+  "libmeshroute_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/block_model.cpp" "src/fault/CMakeFiles/meshroute_fault.dir/block_model.cpp.o" "gcc" "src/fault/CMakeFiles/meshroute_fault.dir/block_model.cpp.o.d"
+  "/root/repo/src/fault/fault_set.cpp" "src/fault/CMakeFiles/meshroute_fault.dir/fault_set.cpp.o" "gcc" "src/fault/CMakeFiles/meshroute_fault.dir/fault_set.cpp.o.d"
+  "/root/repo/src/fault/mcc_model.cpp" "src/fault/CMakeFiles/meshroute_fault.dir/mcc_model.cpp.o" "gcc" "src/fault/CMakeFiles/meshroute_fault.dir/mcc_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/meshroute_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/meshroute_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_fault.dir/block_model.cpp.o"
+  "CMakeFiles/meshroute_fault.dir/block_model.cpp.o.d"
+  "CMakeFiles/meshroute_fault.dir/fault_set.cpp.o"
+  "CMakeFiles/meshroute_fault.dir/fault_set.cpp.o.d"
+  "CMakeFiles/meshroute_fault.dir/mcc_model.cpp.o"
+  "CMakeFiles/meshroute_fault.dir/mcc_model.cpp.o.d"
+  "libmeshroute_fault.a"
+  "libmeshroute_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_hypercube.dir/hypercube.cpp.o"
+  "CMakeFiles/meshroute_hypercube.dir/hypercube.cpp.o.d"
+  "libmeshroute_hypercube.a"
+  "libmeshroute_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_info.dir/boundary.cpp.o"
+  "CMakeFiles/meshroute_info.dir/boundary.cpp.o.d"
+  "CMakeFiles/meshroute_info.dir/pivots.cpp.o"
+  "CMakeFiles/meshroute_info.dir/pivots.cpp.o.d"
+  "CMakeFiles/meshroute_info.dir/regions.cpp.o"
+  "CMakeFiles/meshroute_info.dir/regions.cpp.o.d"
+  "CMakeFiles/meshroute_info.dir/safety_level.cpp.o"
+  "CMakeFiles/meshroute_info.dir/safety_level.cpp.o.d"
+  "libmeshroute_info.a"
+  "libmeshroute_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

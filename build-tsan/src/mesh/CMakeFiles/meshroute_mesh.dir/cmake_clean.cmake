@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_mesh.dir/frame.cpp.o"
+  "CMakeFiles/meshroute_mesh.dir/frame.cpp.o.d"
+  "CMakeFiles/meshroute_mesh.dir/mesh2d.cpp.o"
+  "CMakeFiles/meshroute_mesh.dir/mesh2d.cpp.o.d"
+  "libmeshroute_mesh.a"
+  "libmeshroute_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh3d/block3.cpp" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/block3.cpp.o" "gcc" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/block3.cpp.o.d"
+  "/root/repo/src/mesh3d/cond3.cpp" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/cond3.cpp.o" "gcc" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/cond3.cpp.o.d"
+  "/root/repo/src/mesh3d/coord3.cpp" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/coord3.cpp.o" "gcc" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/coord3.cpp.o.d"
+  "/root/repo/src/mesh3d/mesh3d.cpp" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/mesh3d.cpp.o" "gcc" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/mesh3d.cpp.o.d"
+  "/root/repo/src/mesh3d/safety3.cpp" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/safety3.cpp.o" "gcc" "src/mesh3d/CMakeFiles/meshroute_mesh3d.dir/safety3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/meshroute_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

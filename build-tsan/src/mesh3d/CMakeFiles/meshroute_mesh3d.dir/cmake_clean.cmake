@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_mesh3d.dir/block3.cpp.o"
+  "CMakeFiles/meshroute_mesh3d.dir/block3.cpp.o.d"
+  "CMakeFiles/meshroute_mesh3d.dir/cond3.cpp.o"
+  "CMakeFiles/meshroute_mesh3d.dir/cond3.cpp.o.d"
+  "CMakeFiles/meshroute_mesh3d.dir/coord3.cpp.o"
+  "CMakeFiles/meshroute_mesh3d.dir/coord3.cpp.o.d"
+  "CMakeFiles/meshroute_mesh3d.dir/mesh3d.cpp.o"
+  "CMakeFiles/meshroute_mesh3d.dir/mesh3d.cpp.o.d"
+  "CMakeFiles/meshroute_mesh3d.dir/safety3.cpp.o"
+  "CMakeFiles/meshroute_mesh3d.dir/safety3.cpp.o.d"
+  "libmeshroute_mesh3d.a"
+  "libmeshroute_mesh3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_mesh3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for meshroute_mesh3d.
+# This may be replaced when dependencies are built.

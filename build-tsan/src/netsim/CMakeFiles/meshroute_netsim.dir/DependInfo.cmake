@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/wormhole.cpp" "src/netsim/CMakeFiles/meshroute_netsim.dir/wormhole.cpp.o" "gcc" "src/netsim/CMakeFiles/meshroute_netsim.dir/wormhole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/route/CMakeFiles/meshroute_route.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cond/CMakeFiles/meshroute_cond.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/meshroute_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/meshroute_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/meshroute_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/meshroute_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/info/CMakeFiles/meshroute_info.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

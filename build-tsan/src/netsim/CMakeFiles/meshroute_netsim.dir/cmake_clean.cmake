@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_netsim.dir/wormhole.cpp.o"
+  "CMakeFiles/meshroute_netsim.dir/wormhole.cpp.o.d"
+  "libmeshroute_netsim.a"
+  "libmeshroute_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_obs.dir/export.cpp.o"
+  "CMakeFiles/meshroute_obs.dir/export.cpp.o.d"
+  "CMakeFiles/meshroute_obs.dir/metrics.cpp.o"
+  "CMakeFiles/meshroute_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/meshroute_obs.dir/trace.cpp.o"
+  "CMakeFiles/meshroute_obs.dir/trace.cpp.o.d"
+  "libmeshroute_obs.a"
+  "libmeshroute_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

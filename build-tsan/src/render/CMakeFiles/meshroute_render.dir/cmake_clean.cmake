@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_render.dir/render.cpp.o"
+  "CMakeFiles/meshroute_render.dir/render.cpp.o.d"
+  "libmeshroute_render.a"
+  "libmeshroute_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmeshroute_render.a"
+)

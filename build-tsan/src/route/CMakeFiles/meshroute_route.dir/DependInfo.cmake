@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/ladder.cpp" "src/route/CMakeFiles/meshroute_route.dir/ladder.cpp.o" "gcc" "src/route/CMakeFiles/meshroute_route.dir/ladder.cpp.o.d"
+  "/root/repo/src/route/path.cpp" "src/route/CMakeFiles/meshroute_route.dir/path.cpp.o" "gcc" "src/route/CMakeFiles/meshroute_route.dir/path.cpp.o.d"
+  "/root/repo/src/route/query.cpp" "src/route/CMakeFiles/meshroute_route.dir/query.cpp.o" "gcc" "src/route/CMakeFiles/meshroute_route.dir/query.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/meshroute_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/meshroute_route.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cond/CMakeFiles/meshroute_cond.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/info/CMakeFiles/meshroute_info.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/meshroute_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/meshroute_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/meshroute_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/meshroute_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

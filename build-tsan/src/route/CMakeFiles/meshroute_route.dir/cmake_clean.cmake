@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_route.dir/ladder.cpp.o"
+  "CMakeFiles/meshroute_route.dir/ladder.cpp.o.d"
+  "CMakeFiles/meshroute_route.dir/path.cpp.o"
+  "CMakeFiles/meshroute_route.dir/path.cpp.o.d"
+  "CMakeFiles/meshroute_route.dir/query.cpp.o"
+  "CMakeFiles/meshroute_route.dir/query.cpp.o.d"
+  "CMakeFiles/meshroute_route.dir/router.cpp.o"
+  "CMakeFiles/meshroute_route.dir/router.cpp.o.d"
+  "libmeshroute_route.a"
+  "libmeshroute_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

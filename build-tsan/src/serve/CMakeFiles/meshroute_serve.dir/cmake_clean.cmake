@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_serve.dir/builder.cpp.o"
+  "CMakeFiles/meshroute_serve.dir/builder.cpp.o.d"
+  "CMakeFiles/meshroute_serve.dir/protocol.cpp.o"
+  "CMakeFiles/meshroute_serve.dir/protocol.cpp.o.d"
+  "CMakeFiles/meshroute_serve.dir/server.cpp.o"
+  "CMakeFiles/meshroute_serve.dir/server.cpp.o.d"
+  "CMakeFiles/meshroute_serve.dir/snapshot.cpp.o"
+  "CMakeFiles/meshroute_serve.dir/snapshot.cpp.o.d"
+  "CMakeFiles/meshroute_serve.dir/store.cpp.o"
+  "CMakeFiles/meshroute_serve.dir/store.cpp.o.d"
+  "libmeshroute_serve.a"
+  "libmeshroute_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroute_simsub.dir/protocols.cpp.o"
+  "CMakeFiles/meshroute_simsub.dir/protocols.cpp.o.d"
+  "libmeshroute_simsub.a"
+  "libmeshroute_simsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroute_simsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitgrid.dir/test_bitgrid.cpp.o"
+  "CMakeFiles/test_bitgrid.dir/test_bitgrid.cpp.o.d"
+  "test_bitgrid"
+  "test_bitgrid.pdb"
+  "test_bitgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

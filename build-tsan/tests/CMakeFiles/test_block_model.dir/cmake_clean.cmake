@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_model.dir/test_block_model.cpp.o"
+  "CMakeFiles/test_block_model.dir/test_block_model.cpp.o.d"
+  "test_block_model"
+  "test_block_model.pdb"
+  "test_block_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

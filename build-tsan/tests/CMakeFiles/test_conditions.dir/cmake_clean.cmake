@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conditions.dir/test_conditions.cpp.o"
+  "CMakeFiles/test_conditions.dir/test_conditions.cpp.o.d"
+  "test_conditions"
+  "test_conditions.pdb"
+  "test_conditions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_set.dir/test_fault_set.cpp.o"
+  "CMakeFiles/test_fault_set.dir/test_fault_set.cpp.o.d"
+  "test_fault_set"
+  "test_fault_set.pdb"
+  "test_fault_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcc_model.dir/test_mcc_model.cpp.o"
+  "CMakeFiles/test_mcc_model.dir/test_mcc_model.cpp.o.d"
+  "test_mcc_model"
+  "test_mcc_model.pdb"
+  "test_mcc_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

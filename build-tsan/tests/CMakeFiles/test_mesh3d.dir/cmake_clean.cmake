@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh3d.dir/test_mesh3d.cpp.o"
+  "CMakeFiles/test_mesh3d.dir/test_mesh3d.cpp.o.d"
+  "test_mesh3d"
+  "test_mesh3d.pdb"
+  "test_mesh3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

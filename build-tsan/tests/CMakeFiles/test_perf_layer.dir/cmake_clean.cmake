@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_layer.dir/test_perf_layer.cpp.o"
+  "CMakeFiles/test_perf_layer.dir/test_perf_layer.cpp.o.d"
+  "test_perf_layer"
+  "test_perf_layer.pdb"
+  "test_perf_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regions_pivots.dir/test_regions_pivots.cpp.o"
+  "CMakeFiles/test_regions_pivots.dir/test_regions_pivots.cpp.o.d"
+  "test_regions_pivots"
+  "test_regions_pivots.pdb"
+  "test_regions_pivots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regions_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

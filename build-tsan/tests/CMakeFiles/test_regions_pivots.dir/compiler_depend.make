@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_regions_pivots.
+# This may be replaced when dependencies are built.

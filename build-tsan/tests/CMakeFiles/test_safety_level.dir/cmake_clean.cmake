@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safety_level.dir/test_safety_level.cpp.o"
+  "CMakeFiles/test_safety_level.dir/test_safety_level.cpp.o.d"
+  "test_safety_level"
+  "test_safety_level.pdb"
+  "test_safety_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safety_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simsub.dir/test_simsub.cpp.o"
+  "CMakeFiles/test_simsub.dir/test_simsub.cpp.o.d"
+  "test_simsub"
+  "test_simsub.pdb"
+  "test_simsub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

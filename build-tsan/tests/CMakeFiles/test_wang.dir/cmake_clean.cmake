@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wang.dir/test_wang.cpp.o"
+  "CMakeFiles/test_wang.dir/test_wang.cpp.o.d"
+  "test_wang"
+  "test_wang.pdb"
+  "test_wang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_off_probe.dir/trace_off_probe.cpp.o"
+  "CMakeFiles/trace_off_probe.dir/trace_off_probe.cpp.o.d"
+  "trace_off_probe"
+  "trace_off_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_off_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshroutectl.dir/meshroutectl.cpp.o"
+  "CMakeFiles/meshroutectl.dir/meshroutectl.cpp.o.d"
+  "meshroutectl"
+  "meshroutectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshroutectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

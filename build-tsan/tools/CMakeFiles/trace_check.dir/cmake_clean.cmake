@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_check.dir/trace_check.cpp.o"
+  "CMakeFiles/trace_check.dir/trace_check.cpp.o.d"
+  "trace_check"
+  "trace_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
