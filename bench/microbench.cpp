@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/bitgrid.hpp"
+#include "common/simd.hpp"
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
 #include "experiment/json.hpp"
@@ -219,6 +220,55 @@ int main(int argc, char** argv) {
     sink = experiment::make_trial({.n = kSide, .faults = kFaults}, trial_rng, ws)
                .fb_mask[far_dest];
   });
+
+  // batch8_* time one 8-lane SoA call, so their medians are per-BATCH: divide
+  // by 8 to compare with the single-lane kernels above. prebuild8_trials is
+  // the full --batch=8 sweep-worker prebuild (8 whole trials per call).
+  constexpr int kLanes = 8;
+  std::vector<fault::FaultSet> lane_faults;
+  Rng lane_rng(0xba7c4);
+  for (int l = 0; l < kLanes; ++l) {
+    lane_faults.push_back(fault::uniform_random_faults(mesh, kFaults, lane_rng,
+                                                       [&](Coord c) { return c == source; }));
+  }
+  std::vector<const fault::FaultSet*> lane_in;
+  std::vector<fault::BlockSet> lane_blocks(kLanes);
+  std::vector<fault::BlockSet*> lane_blocks_out;
+  std::vector<fault::MccSet> lane_mcc(kLanes);
+  std::vector<fault::MccSet*> lane_mcc_out;
+  for (int l = 0; l < kLanes; ++l) {
+    lane_in.push_back(&lane_faults[static_cast<std::size_t>(l)]);
+    lane_blocks_out.push_back(&lane_blocks[static_cast<std::size_t>(l)]);
+    lane_mcc_out.push_back(&lane_mcc[static_cast<std::size_t>(l)]);
+  }
+  bench("batch8_block_build", 8, [&] {
+    fault::build_faulty_blocks_batch(mesh, lane_in, lane_blocks_out, block_scratch);
+  });
+  bench("batch8_mcc_build", 8, [&] {
+    fault::build_mcc_batch(mesh, lane_in, fault::MccKind::TypeOne, lane_mcc_out, mcc_scratch);
+  });
+  core::BitGridBatch blocked_batch(mesh.width(), mesh.height(), kLanes);
+  for (int l = 0; l < kLanes; ++l) {
+    for (const Coord f : lane_faults[static_cast<std::size_t>(l)].faults()) {
+      blocked_batch.set(l, f);
+    }
+  }
+  core::BitGridBatch reach_batch;
+  bench("batch8_reach", 32, [&] {
+    cond::monotone_reachability_batch(mesh, blocked_batch, source, reach_batch);
+  });
+  const std::vector<experiment::TrialConfig> lane_configs(
+      kLanes, experiment::TrialConfig{.n = kSide, .faults = kFaults});
+  std::vector<Rng> lane_rngs;
+  experiment::TrialWorkspace batch_ws;
+  std::uint64_t prebuild_salt = 0;
+  bench("prebuild8_trials", 2, [&] {
+    lane_rngs.clear();
+    for (int l = 0; l < kLanes; ++l) {
+      lane_rngs.emplace_back(seed_combine(0x94eb1d, ++prebuild_salt));
+    }
+    experiment::prebuild_trials(lane_configs, lane_rngs, batch_ws);
+  });
   (void)sink;
 
   std::printf("%-16s %8s %12s %12s %12s\n", "kernel", "iters", "median_us", "min_us",
@@ -245,6 +295,7 @@ int main(int argc, char** argv) {
     meta["compiler"] = MESHROUTE_COMPILER;
     meta["threads"] = static_cast<double>(std::thread::hardware_concurrency());
     meta["trace_enabled"] = MESHROUTE_TRACE_ENABLED != 0;
+    meta["simd"] = std::string(core::simd::tier_name(core::simd::active_tier()));
     experiment::json::Value::Object doc;
     doc["bench"] = "core";
     doc["n"] = static_cast<double>(kSide);

@@ -62,9 +62,61 @@ void BitGrid::unpack(Grid<bool>& g) const {
   }
 }
 
+namespace {
+
+/// Transpose an 8x8 bit matrix packed row-per-byte into one uint64 (bit j of
+/// byte i -> bit i of byte j). Three delta-swap rounds (Hacker's Delight 7-3).
+[[nodiscard]] std::uint64_t transpose8x8(std::uint64_t x) noexcept {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAULL;
+  x ^= t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCULL;
+  x ^= t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ULL;
+  x ^= t ^ (t << 28);
+  return x;
+}
+
+}  // namespace
+
 void BitGrid::transpose_into(BitGrid& out) const {
   out.resize(height_, width_);
-  for_each_set([&](Coord c) { out.set({c.y, c.x}); });
+  // Cache-tiled 8x8-block transpose: each step gathers byte `b` of eight
+  // consecutive source rows into one uint64, bit-transposes it, and scatters
+  // the eight result bytes into eight consecutive output rows at byte
+  // position y/8. Tiles of 64 output rows (one source word column) keep the
+  // scattered output words resident; short source rows (y % 8 tail) gather
+  // zeros, and output tail bits stay zero because they come from y >= height
+  // gathers. Replaces the per-set-bit scatter, which cost one dependent
+  // store per bit.
+  const std::size_t out_wpr = out.wpr_;
+  for (Dist y0 = 0; y0 < height_; y0 += 8) {
+    const int rows = static_cast<int>(height_ - y0 < 8 ? height_ - y0 : 8);
+    const std::size_t out_word = static_cast<std::size_t>(y0) >> 6;
+    const int out_shift = static_cast<int>(y0 & 63);  // multiple of 8
+    for (std::size_t j = 0; j < wpr_; ++j) {
+      const Dist x_hi = width_ - static_cast<Dist>(j * 64) < 64
+                            ? width_ - static_cast<Dist>(j * 64)
+                            : Dist{64};
+      for (Dist xb = 0; xb < x_hi; xb += 8) {
+        std::uint64_t block = 0;
+        for (int r = 0; r < rows; ++r) {
+          const std::uint64_t w = row(y0 + r)[j];
+          block |= ((w >> xb) & 0xFF) << (8 * r);
+        }
+        if (block == 0) continue;
+        const std::uint64_t t = transpose8x8(block);
+        const Dist x_base = static_cast<Dist>(j * 64) + xb;
+        const int cols = static_cast<int>(width_ - x_base < 8 ? width_ - x_base : 8);
+        for (int c = 0; c < cols; ++c) {
+          const std::uint64_t byte = (t >> (8 * c)) & 0xFF;
+          if (byte != 0) {
+            out.words_[static_cast<std::size_t>(x_base + c) * out_wpr + out_word] |=
+                byte << out_shift;
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace meshroute::core

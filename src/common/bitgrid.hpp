@@ -30,6 +30,12 @@ class BitGrid {
   BitGrid() = default;
   BitGrid(Dist width, Dist height) { resize(width, height); }
 
+  /// Extra zero words allocated past the last row so SIMD kernels may issue
+  /// full-vector loads/stores at any in-row word index. The padding is part
+  /// of the tail-bit invariant: it is zero after resize() and every kernel's
+  /// masked tail store preserves it (asserted by tests/test_simd.cpp).
+  static constexpr std::size_t kRowPad = 7;
+
   /// Rebind to new dimensions and zero every bit; reuses capacity, so
   /// steady-state reshapes to the same size allocate nothing.
   void resize(Dist width, Dist height) {
@@ -39,7 +45,7 @@ class BitGrid {
     wpr_ = (static_cast<std::size_t>(width) + 63) / 64;
     const int tail_bits = static_cast<int>(static_cast<std::size_t>(width) - 64 * (wpr_ - 1));
     tail_ = width == 0 ? 0 : (tail_bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail_bits) - 1);
-    words_.assign(wpr_ * static_cast<std::size_t>(height), 0);
+    words_.assign(wpr_ * static_cast<std::size_t>(height) + kRowPad, 0);
   }
 
   [[nodiscard]] Dist width() const noexcept { return width_; }

@@ -1,0 +1,112 @@
+// Structure-of-arrays batch of bit planes: `lanes` independent trials'
+// BitGrids over the SAME (width, height), interleaved word-by-word so one
+// vector op advances every trial at once (DESIGN §12).
+//
+// Layout: word j of row y of lane l lives at
+//     words_[(y * words_per_row() + j) * lane_stride() + l]
+// i.e. the innermost axis is the lane. lane_stride() rounds the lane count
+// up to a multiple of 8 so kernels always operate on whole u64x8 groups with
+// no tail masking in the lane dimension; padding lanes are all-zero planes
+// and stay that way under every kernel (an empty plane is a fixpoint of all
+// the sweeps), so they never perturb convergence checks.
+//
+// The per-word tail-bit invariant of BitGrid carries over per lane: the
+// unused high bits of word words_per_row()-1 are zero in every lane.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/bitgrid.hpp"
+#include "common/coord.hpp"
+
+namespace meshroute::core {
+
+class BitGridBatch {
+ public:
+  BitGridBatch() = default;
+  BitGridBatch(Dist width, Dist height, int lanes) { resize(width, height, lanes); }
+
+  /// Rebind to new dimensions / lane count and zero every bit (including
+  /// padding lanes); reuses capacity like BitGrid::resize.
+  void resize(Dist width, Dist height, int lanes) {
+    assert(width >= 0 && height >= 0 && lanes >= 1);
+    width_ = width;
+    height_ = height;
+    lanes_ = lanes;
+    stride_ = static_cast<std::size_t>((lanes + 7) & ~7);
+    wpr_ = (static_cast<std::size_t>(width) + 63) / 64;
+    const int tail_bits = static_cast<int>(static_cast<std::size_t>(width) - 64 * (wpr_ - 1));
+    tail_ = width == 0 ? 0 : (tail_bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail_bits) - 1);
+    words_.assign(wpr_ * static_cast<std::size_t>(height) * stride_ + stride_, 0);
+  }
+
+  [[nodiscard]] Dist width() const noexcept { return width_; }
+  [[nodiscard]] Dist height() const noexcept { return height_; }
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+  /// Lane axis length in memory (lanes rounded up to a multiple of 8).
+  [[nodiscard]] std::size_t lane_stride() const noexcept { return stride_; }
+  [[nodiscard]] std::size_t words_per_row() const noexcept { return wpr_; }
+  [[nodiscard]] std::uint64_t tail_mask() const noexcept { return tail_; }
+
+  void clear() { std::memset(words_.data(), 0, words_.size() * sizeof(std::uint64_t)); }
+
+  /// First word group of row y: the lane_stride() copies of word 0.
+  [[nodiscard]] std::uint64_t* row(Dist y) noexcept {
+    assert(y >= 0 && y < height_);
+    return words_.data() + static_cast<std::size_t>(y) * wpr_ * stride_;
+  }
+  [[nodiscard]] const std::uint64_t* row(Dist y) const noexcept {
+    assert(y >= 0 && y < height_);
+    return words_.data() + static_cast<std::size_t>(y) * wpr_ * stride_;
+  }
+
+  /// Copy a full single-lane plane into lane `l`. Dimensions must match.
+  void load_lane(int l, const BitGrid& src) {
+    assert(l >= 0 && l < lanes_);
+    assert(src.width() == width_ && src.height() == height_);
+    for (Dist y = 0; y < height_; ++y) {
+      const std::uint64_t* s = src.row(y);
+      std::uint64_t* d = row(y) + static_cast<std::size_t>(l);
+      for (std::size_t j = 0; j < wpr_; ++j) d[j * stride_] = s[j];
+    }
+  }
+
+  /// Copy lane `l` out into a single-lane plane (resized to match).
+  void extract_lane(int l, BitGrid& dst) const {
+    assert(l >= 0 && l < lanes_);
+    dst.resize(width_, height_);
+    for (Dist y = 0; y < height_; ++y) {
+      const std::uint64_t* s = row(y) + static_cast<std::size_t>(l);
+      std::uint64_t* d = dst.row(y);
+      for (std::size_t j = 0; j < wpr_; ++j) d[j] = s[j * stride_];
+    }
+  }
+
+  [[nodiscard]] bool test(int l, Coord c) const noexcept {
+    assert(l >= 0 && l < lanes_);
+    assert(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_);
+    const std::uint64_t w =
+        row(c.y)[(static_cast<std::size_t>(c.x) >> 6) * stride_ + static_cast<std::size_t>(l)];
+    return (w >> (c.x & 63)) & 1;
+  }
+  void set(int l, Coord c) noexcept {
+    assert(l >= 0 && l < lanes_);
+    assert(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_);
+    row(c.y)[(static_cast<std::size_t>(c.x) >> 6) * stride_ + static_cast<std::size_t>(l)] |=
+        std::uint64_t{1} << (c.x & 63);
+  }
+
+ private:
+  Dist width_ = 0;
+  Dist height_ = 0;
+  int lanes_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t wpr_ = 0;
+  std::uint64_t tail_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace meshroute::core

@@ -3,6 +3,7 @@
 // bit-identically run to run.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <stdexcept>
@@ -27,6 +28,17 @@ namespace meshroute {
                                                   std::uint64_t component) noexcept {
   return splitmix64(seed ^ splitmix64(component));
 }
+
+/// Epoch-stamped open-addressing map of displaced Fisher-Yates entries for
+/// Rng::sample_distinct_sparse: a call touches O(k) slots, and bumping the
+/// epoch invalidates them all without clearing, so steady-state sampling
+/// does no O(n) work at all.
+struct SparseSampleScratch {
+  std::vector<std::int64_t> keys;
+  std::vector<std::int64_t> vals;
+  std::vector<std::uint32_t> stamps;
+  std::uint32_t epoch = 0;
+};
 
 /// Thin deterministic wrapper over mt19937_64 with the handful of draws the
 /// simulators need. Copyable so a trial can fork an independent stream.
@@ -72,6 +84,56 @@ class Rng {
       const auto j = uniform(i, n - 1);
       std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
       out.push_back(pool[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  /// Sparse partial Fisher-Yates: DRAW-IDENTICAL to sample_distinct (the
+  /// same k uniform(i, n-1) calls, the same sample) but O(k) time and memory
+  /// instead of O(n) — the virtual pool "index i holds i" is materialized
+  /// only at the O(k) displaced positions, kept in an epoch-stamped hash map
+  /// so repeated calls never pay an O(n) clear. The swap pool[i] <-> pool[j]
+  /// becomes: emit map_get(j), then map_put(j, map_get(i)); position i is
+  /// never read again, so its half of the swap is dropped.
+  void sample_distinct_sparse(std::int64_t n, std::int64_t k, SparseSampleScratch& s,
+                              std::vector<std::int64_t>& out) {
+    if (k < 0 || k > n) {
+      throw std::invalid_argument("Rng::sample_distinct_sparse: k out of range");
+    }
+    std::size_t cap = 16;
+    while (cap < static_cast<std::size_t>(k) * 2) cap <<= 1;
+    if (s.stamps.size() != cap) {
+      s.keys.assign(cap, 0);
+      s.vals.assign(cap, 0);
+      s.stamps.assign(cap, 0);
+      s.epoch = 0;
+    }
+    if (++s.epoch == 0) {  // stamp wrap: one real clear every 2^32 calls
+      std::fill(s.stamps.begin(), s.stamps.end(), 0);
+      s.epoch = 1;
+    }
+    const std::size_t mask = cap - 1;
+    const auto find_slot = [&](std::int64_t key) {
+      std::size_t h = static_cast<std::size_t>(
+                          splitmix64(static_cast<std::uint64_t>(key))) &
+                      mask;
+      while (s.stamps[h] == s.epoch && s.keys[h] != key) h = (h + 1) & mask;
+      return h;
+    };
+    const auto get = [&](std::int64_t idx) {
+      const std::size_t h = find_slot(idx);
+      return s.stamps[h] == s.epoch ? s.vals[h] : idx;
+    };
+    out.clear();
+    out.reserve(static_cast<std::size_t>(k));
+    for (std::int64_t i = 0; i < k; ++i) {
+      const auto j = uniform(i, n - 1);
+      const std::int64_t vj = get(j);
+      const std::int64_t vi = get(i);
+      const std::size_t h = find_slot(j);
+      s.keys[h] = j;
+      s.vals[h] = vi;
+      s.stamps[h] = s.epoch;
+      out.push_back(vj);
     }
   }
 

@@ -1,0 +1,124 @@
+// SIMD tier layer under core::BitGrid (DESIGN §12): the grid-level sweep
+// kernels behind the fault-model fixpoints, the reachability oracle, and the
+// safety-level fill, each available in three tiers selected once per process:
+//
+//   * Scalar  — the PR-5 word-loop kernels (one uint64 lane at a time). The
+//     equivalence oracle for the other tiers, and the MESHROUTE_SIMD=scalar
+//     escape hatch.
+//   * Generic — the same kernels written against GCC vector extensions
+//     (u64x4 / i32x8 lanes) compiled at the baseline ISA. Portable: on
+//     x86-64 it lowers to SSE2, elsewhere to whatever the target has.
+//   * Native  — the identical vector-extension source compiled under
+//     __attribute__((target("avx2"))), selected at runtime only when
+//     __builtin_cpu_supports("avx2") says so. Compiled in only when the
+//     MESHROUTE_SIMD CMake option is ON (the default).
+//
+// Tier resolution: the MESHROUTE_SIMD environment variable ("scalar",
+// "generic", "native") forces a tier; otherwise the best available one runs
+// (native if compiled in and the CPU agrees, else generic). A forced
+// "native" silently degrades to generic when unsupported, so the dispatch
+// ctest can run the same command line everywhere. force_tier() overrides
+// both for in-process tests.
+//
+// All tiers produce BIT-IDENTICAL fixpoints (tests/test_simd.cpp and the
+// simd_dispatch ctest assert byte equality); only throughput differs.
+//
+// The batch entry points run the same sweeps over a core::BitGridBatch —
+// 8-64 independent trials' planes interleaved word-by-word — where every
+// word-at-a-time operation becomes one vector op across lanes with no
+// cross-lane carries at all (lanes are independent meshes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitgrid.hpp"
+#include "common/bitgrid_batch.hpp"
+#include "common/coord.hpp"
+
+namespace meshroute::core::simd {
+
+enum class Tier : std::uint8_t { Scalar = 0, Generic = 1, Native = 2 };
+
+/// Stable lowercase tier name ("scalar"/"generic"/"native") — the value the
+/// MESHROUTE_SIMD env var accepts and microbench's meta.simd field records.
+[[nodiscard]] const char* tier_name(Tier t) noexcept;
+
+/// True when the native (AVX2) tier was compiled in (MESHROUTE_SIMD=ON).
+[[nodiscard]] bool native_compiled() noexcept;
+/// True when the native tier is compiled in AND this CPU supports it.
+[[nodiscard]] bool native_supported() noexcept;
+
+/// The tier the kernels below dispatch to. Resolved once from the
+/// MESHROUTE_SIMD env var / CPU probe; force_tier() overrides it.
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// Test hook: pin the dispatch to `t` (degrading Native to Generic when
+/// unsupported) for the rest of the process, returning the tier actually
+/// installed. Not thread-safe against concurrent kernel calls.
+Tier force_tier(Tier t) noexcept;
+
+/// Reusable per-thread buffers for the row kernels. All vectors are plain
+/// uint64/int32 storage, resized (and retained) by the kernels themselves.
+struct SweepScratch {
+  std::vector<std::uint64_t> row_a;   ///< generic row buffer (vmask/allowed)
+  std::vector<std::uint64_t> row_b;   ///< generic row buffer (seeds)
+  std::vector<std::uint64_t> row_c;   ///< generic row buffer (fills)
+  std::vector<std::uint64_t> row_d;   ///< generic row buffer (side masks)
+  std::vector<std::uint64_t> dirty;   ///< dirty-row bitset for the fixpoint
+  std::vector<std::int32_t> col_a;    ///< safety planar row buffers (e)
+  std::vector<std::int32_t> col_b;    ///< (w)
+  std::vector<std::int32_t> col_c;    ///< (s) + south counters
+  std::vector<std::int32_t> col_d;    ///< north counters
+  std::vector<std::int32_t> plane;    ///< safety planar N grid (w*h int32)
+};
+
+// ---------------------------------------------------------------------------
+// Single-lane kernels (one BitGrid). Semantics are pinned by the scalar
+// implementations in simd.cpp; all tiers are equivalence-tested against them.
+// ---------------------------------------------------------------------------
+
+/// Definition 1's disable rule driven to its (unique, monotone) fixpoint in
+/// place: a cell turns bad when it has a bad horizontal AND a bad vertical
+/// neighbor. Dirty-row Gauss-Seidel: every row starts dirty, a changed row
+/// re-marks only its two neighbors, and converged regions are never swept
+/// again — the bulk of the old alternating full passes was verification.
+void block_fixpoint(BitGrid& bad, SweepScratch& scratch);
+
+/// Definition 2's two directed monotone closures ("useless" / "can't
+/// reach"): single descending/ascending row sweeps with an occluded fill per
+/// row. `useless` and `cant` must be pre-sized to `fault`'s dimensions and
+/// zero; TypeTwo swaps the within-row fill direction.
+void mcc_sweeps(const BitGrid& fault, BitGrid& useless, BitGrid& cant, bool type_one,
+                SweepScratch& scratch);
+
+/// Four-quadrant monotone reachability from `source` avoiding `blocked`;
+/// `out` is resized and fully overwritten.
+void reach_fill(const BitGrid& blocked, Coord source, BitGrid& out, SweepScratch& scratch);
+
+/// The extended-safety fill: for every node the (E, S, W, N) distances to
+/// the nearest obstacle along its row/column, written into an
+/// ExtendedSafetyLevel AoS grid (`aos` = 4 int32 per cell, row-major, E S W
+/// N field order — static_asserted by the caller). E/W are per-row obstacle
+/// segment ramps; N/S are planar column recurrences riding the same vector
+/// row path (8 int32 lanes per op) instead of per-column scalar counters.
+void safety_fill(const BitGrid& obstacles, std::int32_t* aos, SweepScratch& scratch);
+
+// ---------------------------------------------------------------------------
+// Batch kernels (BitGridBatch): identical sweeps across every lane in
+// lockstep. Converged lanes ride along idempotently — the fixpoint is
+// monotone, so re-sweeping a stable lane is a no-op — and every word
+// operation covers lane_stride() trials at once.
+// ---------------------------------------------------------------------------
+
+void batch_block_fixpoint(BitGridBatch& bad, SweepScratch& scratch);
+
+void batch_mcc_sweeps(const BitGridBatch& fault, BitGridBatch& useless, BitGridBatch& cant,
+                      bool type_one, SweepScratch& scratch);
+
+/// Reachability for every lane from one common source (the sweep engine's
+/// batches share the mesh center).
+void batch_reach_fill(const BitGridBatch& blocked, Coord source, BitGridBatch& out,
+                      SweepScratch& scratch);
+
+}  // namespace meshroute::core::simd

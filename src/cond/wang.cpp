@@ -1,8 +1,10 @@
 #include "cond/wang.hpp"
 
 #include <deque>
+#include <stdexcept>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "mesh/frame.hpp"
 
 namespace meshroute::cond {
@@ -73,62 +75,22 @@ void monotone_reachability(const Mesh2D& mesh, const Grid<bool>& blocked, Coord 
 
 void monotone_reachability(const Mesh2D& mesh, const core::BitGrid& blocked, Coord source,
                            core::BitGrid& out) {
-  out.resize(mesh.width(), mesh.height());
-  if (!mesh.in_bounds(source) || blocked.test(source)) return;
+  // Side masks restrict each quadrant fill to travel away from the source
+  // column; the whole four-quadrant sweep lives in the tiered SIMD layer
+  // (common/simd.hpp) — an out-of-bounds or blocked source yields the empty
+  // plane, matching the scalar oracle.
+  (void)mesh;  // dimensions ride on the bit plane
+  thread_local core::simd::SweepScratch scratch;
+  core::simd::reach_fill(blocked, source, out, scratch);
+}
 
-  const std::size_t nw = blocked.words_per_row();
-  const std::uint64_t tail = blocked.tail_mask();
-  const auto sx = static_cast<std::size_t>(source.x);
-  const Dist h = mesh.height();
-
-  // Side masks: ME keeps bits x >= sx, MW keeps x <= sx; a quadrant fill may
-  // only travel away from the source column, so each side's allowed set is
-  // ~blocked restricted to its mask. Both sides include the source column
-  // (seed-only there: the adjacent bit is outside the mask, so nothing
-  // propagates across it).
-  thread_local std::vector<std::uint64_t> me, mw, allowed, seed;
-  me.assign(nw, 0);
-  mw.assign(nw, 0);
-  const std::size_t sj = sx / 64;
-  for (std::size_t j = 0; j < nw; ++j) {
-    if (j > sj) me[j] = ~std::uint64_t{0};
-    if (j < sj) mw[j] = ~std::uint64_t{0};
+void monotone_reachability_batch(const Mesh2D& mesh, const core::BitGridBatch& blocked,
+                                 Coord source, core::BitGridBatch& out) {
+  if (blocked.width() != mesh.width() || blocked.height() != mesh.height()) {
+    throw std::invalid_argument("monotone_reachability_batch: plane/mesh dimension mismatch");
   }
-  me[sj] = ~std::uint64_t{0} << (sx % 64);
-  mw[sj] = ~std::uint64_t{0} >> (63 - sx % 64);
-  if (nw > 0) {
-    me[nw - 1] &= tail;
-    mw[nw - 1] &= tail;
-  }
-  allowed.resize(nw);
-  seed.resize(nw);
-
-  // One row of a quadrant pass: seeds are the reachable cells of the
-  // adjacent row one step toward the source (or the source bit itself on the
-  // source row), filled east on the east side and west on the west side.
-  const auto sweep_row = [&](std::uint64_t* r, const std::uint64_t* b,
-                             const std::uint64_t* prev) {
-    for (std::size_t j = 0; j < nw; ++j) {
-      allowed[j] = ~b[j] & me[j];
-      seed[j] = prev[j] & allowed[j];
-    }
-    core::fill_east_row(seed.data(), allowed.data(), r, nw);
-    for (std::size_t j = 0; j < nw; ++j) {
-      allowed[j] = ~b[j] & mw[j];
-      seed[j] = prev[j] & allowed[j];
-    }
-    core::fill_west_row(seed.data(), allowed.data(), seed.data(), nw);
-    for (std::size_t j = 0; j < nw; ++j) r[j] |= seed[j];
-  };
-
-  out.set(source);
-  sweep_row(out.row(source.y), blocked.row(source.y), out.row(source.y));
-  for (Dist y = source.y + 1; y < h; ++y) {
-    sweep_row(out.row(y), blocked.row(y), out.row(y - 1));
-  }
-  for (Dist y = source.y; y-- > 0;) {
-    sweep_row(out.row(y), blocked.row(y), out.row(y + 1));
-  }
+  thread_local core::simd::SweepScratch scratch;
+  core::simd::batch_reach_fill(blocked, source, out, scratch);
 }
 
 void monotone_reachability_scalar(const Mesh2D& mesh, const Grid<bool>& blocked, Coord source,

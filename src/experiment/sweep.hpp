@@ -2,8 +2,12 @@
 // bench: the paper's Monte Carlo grid (fault-count k x trial) fanned across
 // a fixed-size thread pool.
 //
-// Determinism contract: results are bit-identical for ANY --threads value.
-// Two mechanisms guarantee it (and tests/test_experiment.cpp verifies it):
+// Determinism contract: results are bit-identical for ANY --threads AND
+// --batch value. --batch only moves trial construction into SoA prebuilds
+// that make_trial consumes on exact (config, rng-state) matches, so the
+// trials themselves are bit-identical (tests/test_batch.cpp asserts it).
+// Two mechanisms guarantee thread independence (verified by
+// tests/test_experiment.cpp):
 //
 //   1. Seed-splitting, never a shared stream. Each (point, trial) cell gets
 //      an independent Rng seeded by hashing (base_seed, k, n, trial_index)
@@ -55,8 +59,8 @@ namespace meshroute::experiment {
 struct TrialWorkspace;
 
 /// Shared bench configuration, parsed from the common flag set:
-///   --trials=N --dests=N --n=N --seed=S --threads=T --json=FILE|-
-///   --metrics=FILE|- --quick
+///   --trials=N --dests=N --n=N --seed=S --threads=T --batch=B
+///   --json=FILE|- --metrics=FILE|- --quick
 /// Unknown flags are rejected with a usage message (parse() exits; try_parse
 /// reports the error for tests).
 struct SweepConfig {
@@ -65,6 +69,8 @@ struct SweepConfig {
   int dests = 40;                  ///< destinations per configuration
   std::uint64_t seed = 0x5eed2002; ///< base seed (hex accepted on the flag)
   int threads = 0;                 ///< worker threads; 0 = hardware concurrency
+  int batch = 1;                   ///< cells per worker claim; >1 prebuilds
+                                   ///< their trials via the SoA batch kernels
   std::string json_path;           ///< --json target; "" = off, "-" = stdout
   std::string metrics_path;        ///< --metrics target; "" = off, "-" = stdout
   bool quick = false;              ///< --quick given (trials=8, dests=10)

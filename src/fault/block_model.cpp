@@ -92,6 +92,74 @@ void merge_overlapping(std::vector<Rect>& boxes) {
   }
 }
 
+/// The tail of the bit-plane builder: assumes scratch.bad_plane already sits
+/// at the disable fixed point and scratch.fault_plane holds the raw faults.
+/// Runs the rectangular closure to stability (re-running the fixed point
+/// whenever a box grew) and assembles `out`. Shared by the single-lane and
+/// batch builders, which differ only in how the fixed point was reached.
+void finish_blocks_from_fixpoint(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
+                                 BlockScratch& scratch) {
+  const Dist w = mesh.width();
+  const Dist h = mesh.height();
+  core::BitGrid& bad = scratch.bad_plane;
+  const core::BitGrid& fplane = scratch.fault_plane;
+  const std::size_t nw = bad.words_per_row();
+
+  while (true) {
+    scratch.cc.build(bad);
+    scratch.boxes.clear();
+    for (const std::int32_t root : scratch.cc.order) {
+      scratch.boxes.push_back(scratch.cc.box[static_cast<std::size_t>(root)]);
+    }
+    merge_overlapping(scratch.boxes);
+    bool grew = false;
+    for (const Rect& r : scratch.boxes) {
+      const auto area = static_cast<std::int64_t>(r.width()) * r.height();
+      std::int64_t present = 0;
+      for (Dist y = r.ymin; y <= r.ymax; ++y) {
+        present += core::row_range_popcount(bad.row(y), r.xmin, r.xmax);
+      }
+      if (present == area) continue;
+      grew = true;
+      for (Dist y = r.ymin; y <= r.ymax; ++y) {
+        core::row_range_set(bad.row(y), r.xmin, r.xmax);
+      }
+    }
+    if (!grew) break;
+    core::simd::block_fixpoint(bad, scratch.simd);
+  }
+
+  std::vector<FaultyBlock>& blocks = scratch.blocks;
+  blocks.clear();
+  blocks.reserve(scratch.boxes.size());
+  for (const Rect& r : scratch.boxes) {
+    FaultyBlock blk{r, 0, 0};
+    for (Dist y = r.ymin; y <= r.ymax; ++y) {
+      blk.faulty_count +=
+          static_cast<std::int32_t>(core::row_range_popcount(fplane.row(y), r.xmin, r.xmax));
+    }
+    blk.disabled_count =
+        static_cast<std::int32_t>(static_cast<std::int64_t>(r.width()) * r.height()) -
+        blk.faulty_count;
+    blocks.push_back(blk);
+  }
+
+  Grid<NodeLabel>& labels = scratch.labels;
+  if (labels.width() != w || labels.height() != h) {
+    labels = Grid<NodeLabel>(w, h, NodeLabel::Enabled);
+  } else {
+    labels.fill(NodeLabel::Enabled);
+  }
+  for (Dist y = 0; y < h; ++y) {
+    NodeLabel* lrow = labels.data().data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    core::BitGrid::for_each_set_in_row(bad.row(y), nw,
+                                       [&](Dist x) { lrow[x] = NodeLabel::Disabled; });
+  }
+  for (const Coord f : faults.faults()) labels[f] = NodeLabel::Faulty;
+
+  out.assign(mesh, blocks, labels);
+}
+
 }  // namespace
 
 Grid<NodeLabel> disable_labeling_fixed_point(const Mesh2D& mesh, const FaultSet& faults) {
@@ -234,55 +302,6 @@ void build_faulty_blocks_scalar(const Mesh2D& mesh, const FaultSet& faults, Bloc
   out.assign(mesh, blocks, labels);
 }
 
-namespace {
-
-/// Definition 1's fixed point on a bit plane: a cell turns bad when it has a
-/// bad horizontal AND a bad vertical neighbor. Vertical eligibility is a
-/// word-OR of the adjacent rows; horizontal propagation within a row is an
-/// occluded fill through the eligible cells seeded one column off the
-/// already-bad cells. Alternating upward/downward Gauss-Seidel sweeps reach
-/// the (unique, monotone) fixed point in a handful of passes.
-void disable_fixpoint(core::BitGrid& bad, std::vector<std::uint64_t>& vmask,
-                      std::vector<std::uint64_t>& seed, std::vector<std::uint64_t>& fill) {
-  const Dist h = bad.height();
-  const std::size_t nw = bad.words_per_row();
-  const std::uint64_t tail = bad.tail_mask();
-  vmask.resize(nw);
-  seed.resize(nw);
-  fill.resize(nw);
-
-  const auto sweep_row = [&](Dist y) {
-    std::uint64_t* r = bad.row(y);
-    const std::uint64_t* up = y + 1 < h ? bad.row(y + 1) : nullptr;
-    const std::uint64_t* dn = y > 0 ? bad.row(y - 1) : nullptr;
-    for (std::size_t j = 0; j < nw; ++j) {
-      vmask[j] = (up != nullptr ? up[j] : 0) | (dn != nullptr ? dn[j] : 0);
-    }
-    core::shift_east_row(r, seed.data(), nw, tail);
-    core::fill_east_row(seed.data(), vmask.data(), fill.data(), nw);
-    core::shift_west_row(r, seed.data(), nw);
-    core::fill_west_row(seed.data(), vmask.data(), seed.data(), nw);
-    bool changed = false;
-    for (std::size_t j = 0; j < nw; ++j) {
-      const std::uint64_t add = (fill[j] | seed[j]) & ~r[j];
-      if (add != 0) {
-        r[j] |= add;
-        changed = true;
-      }
-    }
-    return changed;
-  };
-
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (Dist y = 0; y < h; ++y) changed |= sweep_row(y);
-    for (Dist y = h; y-- > 0;) changed |= sweep_row(y);
-  }
-}
-
-}  // namespace
-
 void build_faulty_blocks_bitplane(const Mesh2D& mesh, const FaultSet& faults, BlockSet& out,
                                   BlockScratch& scratch) {
   const Dist w = mesh.width();
@@ -292,64 +311,38 @@ void build_faulty_blocks_bitplane(const Mesh2D& mesh, const FaultSet& faults, Bl
   for (const Coord f : faults.faults()) fplane.set(f);
   core::BitGrid& bad = scratch.bad_plane;
   bad = fplane;
-  const std::size_t nw = bad.words_per_row();
 
-  // Alternate the disable fixed point and the rectangular closure until the
-  // bad plane is stable — the same loop as the scalar builder, with each leg
-  // word-parallel.
-  while (true) {
-    disable_fixpoint(bad, scratch.vmask, scratch.seed_row, scratch.fill_row);
-    scratch.cc.build(bad);
-    scratch.boxes.clear();
-    for (const std::int32_t root : scratch.cc.order) {
-      scratch.boxes.push_back(scratch.cc.box[static_cast<std::size_t>(root)]);
-    }
-    merge_overlapping(scratch.boxes);
-    bool grew = false;
-    for (const Rect& r : scratch.boxes) {
-      const auto area = static_cast<std::int64_t>(r.width()) * r.height();
-      std::int64_t present = 0;
-      for (Dist y = r.ymin; y <= r.ymax; ++y) {
-        present += core::row_range_popcount(bad.row(y), r.xmin, r.xmax);
-      }
-      if (present == area) continue;
-      grew = true;
-      for (Dist y = r.ymin; y <= r.ymax; ++y) {
-        core::row_range_set(bad.row(y), r.xmin, r.xmax);
-      }
-    }
-    if (!grew) break;
-  }
+  // Reach the disable fixed point word-parallel, then run the shared closure
+  // tail (which alternates closure and fixed point until stable — the same
+  // loop as the scalar builder).
+  core::simd::block_fixpoint(bad, scratch.simd);
+  finish_blocks_from_fixpoint(mesh, faults, out, scratch);
+}
 
-  std::vector<FaultyBlock>& blocks = scratch.blocks;
-  blocks.clear();
-  blocks.reserve(scratch.boxes.size());
-  for (const Rect& r : scratch.boxes) {
-    FaultyBlock blk{r, 0, 0};
-    for (Dist y = r.ymin; y <= r.ymax; ++y) {
-      blk.faulty_count +=
-          static_cast<std::int32_t>(core::row_range_popcount(fplane.row(y), r.xmin, r.xmax));
-    }
-    blk.disabled_count =
-        static_cast<std::int32_t>(static_cast<std::int64_t>(r.width()) * r.height()) -
-        blk.faulty_count;
-    blocks.push_back(blk);
+void build_faulty_blocks_batch(const Mesh2D& mesh, std::span<const FaultSet* const> faults,
+                               std::span<BlockSet* const> out, BlockScratch& scratch,
+                               const std::function<void(int)>& after_lane) {
+  if (faults.size() != out.size()) {
+    throw std::invalid_argument("build_faulty_blocks_batch: faults/out size mismatch");
   }
-
-  Grid<NodeLabel>& labels = scratch.labels;
-  if (labels.width() != w || labels.height() != h) {
-    labels = Grid<NodeLabel>(w, h, NodeLabel::Enabled);
-  } else {
-    labels.fill(NodeLabel::Enabled);
+  const int lanes = static_cast<int>(faults.size());
+  if (lanes == 0) return;
+  core::BitGridBatch& batch = scratch.batch_plane;
+  batch.resize(mesh.width(), mesh.height(), lanes);
+  for (int l = 0; l < lanes; ++l) {
+    for (const Coord f : faults[static_cast<std::size_t>(l)]->faults()) batch.set(l, f);
   }
-  for (Dist y = 0; y < h; ++y) {
-    NodeLabel* lrow = labels.data().data() + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-    core::BitGrid::for_each_set_in_row(bad.row(y), nw,
-                                       [&](Dist x) { lrow[x] = NodeLabel::Disabled; });
+  // One SoA sweep drives every lane to the (unique, monotone) disable fixed
+  // point; converged lanes ride along idempotently.
+  core::simd::batch_block_fixpoint(batch, scratch.simd);
+  for (int l = 0; l < lanes; ++l) {
+    const FaultSet& fs = *faults[static_cast<std::size_t>(l)];
+    batch.extract_lane(l, scratch.bad_plane);
+    scratch.fault_plane.resize(mesh.width(), mesh.height());
+    for (const Coord f : fs.faults()) scratch.fault_plane.set(f);
+    finish_blocks_from_fixpoint(mesh, fs, *out[static_cast<std::size_t>(l)], scratch);
+    if (after_lane) after_lane(l);
   }
-  for (const Coord f : faults.faults()) labels[f] = NodeLabel::Faulty;
-
-  out.assign(mesh, blocks, labels);
 }
 
 }  // namespace meshroute::fault

@@ -5,7 +5,10 @@
 namespace meshroute::fault {
 
 void FaultSet::reset(const Mesh2D& mesh) {
-  if (mask_.width() != mesh.width() || mask_.height() != mesh.height()) {
+  // The size() check guards against a moved-from mask, which keeps its
+  // dimensions but loses its storage.
+  if (mask_.width() != mesh.width() || mask_.height() != mesh.height() ||
+      mask_.size() != mesh.node_count()) {
     mask_ = Grid<bool>(mesh.width(), mesh.height(), false);
   } else {
     mask_.fill(false);
@@ -44,6 +47,28 @@ void uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
   rng.sample_distinct(static_cast<std::int64_t>(eligible.size()), static_cast<std::int64_t>(k),
                       scratch.pool, scratch.picks);
   for (const auto idx : scratch.picks) out.add(eligible[static_cast<std::size_t>(idx)]);
+}
+
+void uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng, Coord excluded,
+                           FaultSet& out, SampleScratch& scratch) {
+  const auto w = static_cast<std::int64_t>(mesh.width());
+  const auto total = static_cast<std::int64_t>(mesh.node_count());
+  // Row-major index of the hole; an out-of-mesh excluded coord means no hole,
+  // matching a predicate that never fires.
+  const std::int64_t hole =
+      mesh.in_bounds(excluded) ? static_cast<std::int64_t>(excluded.y) * w + excluded.x : total;
+  const std::int64_t n = hole < total ? total - 1 : total;
+  if (static_cast<std::int64_t>(k) > n) {
+    throw std::invalid_argument("uniform_random_faults: k exceeds eligible node count");
+  }
+  out.reset(mesh);
+  rng.sample_distinct_sparse(n, static_cast<std::int64_t>(k), scratch.sparse, scratch.picks);
+  for (const auto idx : scratch.picks) {
+    // eligible[idx] of the predicate overload = row-major node idx, skipping
+    // the hole.
+    const std::int64_t m = idx < hole ? idx : idx + 1;
+    out.add({static_cast<Dist>(m % w), static_cast<Dist>(m / w)});
+  }
 }
 
 FaultSet clustered_faults(const Mesh2D& mesh, std::size_t clusters, std::size_t cluster_size,

@@ -52,6 +52,7 @@ struct SampleScratch {
   std::vector<Coord> eligible;
   std::vector<std::int64_t> pool;
   std::vector<std::int64_t> picks;
+  SparseSampleScratch sparse;
 };
 
 /// `k` distinct faulty nodes sampled uniformly from the mesh (the paper's
@@ -66,6 +67,15 @@ struct SampleScratch {
 void uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng,
                            const CoordPredicate& exclude, FaultSet& out,
                            SampleScratch& scratch);
+
+/// Single-excluded-node fast path (the make_trial hot loop: everything but
+/// the source is eligible): O(k) per call via the sparse Fisher-Yates,
+/// mapping picks over the one-hole row-major index space instead of
+/// materializing the eligible list. Draws the exact same RNG sequence and
+/// produces the exact same FaultSet as the predicate overload with
+/// `exclude = (c == excluded)` — asserted by tests/test_fault_set.cpp.
+void uniform_random_faults(const Mesh2D& mesh, std::size_t k, Rng& rng, Coord excluded,
+                           FaultSet& out, SampleScratch& scratch);
 
 /// Clustered faults: `clusters` seed points, each growing `cluster_size`
 /// faults by a random walk around the seed. Produces the large irregular

@@ -3,6 +3,7 @@
 #include <array>
 #include <numeric>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace meshroute::fault {
@@ -59,6 +60,79 @@ void propagate_label(const Mesh2D& mesh, Grid<std::uint8_t>& status,
     status[c] |= flag;
     push_dependents(c);
   }
+}
+
+/// The tail of the bit-plane builder: assumes scratch's fault/useless/
+/// cant-reach planes hold the label fixed points; assembles the labeled
+/// plane, the status grid, the components, and `out`. Shared by the
+/// single-lane and batch builders.
+void finish_mcc_from_planes(const Mesh2D& mesh, const FaultSet& faults, MccKind kind,
+                            MccSet& out, MccScratch& scratch) {
+  const Dist w = mesh.width();
+  const Dist h = mesh.height();
+  const core::BitGrid& fp = scratch.fault_plane;
+  const core::BitGrid& up = scratch.useless_plane;
+  const core::BitGrid& cp = scratch.cant_reach_plane;
+  const std::size_t nw = fp.words_per_row();
+
+  core::BitGrid& labeled = scratch.labeled_plane;
+  labeled.resize(w, h);
+  for (Dist y = 0; y < h; ++y) {
+    const std::uint64_t* fr = fp.row(y);
+    const std::uint64_t* ur = up.row(y);
+    const std::uint64_t* cr = cp.row(y);
+    std::uint64_t* lr = labeled.row(y);
+    for (std::size_t j = 0; j < nw; ++j) lr[j] = fr[j] | ur[j] | cr[j];
+  }
+
+  // Status byte grid from the three planes (labels are disjoint from F by
+  // construction, so ORing flag bits reproduces the scalar grid exactly).
+  Grid<std::uint8_t>& status = scratch.status;
+  if (status.width() != w || status.height() != h) {
+    status = Grid<std::uint8_t>(w, h, mcc_status::kFaultFree);
+  } else {
+    status.fill(mcc_status::kFaultFree);
+  }
+  std::uint8_t* scells = status.data().data();
+  const auto sw = static_cast<std::size_t>(w);
+  for (const Coord f : faults.faults()) scells[static_cast<std::size_t>(f.y) * sw + f.x] = kFaulty;
+  for (Dist y = 0; y < h; ++y) {
+    std::uint8_t* srow = scells + static_cast<std::size_t>(y) * sw;
+    core::BitGrid::for_each_set_in_row(up.row(y), nw, [&](Dist x) { srow[x] |= kUseless; });
+    core::BitGrid::for_each_set_in_row(cp.row(y), nw, [&](Dist x) { srow[x] |= kCantReach; });
+  }
+
+  // Components of the labeled plane; run-union numbering matches the
+  // scalar DFS's row-major discovery order.
+  scratch.cc.build(labeled);
+  Grid<std::int32_t>& comp_id = scratch.comp_id;
+  if (comp_id.width() != w || comp_id.height() != h) {
+    comp_id = Grid<std::int32_t>(w, h, kNoMcc);
+  } else {
+    comp_id.fill(kNoMcc);
+  }
+  std::vector<MccComponent>& components = scratch.components;
+  components.clear();
+  components.resize(scratch.cc.count);
+  for (std::size_t i = 0; i < scratch.cc.count; ++i) {
+    components[i].bbox = scratch.cc.box[static_cast<std::size_t>(scratch.cc.order[i])];
+  }
+  std::int32_t* id_cells = comp_id.data().data();
+  for (const detail::RunCC::Run& run : scratch.cc.runs) {
+    const std::int32_t id = scratch.cc.final_id_of(run.comp);
+    std::int32_t* dst = id_cells + static_cast<std::size_t>(run.y) * sw;
+    for (Dist x = run.x0; x <= run.x1; ++x) dst[x] = id;
+    MccComponent& comp = components[static_cast<std::size_t>(id)];
+    comp.size += run.x1 - run.x0 + 1;
+    comp.faulty_count +=
+        static_cast<std::int32_t>(core::row_range_popcount(fp.row(run.y), run.x0, run.x1));
+    comp.useless_count +=
+        static_cast<std::int32_t>(core::row_range_popcount(up.row(run.y), run.x0, run.x1));
+    comp.cant_reach_count +=
+        static_cast<std::int32_t>(core::row_range_popcount(cp.row(run.y), run.x0, run.x1));
+  }
+
+  out.assign(kind, status, comp_id, components);
 }
 
 }  // namespace
@@ -154,12 +228,6 @@ void build_mcc_bitplane(const Mesh2D& mesh, const FaultSet& faults, MccKind kind
   up.resize(w, h);
   cp.resize(w, h);
   for (const Coord f : faults.faults()) fp.set(f);
-  const std::size_t nw = fp.words_per_row();
-  const std::uint64_t tail = fp.tail_mask();
-  scratch.amask.resize(nw);
-  scratch.seed_row.resize(nw);
-  std::uint64_t* amask = scratch.amask.data();
-  std::uint64_t* seed = scratch.seed_row.data();
 
   // Both labels are directed monotone closures: "useless" depends only on
   // the row above and on the east (TypeOne) within-row neighbor, so one
@@ -167,95 +235,42 @@ void build_mcc_bitplane(const Mesh2D& mesh, const FaultSet& faults, MccKind kind
   // fixed point; "can't-reach" mirrors it (row below, fill the other way).
   // TypeTwo swaps the within-row direction. An off-mesh neighbor never
   // triggers, which the row/edge masking gives for free: the top row gets no
-  // useless labels and a fill never crosses the mesh edge.
+  // useless labels and a fill never crosses the mesh edge. The sweeps live
+  // in the tiered SIMD layer (common/simd.hpp).
   const bool type_one = kind == MccKind::TypeOne;
-  for (Dist y = h - 1; y-- > 0;) {  // useless: rows h-2 .. 0
-    const std::uint64_t* f_above = fp.row(y + 1);
-    const std::uint64_t* u_above = up.row(y + 1);
-    const std::uint64_t* f_row = fp.row(y);
-    std::uint64_t* u_row = up.row(y);
-    for (std::size_t j = 0; j < nw; ++j) amask[j] = (f_above[j] | u_above[j]) & ~f_row[j];
-    if (type_one) {  // east trigger: labels spread west through eligible cells
-      core::shift_west_row(f_row, seed, nw);
-      core::fill_west_row(seed, amask, u_row, nw);
-    } else {  // west trigger: labels spread east
-      core::shift_east_row(f_row, seed, nw, tail);
-      core::fill_east_row(seed, amask, u_row, nw);
-    }
-  }
-  for (Dist y = 1; y < h; ++y) {  // can't-reach: rows 1 .. h-1
-    const std::uint64_t* f_below = fp.row(y - 1);
-    const std::uint64_t* c_below = cp.row(y - 1);
-    const std::uint64_t* f_row = fp.row(y);
-    std::uint64_t* c_row = cp.row(y);
-    for (std::size_t j = 0; j < nw; ++j) amask[j] = (f_below[j] | c_below[j]) & ~f_row[j];
-    if (type_one) {  // west trigger: labels spread east
-      core::shift_east_row(f_row, seed, nw, tail);
-      core::fill_east_row(seed, amask, c_row, nw);
-    } else {  // east trigger: labels spread west
-      core::shift_west_row(f_row, seed, nw);
-      core::fill_west_row(seed, amask, c_row, nw);
-    }
-  }
+  core::simd::mcc_sweeps(fp, up, cp, type_one, scratch.simd);
+  finish_mcc_from_planes(mesh, faults, kind, out, scratch);
+}
 
-  core::BitGrid& labeled = scratch.labeled_plane;
-  labeled.resize(w, h);
-  for (Dist y = 0; y < h; ++y) {
-    const std::uint64_t* fr = fp.row(y);
-    const std::uint64_t* ur = up.row(y);
-    const std::uint64_t* cr = cp.row(y);
-    std::uint64_t* lr = labeled.row(y);
-    for (std::size_t j = 0; j < nw; ++j) lr[j] = fr[j] | ur[j] | cr[j];
+void build_mcc_batch(const Mesh2D& mesh, std::span<const FaultSet* const> faults, MccKind kind,
+                     std::span<MccSet* const> out, MccScratch& scratch,
+                     const std::function<void(int)>& after_lane) {
+  if (faults.size() != out.size()) {
+    throw std::invalid_argument("build_mcc_batch: faults/out size mismatch");
   }
-
-  // Status byte grid from the three planes (labels are disjoint from F by
-  // construction, so ORing flag bits reproduces the scalar grid exactly).
-  Grid<std::uint8_t>& status = scratch.status;
-  if (status.width() != w || status.height() != h) {
-    status = Grid<std::uint8_t>(w, h, mcc_status::kFaultFree);
-  } else {
-    status.fill(mcc_status::kFaultFree);
+  const int lanes = static_cast<int>(faults.size());
+  if (lanes == 0) return;
+  const Dist w = mesh.width();
+  const Dist h = mesh.height();
+  core::BitGridBatch& fb = scratch.fault_batch;
+  core::BitGridBatch& ub = scratch.useless_batch;
+  core::BitGridBatch& cb = scratch.cant_reach_batch;
+  fb.resize(w, h, lanes);
+  ub.resize(w, h, lanes);
+  cb.resize(w, h, lanes);
+  for (int l = 0; l < lanes; ++l) {
+    for (const Coord f : faults[static_cast<std::size_t>(l)]->faults()) fb.set(l, f);
   }
-  std::uint8_t* scells = status.data().data();
-  const auto sw = static_cast<std::size_t>(w);
-  for (const Coord f : faults.faults()) scells[static_cast<std::size_t>(f.y) * sw + f.x] = kFaulty;
-  for (Dist y = 0; y < h; ++y) {
-    std::uint8_t* srow = scells + static_cast<std::size_t>(y) * sw;
-    core::BitGrid::for_each_set_in_row(up.row(y), nw, [&](Dist x) { srow[x] |= kUseless; });
-    core::BitGrid::for_each_set_in_row(cp.row(y), nw, [&](Dist x) { srow[x] |= kCantReach; });
+  // Both directed closures for every lane in one SoA pass each.
+  core::simd::batch_mcc_sweeps(fb, ub, cb, kind == MccKind::TypeOne, scratch.simd);
+  for (int l = 0; l < lanes; ++l) {
+    fb.extract_lane(l, scratch.fault_plane);
+    ub.extract_lane(l, scratch.useless_plane);
+    cb.extract_lane(l, scratch.cant_reach_plane);
+    finish_mcc_from_planes(mesh, *faults[static_cast<std::size_t>(l)], kind,
+                           *out[static_cast<std::size_t>(l)], scratch);
+    if (after_lane) after_lane(l);
   }
-
-  // Components of the labeled plane; run-union numbering matches the
-  // scalar DFS's row-major discovery order.
-  scratch.cc.build(labeled);
-  Grid<std::int32_t>& comp_id = scratch.comp_id;
-  if (comp_id.width() != w || comp_id.height() != h) {
-    comp_id = Grid<std::int32_t>(w, h, kNoMcc);
-  } else {
-    comp_id.fill(kNoMcc);
-  }
-  std::vector<MccComponent>& components = scratch.components;
-  components.clear();
-  components.resize(scratch.cc.count);
-  for (std::size_t i = 0; i < scratch.cc.count; ++i) {
-    components[i].bbox = scratch.cc.box[static_cast<std::size_t>(scratch.cc.order[i])];
-  }
-  std::int32_t* id_cells = comp_id.data().data();
-  for (const detail::RunCC::Run& run : scratch.cc.runs) {
-    const std::int32_t id = scratch.cc.final_id_of(run.comp);
-    std::int32_t* dst = id_cells + static_cast<std::size_t>(run.y) * sw;
-    for (Dist x = run.x0; x <= run.x1; ++x) dst[x] = id;
-    MccComponent& comp = components[static_cast<std::size_t>(id)];
-    comp.size += run.x1 - run.x0 + 1;
-    comp.faulty_count +=
-        static_cast<std::int32_t>(core::row_range_popcount(fp.row(run.y), run.x0, run.x1));
-    comp.useless_count +=
-        static_cast<std::int32_t>(core::row_range_popcount(up.row(run.y), run.x0, run.x1));
-    comp.cant_reach_count +=
-        static_cast<std::int32_t>(core::row_range_popcount(cp.row(run.y), run.x0, run.x1));
-  }
-
-  out.assign(kind, status, comp_id, components);
 }
 
 MccModel build_mcc_model(const Mesh2D& mesh, const FaultSet& faults) {

@@ -1,8 +1,12 @@
 #include "info/safety_level.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -141,57 +145,26 @@ void compute_safety_levels(const Mesh2D& mesh, const core::BitGrid& obstacles, S
   if (out.width() != mesh.width() || out.height() != mesh.height()) {
     out = SafetyGrid(mesh.width(), mesh.height());
   }
-  const Dist w = mesh.width();
-  const Dist h = mesh.height();
-  const std::size_t nw = obstacles.words_per_row();
-  const auto sw = static_cast<std::size_t>(w);
-  ExtendedSafetyLevel* grid = out.data().data();
+  // The whole fill (E/W obstacle-segment ramps, N/S column recurrences)
+  // lives in the tiered SIMD layer, which writes straight into the AoS grid
+  // as groups of 4 int32 per cell in E, S, W, N field order.
+  static_assert(sizeof(ExtendedSafetyLevel) == 4 * sizeof(std::int32_t));
+  static_assert(offsetof(ExtendedSafetyLevel, e) == 0 * sizeof(std::int32_t));
+  static_assert(offsetof(ExtendedSafetyLevel, s) == 1 * sizeof(std::int32_t));
+  static_assert(offsetof(ExtendedSafetyLevel, w) == 2 * sizeof(std::int32_t));
+  static_assert(offsetof(ExtendedSafetyLevel, n) == 3 * sizeof(std::int32_t));
+  thread_local core::simd::SweepScratch scratch;
+  core::simd::safety_fill(obstacles, reinterpret_cast<std::int32_t*>(out.data().data()), scratch);
+}
 
-  // E/W: the values between two consecutive obstacles in a row are pure
-  // functions of the obstacle positions, so iterate the set bits and fill
-  // whole segments — O(width/64 + obstacles) per row instead of O(width).
-  for (Dist y = 0; y < h; ++y) {
-    ExtendedSafetyLevel* row = grid + static_cast<std::size_t>(y) * sw;
-    Dist prev = -1;  // previous obstacle x, or -1
-    core::BitGrid::for_each_set_in_row(obstacles.row(y), nw, [&](Dist o) {
-      if (prev < 0) {
-        for (Dist x = 0; x <= o; ++x) row[x].w = kInfiniteDistance;
-      } else {
-        for (Dist x = prev + 1; x <= o; ++x) row[x].w = x - prev - 1;
-      }
-      for (Dist x = prev < 0 ? 0 : prev; x < o; ++x) row[x].e = o - x - 1;
-      prev = o;
-    });
-    if (prev < 0) {
-      for (Dist x = 0; x < w; ++x) {
-        row[x].w = kInfiniteDistance;
-        row[x].e = kInfiniteDistance;
-      }
-    } else {
-      for (Dist x = prev + 1; x < w; ++x) row[x].w = x - prev - 1;
-      for (Dist x = prev; x < w; ++x) row[x].e = kInfiniteDistance;
-    }
+void compute_safety_levels_batch(const Mesh2D& mesh,
+                                 std::span<const core::BitGrid* const> obstacles,
+                                 std::span<SafetyGrid* const> out) {
+  if (obstacles.size() != out.size()) {
+    throw std::invalid_argument("compute_safety_levels_batch: obstacles/out size mismatch");
   }
-
-  // N/S: per-column "row of the nearest obstacle so far" counters, streamed
-  // row-major in the sweep direction. Sentinels are chosen so the min()
-  // clamps an obstacle-free column to exactly kInfiniteDistance.
-  thread_local std::vector<Dist> col_last;
-  col_last.assign(sw, -kInfiniteDistance - 1);
-  for (Dist y = 0; y < h; ++y) {  // south: ascending, nearest obstacle below
-    ExtendedSafetyLevel* row = grid + static_cast<std::size_t>(y) * sw;
-    const Dist* last = col_last.data();
-    for (Dist x = 0; x < w; ++x) row[x].s = std::min(y - last[x] - 1, kInfiniteDistance);
-    core::BitGrid::for_each_set_in_row(obstacles.row(y), nw,
-                                       [&](Dist x) { col_last[static_cast<std::size_t>(x)] = y; });
-  }
-  col_last.assign(sw, h + kInfiniteDistance);
-  for (Dist y = h; y-- > 0;) {  // north: descending, nearest obstacle above
-    ExtendedSafetyLevel* row = grid + static_cast<std::size_t>(y) * sw;
-    const Dist* next = col_last.data();
-    for (Dist x = 0; x < w; ++x) row[x].n = std::min(next[x] - y - 1, kInfiniteDistance);
-    core::BitGrid::for_each_set_in_row(obstacles.row(y), nw,
-                                       [&](Dist x) { col_last[static_cast<std::size_t>(x)] = y; });
+  for (std::size_t l = 0; l < obstacles.size(); ++l) {
+    compute_safety_levels(mesh, *obstacles[l], *out[l]);
   }
 }
 

@@ -1,6 +1,7 @@
 // Unit tests for fault injection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "fault/fault_set.hpp"
@@ -82,6 +83,63 @@ TEST(RectangleFaults, FillsExactRectangle) {
   EXPECT_EQ(fs.count(), 9u);
   mesh.for_each_node([&](Coord c) { EXPECT_EQ(fs.contains(c), r.contains(c)); });
   EXPECT_THROW((void)rectangle_faults(mesh, Rect{8, 10, 0, 0}), std::out_of_range);
+}
+
+TEST(UniformRandomFaults, ExcludedCoordOverloadIsDrawIdenticalToPredicate) {
+  // The O(k) excluded-node fast path must consume the same RNG draws and
+  // produce the same fault set as the predicate overload — the figure-bench
+  // determinism contract rides on this.
+  for (const Dist n : {5, 17, 40}) {
+    const Mesh2D mesh(n, n);
+    const auto eligible = static_cast<std::size_t>(n) * static_cast<std::size_t>(n) - 1;
+    for (std::size_t k : {std::size_t{0}, std::size_t{3}, std::size_t{25}, eligible}) {
+      k = std::min(k, eligible);
+      const Coord src{n / 2, n / 3};
+      Rng rng_a(1234);
+      Rng rng_b(1234);
+      FaultSet a, b;
+      SampleScratch sa, sb;
+      uniform_random_faults(mesh, k, rng_a, [&](Coord c) { return c == src; }, a, sa);
+      uniform_random_faults(mesh, k, rng_b, src, b, sb);
+      ASSERT_EQ(a.count(), b.count());
+      EXPECT_EQ(a.faults(), b.faults());
+      // Engines advanced identically -> next draws agree.
+      EXPECT_EQ(rng_a.uniform(0, 1 << 30), rng_b.uniform(0, 1 << 30));
+      EXPECT_FALSE(b.contains(src));
+    }
+  }
+}
+
+TEST(UniformRandomFaults, ExcludedCoordOverloadRepeatsCleanly) {
+  // Scratch reuse (the epoch-stamped map) must not leak state across calls.
+  const Mesh2D mesh(31, 31);
+  Rng rng(7);
+  FaultSet fs;
+  SampleScratch scratch;
+  std::set<std::pair<Dist, Dist>> seen;
+  for (int rep = 0; rep < 50; ++rep) {
+    uniform_random_faults(mesh, 60, rng, Coord{15, 15}, fs, scratch);
+    ASSERT_EQ(fs.count(), 60u);
+    EXPECT_FALSE(fs.contains({15, 15}));
+    seen.clear();
+    for (const Coord c : fs.faults()) {
+      EXPECT_TRUE(seen.insert({c.x, c.y}).second) << "duplicate fault";
+    }
+  }
+}
+
+TEST(SparseSample, MatchesDenseSampleDistinct) {
+  Rng dense(99), sparse(99);
+  SparseSampleScratch scratch;
+  std::vector<std::int64_t> out;
+  for (const std::int64_t n : {1, 2, 64, 1000, 40000}) {
+    for (const std::int64_t k : {std::int64_t{0}, std::int64_t{1}, std::min<std::int64_t>(n, 200),
+                                 n}) {
+      const auto ref = dense.sample_distinct(n, k);
+      sparse.sample_distinct_sparse(n, k, scratch, out);
+      EXPECT_EQ(out, ref) << "n=" << n << " k=" << k;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,396 @@
+// Equivalence gate for the SIMD tier layer (DESIGN §12): every vector tier
+// and every batch kernel must be BYTE-identical to the pinned scalar kernels,
+// including the tail bits and the kRowPad words past the last row. Also the
+// exhaustive thin-grid transpose sweep (1xN / Nx1 / widths straddling the
+// word boundary) against a per-bit oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitgrid.hpp"
+#include "common/bitgrid_batch.hpp"
+#include "common/coord.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+
+namespace meshroute::core {
+namespace {
+
+using simd::SweepScratch;
+using simd::Tier;
+
+/// Tiers worth testing on this machine: scalar + generic always, native only
+/// when the CPU/build provide it (force_tier degrades silently otherwise).
+std::vector<Tier> testable_tiers() {
+  std::vector<Tier> tiers{Tier::Scalar, Tier::Generic};
+  if (simd::native_supported()) tiers.push_back(Tier::Native);
+  return tiers;
+}
+
+BitGrid random_grid(Dist w, Dist h, double density, Rng& rng) {
+  BitGrid g(w, h);
+  const auto n = static_cast<std::int64_t>(static_cast<double>(w) * h * density);
+  for (std::int64_t i = 0; i < n; ++i) {
+    g.set({static_cast<Dist>(rng.uniform(0, w - 1)), static_cast<Dist>(rng.uniform(0, h - 1))});
+  }
+  return g;
+}
+
+/// The dimension sweep of satellite 2: degenerate thin grids plus widths
+/// straddling the 64-bit word boundary at both one and two words per row.
+const std::vector<std::pair<Dist, Dist>> kEdgeDims = {
+    {1, 1},  {1, 7},  {1, 64},  {1, 65},  {7, 1},  {64, 1},  {65, 1},
+    {63, 5}, {64, 5}, {65, 5},  {5, 63},  {5, 64}, {5, 65},  {127, 3},
+    {128, 3}, {129, 3}, {3, 129}, {80, 40}, {200, 100}, {300, 7}};
+
+// ---------------------------------------------------------------------------
+// Transpose: exhaustive per-bit oracle over the edge dimension sweep.
+// ---------------------------------------------------------------------------
+
+TEST(Transpose, EdgeDimensionSweepMatchesPerBitOracle) {
+  Rng rng(20260809);
+  for (const auto& [w, h] : kEdgeDims) {
+    for (const double density : {0.02, 0.3, 0.97}) {
+      const BitGrid g = random_grid(w, h, density, rng);
+      BitGrid t;
+      g.transpose_into(t);
+      ASSERT_EQ(t.width(), h);
+      ASSERT_EQ(t.height(), w);
+      BitGrid oracle(h, w);
+      g.for_each_set([&](Coord c) { oracle.set({c.y, c.x}); });
+      EXPECT_EQ(t, oracle) << w << "x" << h << " @ " << density;
+    }
+  }
+}
+
+TEST(Transpose, RoundTripIsIdentity) {
+  Rng rng(7);
+  for (const auto& [w, h] : kEdgeDims) {
+    const BitGrid g = random_grid(w, h, 0.4, rng);
+    BitGrid t, back;
+    g.transpose_into(t);
+    t.transpose_into(back);
+    EXPECT_EQ(back, g) << w << "x" << h;
+  }
+}
+
+TEST(Transpose, FullGridStaysFullAndTailBitsStayZero) {
+  for (const auto& [w, h] : kEdgeDims) {
+    BitGrid g(w, h);
+    for (Dist y = 0; y < h; ++y) row_range_set(g.row(y), 0, w - 1);
+    BitGrid t;
+    g.transpose_into(t);
+    EXPECT_EQ(t.popcount(), static_cast<std::int64_t>(w) * h);
+    for (Dist y = 0; y < t.height(); ++y) {
+      EXPECT_EQ(t.row(y)[t.words_per_row() - 1] & ~t.tail_mask(), 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row fills across the word boundary (satellite 2's fill sweep): the
+// sequential-carry row fills against a per-bit walking oracle.
+// ---------------------------------------------------------------------------
+
+TEST(RowFills, EdgeWidthsMatchWalkingOracle) {
+  Rng rng(99);
+  for (const Dist w : {1, 2, 63, 64, 65, 127, 128, 129, 200}) {
+    const std::size_t nw = (static_cast<std::size_t>(w) + 63) / 64;
+    for (int rep = 0; rep < 50; ++rep) {
+      BitGrid allowed_g = random_grid(w, 1, 0.6, rng);
+      BitGrid seed_g = random_grid(w, 1, 0.2, rng);
+      std::vector<std::uint64_t> out_e(nw), out_w(nw);
+      fill_east_row(seed_g.row(0), allowed_g.row(0), out_e.data(), nw);
+      fill_west_row(seed_g.row(0), allowed_g.row(0), out_w.data(), nw);
+      // Walking oracle: propagate through contiguous allowed runs.
+      std::vector<bool> oe(w, false), ow(w, false);
+      for (Dist x = 0; x < w; ++x) {
+        const bool a = allowed_g.test({x, 0});
+        const bool s = seed_g.test({x, 0}) && a;
+        oe[x] = a && (s || (x > 0 && oe[x - 1]));
+      }
+      for (Dist x = w; x-- > 0;) {
+        const bool a = allowed_g.test({x, 0});
+        const bool s = seed_g.test({x, 0}) && a;
+        ow[x] = a && (s || (x + 1 < w && ow[x + 1]));
+      }
+      for (Dist x = 0; x < w; ++x) {
+        EXPECT_EQ((out_e[x >> 6] >> (x & 63)) & 1, oe[x] ? 1u : 0u) << w << " x=" << x;
+        EXPECT_EQ((out_w[x >> 6] >> (x & 63)) & 1, ow[x] ? 1u : 0u) << w << " x=" << x;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier equivalence: scalar vs generic vs native, byte-identical outputs.
+// ---------------------------------------------------------------------------
+
+class TierRestorer {
+ public:
+  TierRestorer() : saved_(simd::active_tier()) {}
+  ~TierRestorer() { simd::force_tier(saved_); }
+
+ private:
+  Tier saved_;
+};
+
+TEST(TierEquivalence, BlockFixpoint) {
+  TierRestorer restore;
+  Rng rng(1);
+  SweepScratch scratch;
+  for (const auto& [w, h] : kEdgeDims) {
+    for (const double density : {0.05, 0.25, 0.6}) {
+      const BitGrid faults = random_grid(w, h, density, rng);
+      BitGrid ref;
+      bool first = true;
+      for (const Tier t : testable_tiers()) {
+        simd::force_tier(t);
+        BitGrid bad = faults;
+        simd::block_fixpoint(bad, scratch);
+        if (first) {
+          ref = bad;
+          first = false;
+        } else {
+          EXPECT_EQ(bad, ref) << simd::tier_name(t) << " " << w << "x" << h << " @ " << density;
+        }
+      }
+    }
+  }
+}
+
+TEST(TierEquivalence, MccSweeps) {
+  TierRestorer restore;
+  Rng rng(2);
+  SweepScratch scratch;
+  for (const auto& [w, h] : kEdgeDims) {
+    const BitGrid faults = random_grid(w, h, 0.2, rng);
+    for (const bool type_one : {false, true}) {
+      BitGrid ref_u, ref_c;
+      bool first = true;
+      for (const Tier t : testable_tiers()) {
+        simd::force_tier(t);
+        BitGrid useless(w, h), cant(w, h);
+        simd::mcc_sweeps(faults, useless, cant, type_one, scratch);
+        if (first) {
+          ref_u = useless;
+          ref_c = cant;
+          first = false;
+        } else {
+          EXPECT_EQ(useless, ref_u) << simd::tier_name(t) << " " << w << "x" << h;
+          EXPECT_EQ(cant, ref_c) << simd::tier_name(t) << " " << w << "x" << h;
+        }
+      }
+    }
+  }
+}
+
+TEST(TierEquivalence, ReachFill) {
+  TierRestorer restore;
+  Rng rng(3);
+  SweepScratch scratch;
+  for (const auto& [w, h] : kEdgeDims) {
+    const BitGrid blocked = random_grid(w, h, 0.25, rng);
+    const std::vector<Coord> sources = {
+        {0, 0}, {w - 1, h - 1}, {w / 2, h / 2}, {w - 1, 0}, {0, h - 1}};
+    for (const Coord src : sources) {
+      BitGrid ref;
+      bool first = true;
+      for (const Tier t : testable_tiers()) {
+        simd::force_tier(t);
+        BitGrid out;
+        simd::reach_fill(blocked, src, out, scratch);
+        if (first) {
+          ref = out;
+          first = false;
+        } else {
+          EXPECT_EQ(out, ref) << simd::tier_name(t) << " " << w << "x" << h << " src=" << src.x
+                              << "," << src.y;
+        }
+      }
+    }
+  }
+}
+
+TEST(TierEquivalence, SafetyFill) {
+  TierRestorer restore;
+  Rng rng(4);
+  SweepScratch scratch;
+  for (const auto& [w, h] : kEdgeDims) {
+    for (const double density : {0.0, 0.15, 0.8}) {
+      const BitGrid obstacles = random_grid(w, h, density, rng);
+      const std::size_t cells = static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * 4;
+      std::vector<std::int32_t> ref(cells), got(cells);
+      bool first = true;
+      for (const Tier t : testable_tiers()) {
+        simd::force_tier(t);
+        std::vector<std::int32_t>& dst = first ? ref : got;
+        std::fill(dst.begin(), dst.end(), -12345);
+        simd::safety_fill(obstacles, dst.data(), scratch);
+        if (!first) {
+          EXPECT_EQ(got, ref) << simd::tier_name(t) << " " << w << "x" << h << " @ " << density;
+        }
+        first = false;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch kernels: every lane must equal the single-lane kernel run on that
+// lane's plane, under every tier.
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquivalence, BlockFixpoint) {
+  TierRestorer restore;
+  Rng rng(5);
+  SweepScratch scratch;
+  for (const int lanes : {1, 3, 8, 13}) {
+    const Dist w = 80, h = 40;
+    std::vector<BitGrid> planes;
+    BitGridBatch batch(w, h, lanes);
+    for (int l = 0; l < lanes; ++l) {
+      planes.push_back(random_grid(w, h, 0.25, rng));
+      batch.load_lane(l, planes.back());
+    }
+    for (const Tier t : testable_tiers()) {
+      simd::force_tier(t);
+      BitGridBatch b = batch;
+      simd::batch_block_fixpoint(b, scratch);
+      for (int l = 0; l < lanes; ++l) {
+        BitGrid expect = planes[static_cast<std::size_t>(l)];
+        simd::block_fixpoint(expect, scratch);
+        BitGrid got;
+        b.extract_lane(l, got);
+        EXPECT_EQ(got, expect) << simd::tier_name(t) << " lanes=" << lanes << " lane=" << l;
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, MccSweeps) {
+  TierRestorer restore;
+  Rng rng(6);
+  SweepScratch scratch;
+  const Dist w = 100, h = 50;
+  const int lanes = 11;
+  std::vector<BitGrid> planes;
+  BitGridBatch batch(w, h, lanes);
+  for (int l = 0; l < lanes; ++l) {
+    planes.push_back(random_grid(w, h, 0.2, rng));
+    batch.load_lane(l, planes.back());
+  }
+  for (const bool type_one : {false, true}) {
+    for (const Tier t : testable_tiers()) {
+      simd::force_tier(t);
+      BitGridBatch useless(w, h, lanes), cant(w, h, lanes);
+      simd::batch_mcc_sweeps(batch, useless, cant, type_one, scratch);
+      for (int l = 0; l < lanes; ++l) {
+        BitGrid eu(w, h), ec(w, h);
+        simd::mcc_sweeps(planes[static_cast<std::size_t>(l)], eu, ec, type_one, scratch);
+        BitGrid gu, gc;
+        useless.extract_lane(l, gu);
+        cant.extract_lane(l, gc);
+        EXPECT_EQ(gu, eu) << simd::tier_name(t) << " t1=" << type_one << " lane=" << l;
+        EXPECT_EQ(gc, ec) << simd::tier_name(t) << " t1=" << type_one << " lane=" << l;
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, ReachFillIncludingBlockedSourceLane) {
+  TierRestorer restore;
+  Rng rng(7);
+  SweepScratch scratch;
+  const Dist w = 90, h = 45;
+  const int lanes = 9;
+  const Coord src{w / 2, h / 2};
+  std::vector<BitGrid> planes;
+  BitGridBatch batch(w, h, lanes);
+  for (int l = 0; l < lanes; ++l) {
+    BitGrid p = random_grid(w, h, 0.3, rng);
+    if (l == 4) p.set(src);  // one lane with a blocked source: empty result
+    batch.load_lane(l, p);
+    planes.push_back(std::move(p));
+  }
+  for (const Tier t : testable_tiers()) {
+    simd::force_tier(t);
+    BitGridBatch out;
+    simd::batch_reach_fill(batch, src, out, scratch);
+    for (int l = 0; l < lanes; ++l) {
+      BitGrid expect;
+      simd::reach_fill(planes[static_cast<std::size_t>(l)], src, expect, scratch);
+      BitGrid got;
+      out.extract_lane(l, got);
+      EXPECT_EQ(got, expect) << simd::tier_name(t) << " lane=" << l;
+      if (l == 4) EXPECT_FALSE(got.any());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariants and dispatch plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ForceTierRoundTripsAndDegrades) {
+  TierRestorer restore;
+  EXPECT_EQ(simd::force_tier(Tier::Scalar), Tier::Scalar);
+  EXPECT_EQ(simd::active_tier(), Tier::Scalar);
+  EXPECT_EQ(simd::force_tier(Tier::Generic), Tier::Generic);
+  const Tier native = simd::force_tier(Tier::Native);
+  EXPECT_EQ(native, simd::native_supported() ? Tier::Native : Tier::Generic);
+  EXPECT_STREQ(simd::tier_name(Tier::Scalar), "scalar");
+  EXPECT_STREQ(simd::tier_name(Tier::Generic), "generic");
+  EXPECT_STREQ(simd::tier_name(Tier::Native), "native");
+}
+
+TEST(SimdInvariants, KernelsPreserveTailBitsAndRowPadding) {
+  TierRestorer restore;
+  Rng rng(8);
+  SweepScratch scratch;
+  // Tail/pad preservation is what the blend-stores exist for; check via the
+  // BitGrid equality operator (compares the full word vector, pad included)
+  // against a pristine same-shape grid OR-ed with the kernel result bits.
+  for (const auto& [w, h] : kEdgeDims) {
+    const BitGrid faults = random_grid(w, h, 0.3, rng);
+    for (const Tier t : testable_tiers()) {
+      simd::force_tier(t);
+      BitGrid bad = faults;
+      simd::block_fixpoint(bad, scratch);
+      BitGrid rebuilt(w, h);
+      bad.for_each_set([&](Coord c) { rebuilt.set(c); });
+      EXPECT_EQ(bad, rebuilt) << simd::tier_name(t) << " " << w << "x" << h;
+    }
+  }
+}
+
+TEST(SimdInvariants, BatchPaddingLanesStayEmpty) {
+  TierRestorer restore;
+  Rng rng(9);
+  SweepScratch scratch;
+  const Dist w = 70, h = 30;
+  const int lanes = 5;  // stride 8 -> 3 padding lanes
+  BitGridBatch batch(w, h, lanes);
+  for (int l = 0; l < lanes; ++l) batch.load_lane(l, random_grid(w, h, 0.4, rng));
+  for (const Tier t : testable_tiers()) {
+    simd::force_tier(t);
+    BitGridBatch b = batch;
+    simd::batch_block_fixpoint(b, scratch);
+    BitGridBatch out;
+    simd::batch_reach_fill(b, {w / 2, h / 2}, out, scratch);
+    for (Dist y = 0; y < h; ++y) {
+      const std::uint64_t* br = b.row(y);
+      const std::uint64_t* orow = out.row(y);
+      for (std::size_t j = 0; j < b.words_per_row(); ++j) {
+        for (std::size_t l = static_cast<std::size_t>(lanes); l < b.lane_stride(); ++l) {
+          EXPECT_EQ(br[j * b.lane_stride() + l], 0u) << simd::tier_name(t);
+          EXPECT_EQ(orow[j * out.lane_stride() + l], 0u) << simd::tier_name(t);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meshroute::core

@@ -77,6 +77,7 @@ int count_meta_mismatches(const Value& old_doc, const Value& new_doc,
   };
   check("trace_enabled", [](const Value& v) { return v.as_bool() ? "true" : "false"; });
   check("build_type", [](const Value& v) { return v.as_string(); });
+  check("simd", [](const Value& v) { return v.as_string(); });
   return mismatches;
 }
 

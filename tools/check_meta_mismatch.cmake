@@ -1,6 +1,6 @@
 # ctest script: bench_compare must refuse to compare BENCH files whose meta
-# blocks disagree on a comparability field (build_type, trace_enabled), and
-# --allow-meta-mismatch must downgrade that refusal to a warning.
+# blocks disagree on a comparability field (build_type, trace_enabled, simd),
+# and --allow-meta-mismatch must downgrade that refusal to a warning.
 #
 #   cmake -DBENCH_COMPARE=<path-to-bench_compare> -DWORK_DIR=<dir>
 #         -P check_meta_mismatch.cmake
@@ -11,10 +11,12 @@ endif()
 set(old_json "${WORK_DIR}/meta_old.json")
 set(new_json "${WORK_DIR}/meta_new.json")
 file(WRITE "${old_json}"
-  "{\"bench\":\"core\",\"meta\":{\"build_type\":\"Release\",\"trace_enabled\":true},"
+  "{\"bench\":\"core\",\"meta\":{\"build_type\":\"Release\",\"trace_enabled\":true,"
+  "\"simd\":\"native\"},"
   "\"kernels\":[{\"name\":\"k\",\"iters\":1,\"median_us\":1.0}]}\n")
 file(WRITE "${new_json}"
-  "{\"bench\":\"core\",\"meta\":{\"build_type\":\"Debug\",\"trace_enabled\":false},"
+  "{\"bench\":\"core\",\"meta\":{\"build_type\":\"Debug\",\"trace_enabled\":false,"
+  "\"simd\":\"scalar\"},"
   "\"kernels\":[{\"name\":\"k\",\"iters\":1,\"median_us\":1.0}]}\n")
 
 # Without the escape flag: hard error, exit 2, both mismatched fields named.
@@ -24,7 +26,7 @@ if(NOT rc EQUAL 2)
   message(FATAL_ERROR "meta mismatch must exit 2, got ${rc}\n${out}${err}")
 endif()
 foreach(needle "error: meta.build_type differs" "error: meta.trace_enabled differs"
-               "--allow-meta-mismatch")
+               "error: meta.simd differs" "--allow-meta-mismatch")
   string(FIND "${err}" "${needle}" idx)
   if(idx EQUAL -1)
     message(FATAL_ERROR "mismatch error output missing '${needle}':\n${err}")
@@ -37,10 +39,12 @@ execute_process(COMMAND ${BENCH_COMPARE} --allow-meta-mismatch ${old_json} ${new
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "--allow-meta-mismatch run must exit 0, got ${rc}\n${out}${err}")
 endif()
-string(FIND "${err}" "warning: meta.build_type differs" idx)
-if(idx EQUAL -1)
-  message(FATAL_ERROR "--allow-meta-mismatch must still warn:\n${err}")
-endif()
+foreach(needle "warning: meta.build_type differs" "warning: meta.simd differs")
+  string(FIND "${err}" "${needle}" idx)
+  if(idx EQUAL -1)
+    message(FATAL_ERROR "--allow-meta-mismatch must still warn ('${needle}'):\n${err}")
+  endif()
+endforeach()
 string(FIND "${out}" "no kernel regressed" idx)
 if(idx EQUAL -1)
   message(FATAL_ERROR "comparison did not run to completion:\n${out}")
