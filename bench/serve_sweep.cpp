@@ -63,6 +63,8 @@ struct Options {
   int batch = 192;    // queries per round
   int threads = 4;    // reader threads
   bool deterministic = false;
+  long shed_capacity = 0;  // admission cap for racing mode (0 = unbounded)
+  long deadline_us = 0;    // per-request deadline budget (0 = off)
   std::string json;     // empty = off; "-" = stdout
   std::string metrics;  // empty = off; "-" = stdout
 };
@@ -71,9 +73,14 @@ struct Options {
   std::cerr
       << "usage: serve_sweep [--n=N] [--faults=K] [--seed=S] [--rounds=R] [--batch=B]\n"
          "                   [--threads=T] [--deterministic] [--quick]\n"
+         "                   [--shed-capacity=N] [--deadline-us=N]\n"
          "                   [--json=FILE|-] [--metrics=FILE|-]\n"
          "  --deterministic  barrier-round mode: timings zeroed, JSON output\n"
-         "                   byte-identical for any --threads value\n";
+         "                   byte-identical for any --threads value\n"
+         "  --shed-capacity  racing mode: bound in-flight batches; over it the\n"
+         "                   admission gate sheds (BUSY) and the reader backs off\n"
+         "  --deadline-us    racing mode: per-batch service budget; misses are\n"
+         "                   counted (serve.deadline_miss_total), not aborted\n";
   std::exit(2);
 }
 
@@ -102,6 +109,12 @@ Options parse_options(int argc, char** argv) {
         opt.batch = static_cast<int>(num(8));
       } else if (arg.rfind("--threads=", 0) == 0) {
         opt.threads = static_cast<int>(num(10));
+      } else if (arg.rfind("--shed-capacity=", 0) == 0) {
+        opt.shed_capacity = static_cast<long>(num(16));
+        if (opt.shed_capacity < 0) usage_and_exit();
+      } else if (arg.rfind("--deadline-us=", 0) == 0) {
+        opt.deadline_us = static_cast<long>(num(14));
+        if (opt.deadline_us < 0) usage_and_exit();
       } else if (arg.rfind("--json=", 0) == 0) {
         opt.json = arg.substr(7);
         if (opt.json.empty()) usage_and_exit();
@@ -179,6 +192,15 @@ double median_of(std::vector<double>& v) {
   return v.size() % 2 == 1 ? v[m] : (v[m - 1] + v[m]) / 2.0;
 }
 
+/// p99 over an already-sorted-by-median_of vector (nearest-rank).
+double p99_of(const std::vector<double>& sorted) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(
+                                      static_cast<double>(sorted.size()) * 0.99));
+  return sorted[idx];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,7 +211,10 @@ int main(int argc, char** argv) {
   const fault::FaultSet seed_faults =
       fault::uniform_random_faults(mesh, opt.faults, world_rng);
   serve::SnapshotBuilder builder(mesh, seed_faults.faults());
-  serve::QueryServer server(builder);
+  serve::ServeConfig server_cfg;
+  server_cfg.resilience.queue_capacity = opt.shed_capacity;
+  server_cfg.resilience.deadline_us = opt.deadline_us;
+  serve::QueryServer server(builder, std::move(server_cfg));
 
   // The writer's injection sites for epochs 1..rounds, fixed up front so the
   // world's evolution is a pure function of the seed.
@@ -203,6 +228,8 @@ int main(int argc, char** argv) {
   std::vector<Totals> per_thread(static_cast<std::size_t>(threads));
   std::vector<std::vector<double>> decide_us(static_cast<std::size_t>(threads));
   std::vector<std::vector<double>> route_us(static_cast<std::size_t>(threads));
+  std::vector<std::int64_t> shed_batches(static_cast<std::size_t>(threads), 0);
+  std::vector<std::int64_t> admitted_batches(static_cast<std::size_t>(threads), 0);
   const auto t_start = Clock::now();
 
   if (opt.deterministic) {
@@ -237,6 +264,7 @@ int main(int argc, char** argv) {
     std::atomic<bool> stop{false};
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
+    const bool shedding = opt.shed_capacity > 0;
     for (int t = 0; t < threads; ++t) {
       pool.emplace_back([&, t] {
         serve::QueryServer::Session session(server);
@@ -246,10 +274,40 @@ int main(int argc, char** argv) {
         while (!stop.load(std::memory_order_relaxed)) {
           const std::vector<route::QuerySpec> specs = round_specs(opt, round++);
           const auto t0 = Clock::now();
+          if (shedding) {
+            // Guarded path: a shed batch is dropped and the reader honors
+            // the backoff hint (capped so the bench stays short) — the
+            // client half of the BUSY contract.
+            const auto g1 = session.decide_batch_guarded(specs, decisions);
+            if (!g1.admitted) {
+              ++shed_batches[static_cast<std::size_t>(t)];
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  std::min<std::int64_t>(g1.retry_after_ms, 4)));
+              continue;
+            }
+            const auto t1 = Clock::now();
+            const auto g2 = session.route_batch_guarded(specs, answers);
+            if (!g2.admitted) {
+              ++shed_batches[static_cast<std::size_t>(t)];
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  std::min<std::int64_t>(g2.retry_after_ms, 4)));
+              continue;
+            }
+            const auto t2 = Clock::now();
+            ++admitted_batches[static_cast<std::size_t>(t)];
+            const double per = 1.0 / static_cast<double>(specs.size());
+            decide_us[static_cast<std::size_t>(t)].push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0).count() * per);
+            route_us[static_cast<std::size_t>(t)].push_back(
+                std::chrono::duration<double, std::micro>(t2 - t1).count() * per);
+            tally(decisions, answers, per_thread[static_cast<std::size_t>(t)]);
+            continue;
+          }
           session.decide_batch(specs, decisions);
           const auto t1 = Clock::now();
           session.route_batch(specs, answers);
           const auto t2 = Clock::now();
+          ++admitted_batches[static_cast<std::size_t>(t)];
           const double per = 1.0 / static_cast<double>(specs.size());
           decide_us[static_cast<std::size_t>(t)].push_back(
               std::chrono::duration<double, std::micro>(t1 - t0).count() * per);
@@ -288,6 +346,15 @@ int main(int argc, char** argv) {
   }
   const double decide_median_us = median_of(decide_all);
   const double route_median_us = median_of(route_all);
+  const double decide_p99_us = p99_of(decide_all);  // median_of left them sorted
+  const double route_p99_us = p99_of(route_all);
+  std::int64_t shed_total = 0;
+  std::int64_t admitted_total = 0;
+  for (int t = 0; t < threads; ++t) {
+    shed_total += shed_batches[static_cast<std::size_t>(t)];
+    admitted_total += admitted_batches[static_cast<std::size_t>(t)];
+  }
+  if (opt.deterministic) admitted_total = 0;  // not meaningful in barrier mode
   // Every spec is answered twice per batch iteration (decide + route);
   // Totals::queries counts route answers only, so qps doubles it.
   const double qps = wall_ms > 0.0
@@ -319,6 +386,9 @@ int main(int argc, char** argv) {
   if (!opt.deterministic) {
     std::printf("  qps=%.0f decide_us=%.3f route_us=%.3f staleness_p99=%.1f epochs\n",
                 qps, decide_median_us, route_median_us, staleness_p99);
+    std::printf("  admitted=%lld shed=%lld decide_p99_us=%.3f route_p99_us=%.3f\n",
+                static_cast<long long>(admitted_total),
+                static_cast<long long>(shed_total), decide_p99_us, route_p99_us);
   }
 
   if (!opt.json.empty()) {
@@ -354,6 +424,10 @@ int main(int argc, char** argv) {
     results["minimal"] = static_cast<double>(totals.minimal);
     results["sub_minimal"] = static_cast<double>(totals.sub_minimal);
     results["epochs"] = static_cast<double>(builder.store().current_epoch());
+    // Both stay 0 in deterministic mode (barrier rounds never shed), keeping
+    // the file byte-identical across --threads.
+    results["admitted_batches"] = static_cast<double>(admitted_total);
+    results["shed_batches"] = static_cast<double>(shed_total);
 
     Value::Object doc;
     doc["bench"] = "serve";
@@ -367,6 +441,8 @@ int main(int argc, char** argv) {
     doc["kernels"] = std::move(kernels);
     doc["results"] = std::move(results);
     doc["qps"] = qps;
+    doc["decide_p99_us"] = opt.deterministic ? 0.0 : decide_p99_us;
+    doc["route_p99_us"] = opt.deterministic ? 0.0 : route_p99_us;
     doc["staleness_p99"] = staleness_p99;
     doc["wall_ms"] = wall_ms;
 

@@ -68,6 +68,31 @@ void apply_directive(FaultSchedule& schedule, const std::string& directive) {
       throw std::invalid_argument("chaos spec: rand needs K >= 0 and H >= 1, got '" + value + "'");
     }
     schedule.set_random(static_cast<std::size_t>(k), h);
+  } else if (key == "bdelay") {
+    // SEQ:US
+    const auto colon = value.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("chaos spec: bdelay expects SEQ:US, got '" + value + "'");
+    }
+    const std::int64_t seq = parse_int(directive, value.substr(0, colon));
+    const std::int64_t us = parse_int(directive, value.substr(colon + 1));
+    if (seq < 1 || us < 0) {
+      throw std::invalid_argument("chaos spec: bdelay needs SEQ >= 1 and US >= 0, got '" +
+                                  value + "'");
+    }
+    schedule.add_serve_event({static_cast<std::uint64_t>(seq),
+                              ServeChaosEvent::Kind::BuilderDelay, us});
+  } else if (key == "bstall" || key == "pubdrop" || key == "shed" || key == "tear") {
+    const std::int64_t seq = parse_int(directive, value);
+    if (seq < 1) {
+      throw std::invalid_argument("chaos spec: " + key + " needs SEQ >= 1, got '" + value +
+                                  "'");
+    }
+    ServeChaosEvent::Kind kind = ServeChaosEvent::Kind::BuilderStall;
+    if (key == "pubdrop") kind = ServeChaosEvent::Kind::DropPublish;
+    if (key == "shed") kind = ServeChaosEvent::Kind::Shed;
+    if (key == "tear") kind = ServeChaosEvent::Kind::Tear;
+    schedule.add_serve_event({static_cast<std::uint64_t>(seq), kind, 0});
   } else if (key == "lag") {
     schedule.staleness.base_lag = parse_int(directive, value);
   } else if (key == "hoplag") {
@@ -90,6 +115,25 @@ void apply_directive(FaultSchedule& schedule, const std::string& directive) {
 }
 
 }  // namespace
+
+const char* to_string(ServeChaosEvent::Kind kind) noexcept {
+  switch (kind) {
+    case ServeChaosEvent::Kind::BuilderDelay: return "bdelay";
+    case ServeChaosEvent::Kind::BuilderStall: return "bstall";
+    case ServeChaosEvent::Kind::DropPublish: return "pubdrop";
+    case ServeChaosEvent::Kind::Shed: return "shed";
+    case ServeChaosEvent::Kind::Tear: return "tear";
+  }
+  return "?";
+}
+
+void FaultSchedule::add_serve_event(ServeChaosEvent event) {
+  if (event.seq < 1) {
+    throw std::invalid_argument("FaultSchedule: serve-chaos ordinals are 1-based");
+  }
+  serve_events_.insert(
+      std::upper_bound(serve_events_.begin(), serve_events_.end(), event), event);
+}
 
 void FaultSchedule::add(std::int64_t time, Coord node) {
   if (time < 0) throw std::invalid_argument("FaultSchedule: injection times must be >= 0");
@@ -165,6 +209,11 @@ std::string FaultSchedule::to_spec() const {
     os << "inject=" << e.time << ':' << e.node.x << ',' << e.node.y << ';';
   }
   if (rand_count_ > 0) os << "rand=" << rand_count_ << '@' << rand_horizon_ << ';';
+  for (const ServeChaosEvent& e : serve_events_) {
+    os << to_string(e.kind) << '=' << e.seq;
+    if (e.kind == ServeChaosEvent::Kind::BuilderDelay) os << ':' << e.param;
+    os << ';';
+  }
   if (staleness.base_lag != 0) os << "lag=" << staleness.base_lag << ';';
   if (staleness.per_hop_lag != 0) os << "hoplag=" << staleness.per_hop_lag << ';';
   if (loss.drop != 0) os << "drop=" << loss.drop << ';';

@@ -15,6 +15,19 @@
 //   hoplag=N       plus N extra ticks per Manhattan hop from the fault site
 //   drop=P dup=P delay=P     lossy-link probabilities for SyncNetwork runs
 //   maxdelay=N retry=N maxretries=N   the matching ARQ knobs
+// Serve-layer self-chaos (the injection points inside src/serve itself; SEQ
+// ordinals are 1-based — publish ordinals for the builder events, per-session
+// request ordinals for shed/tear):
+//   bdelay=SEQ:US  the SEQ-th publish sleeps US microseconds before building
+//   bstall=SEQ     the SEQ-th publish wedges its incremental build; the
+//                  builder watchdog detects no progress and forces a
+//                  from-scratch snapshot rebuild
+//   pubdrop=SEQ    the SEQ-th publication is dropped (world advances, the
+//                  store keeps serving the previous epoch — staleness grows)
+//   shed=SEQ       admission force-sheds a session's SEQ-th read request
+//                  (deterministic overload for protocol tests)
+//   tear=SEQ       the session is torn after its SEQ-th command (abrupt
+//                  close, no reply — models a dropped connection)
 // Directives in a string spec are separated by ';' or whitespace.
 #pragma once
 
@@ -52,6 +65,28 @@ struct StalenessSpec {
   friend constexpr bool operator==(const StalenessSpec&, const StalenessSpec&) = default;
 };
 
+/// One serve-layer self-chaos event: `kind` fires at the `seq`-th occasion
+/// (publish ordinal for the builder kinds, per-session request/command
+/// ordinal for Shed/Tear; both 1-based). `param` is kind-specific (delay
+/// microseconds for BuilderDelay, 0 otherwise).
+struct ServeChaosEvent {
+  enum class Kind : std::uint8_t {
+    BuilderDelay = 0,  ///< publish sleeps param microseconds before building
+    BuilderStall = 1,  ///< incremental build wedges; watchdog forces a scratch rebuild
+    DropPublish = 2,   ///< snapshot swap never lands; readers keep the old epoch
+    Shed = 3,          ///< admission force-sheds this read request
+    Tear = 4,          ///< session torn after this command (no reply)
+  };
+
+  std::uint64_t seq = 0;
+  Kind kind = Kind::BuilderDelay;
+  std::int64_t param = 0;
+
+  friend constexpr auto operator<=>(const ServeChaosEvent&, const ServeChaosEvent&) = default;
+};
+
+[[nodiscard]] const char* to_string(ServeChaosEvent::Kind kind) noexcept;
+
 /// A reproducible script of timed fault injections plus the chaos knobs for
 /// the other subsystems. Entries are kept sorted by (time, y, x) so replay
 /// order never depends on insertion order.
@@ -86,6 +121,14 @@ class FaultSchedule {
   /// Round-trippable spec rendering (parse(to_spec()) == *this).
   [[nodiscard]] std::string to_spec() const;
 
+  /// Add one serve-layer self-chaos event (seq must be >= 1).
+  void add_serve_event(ServeChaosEvent event);
+
+  /// Serve-layer self-chaos script, sorted by (seq, kind, param).
+  [[nodiscard]] const std::vector<ServeChaosEvent>& serve_events() const noexcept {
+    return serve_events_;
+  }
+
   friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
 
   StalenessSpec staleness;
@@ -93,6 +136,7 @@ class FaultSchedule {
 
  private:
   std::vector<TimedFault> entries_;
+  std::vector<ServeChaosEvent> serve_events_;
   std::size_t rand_count_ = 0;
   std::int64_t rand_horizon_ = 0;
 };

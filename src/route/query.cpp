@@ -108,12 +108,18 @@ LadderResult route_ladder(const QueryView& view, Coord s, Coord d, const LadderO
 void route_batch(const QueryView& view, std::span<const QuerySpec> specs,
                  const LadderOptions& opts, std::vector<RouteAnswer>& out) {
   const StaticFaultView fv = view.fault_view();
+  route_batch(*view.mesh, fv, specs, opts, out);
+}
+
+void route_batch(const Mesh2D& mesh, const FaultView& view, std::span<const QuerySpec> specs,
+                 const LadderOptions& opts, std::vector<RouteAnswer>& out) {
   out.clear();
   out.reserve(specs.size());
   for (const QuerySpec& q : specs) {
-    const LadderResult r = route_degradation_ladder(*view.mesh, fv, q.src, q.dst, opts,
+    const LadderResult r = route_degradation_ladder(mesh, view, q.src, q.dst, opts,
                                                     /*rng=*/nullptr);
-    out.push_back(RouteAnswer{r.status, r.rung, r.stats});
+    const RouteStatus attr = r.escalations.empty() ? r.status : r.escalations.front().reason;
+    out.push_back(RouteAnswer{r.status, r.rung, r.stats, attr});
   }
 }
 

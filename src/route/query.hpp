@@ -97,6 +97,10 @@ struct RouteAnswer {
   RouteStatus status = RouteStatus::Stuck;
   Rung rung = Rung::Minimal;       ///< highest rung engaged
   RouteStats stats;                ///< hops / detours / escalations
+  /// Why degradation was engaged: the first escalation's reason (InfoStale
+  /// when a rung was abandoned under a stale view), or `status` when the
+  /// walk never escalated. The serve layer's DEGRADED replies surface this.
+  RouteStatus attribution = RouteStatus::Delivered;
 };
 
 // ---- Decision queries -----------------------------------------------------
@@ -143,6 +147,12 @@ void minimal_reachability(const QueryView& view, Coord s, Grid<bool>& out);
 /// distance), so answers depend only on (view, spec) — the property the
 /// serve layer's cross-thread bit-identity rests on. `out` is overwritten.
 void route_batch(const QueryView& view, std::span<const QuerySpec> specs,
+                 const LadderOptions& opts, std::vector<RouteAnswer>& out);
+
+/// Same batch walk over an explicit FaultView (the serve layer's staleness
+/// guard routes through a stale-marked decorator here so every escalation
+/// is attributed InfoStale). Determinism contract is unchanged: no RNG.
+void route_batch(const Mesh2D& mesh, const FaultView& view, std::span<const QuerySpec> specs,
                  const LadderOptions& opts, std::vector<RouteAnswer>& out);
 
 }  // namespace meshroute::route

@@ -1,11 +1,23 @@
 #include "serve/builder.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace meshroute::serve {
 
 namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 dynamic::DynamicMeshState seeded_state(Mesh2D mesh, std::span<const Coord> initial_faults) {
   dynamic::DynamicMeshState state(std::move(mesh));
@@ -20,7 +32,57 @@ SnapshotBuilder::SnapshotBuilder(Mesh2D mesh, std::span<const Coord> initial_fau
       next_epoch_(1),
       store_(std::make_unique<const RoutingSnapshot>(state_, /*epoch=*/0, scratch_)) {}
 
+SnapshotBuilder::SnapshotBuilder(Mesh2D mesh, std::span<const Coord> initial_faults,
+                                 const std::string& journal_path, RecoverFromJournal)
+    : state_(seeded_state(std::move(mesh), initial_faults)),
+      next_epoch_(1),
+      store_(recover_snapshot(journal_path)) {}
+
+std::unique_ptr<const RoutingSnapshot> SnapshotBuilder::recover_snapshot(
+    const std::string& journal_path) {
+  static obs::Histogram& recover_us = obs::Registry::global().histogram("serve.recover_us");
+  const std::int64_t t0 = now_us();
+  const std::vector<JournalRecord> records = InjectionJournal::replay(journal_path);
+  InjectionJournal::repair(journal_path);  // mend a crash-torn tail before appending
+  std::uint64_t max_epoch = 0;
+  for (const JournalRecord& r : records) {
+    state_.inject_fault(r.site);
+    max_epoch = std::max(max_epoch, r.epoch);
+  }
+  stats_.recovered_records = records.size();
+  // Republish under the highest journaled epoch: bit-identical to what an
+  // uninterrupted run would be serving after its publish of those records.
+  next_epoch_ = records.empty() ? 1 : max_epoch + 1;
+  journal_ = std::make_unique<InjectionJournal>(journal_path);
+  auto snap = std::make_unique<const RoutingSnapshot>(state_, next_epoch_ - 1, scratch_);
+  recover_us.observe(now_us() - t0);
+  return snap;
+}
+
+void SnapshotBuilder::attach_journal(const std::string& path) {
+  journal_ = std::make_unique<InjectionJournal>(path);
+}
+
+void SnapshotBuilder::set_serve_chaos(const chaos::FaultSchedule& schedule) {
+  chaos_events_.clear();
+  for (const chaos::ServeChaosEvent& e : schedule.serve_events()) {
+    switch (e.kind) {
+      case chaos::ServeChaosEvent::Kind::BuilderDelay:
+      case chaos::ServeChaosEvent::Kind::BuilderStall:
+      case chaos::ServeChaosEvent::Kind::DropPublish:
+        chaos_events_.push_back(e);
+        break;
+      default:
+        break;  // shed/tear belong to the protocol layer
+    }
+  }
+}
+
 std::size_t SnapshotBuilder::inject(Coord c) {
+  // Write-ahead: the record must be durable before the state changes, so a
+  // crash between the two leaves the journal a superset of the applied
+  // state (replay is idempotent — re-injecting a faulty node is a no-op).
+  if (journal_ != nullptr) journal_->append(JournalRecord{next_epoch_, c});
   state_.inject_fault(c);
   const std::size_t delta = state_.last_changed().size();
   if (delta > 0) {
@@ -32,7 +94,47 @@ std::size_t SnapshotBuilder::inject(Coord c) {
 }
 
 std::uint64_t SnapshotBuilder::publish() {
-  auto snap = std::make_unique<const RoutingSnapshot>(state_, next_epoch_, scratch_);
+  const std::uint64_t ordinal = ++publish_ordinal_;
+  bool stall = false;
+  bool drop = false;
+  std::int64_t delay_us = 0;
+  for (const chaos::ServeChaosEvent& e : chaos_events_) {
+    if (e.seq != ordinal) continue;
+    switch (e.kind) {
+      case chaos::ServeChaosEvent::Kind::BuilderDelay: delay_us += e.param; break;
+      case chaos::ServeChaosEvent::Kind::BuilderStall: stall = true; break;
+      case chaos::ServeChaosEvent::Kind::DropPublish: drop = true; break;
+      default: break;
+    }
+  }
+  if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+
+  if (drop) {
+    // The world epoch advances but the swap never lands: readers keep the
+    // previous snapshot and epoch_lag() grows. Pending injections stay
+    // pending — the next successful publish carries them.
+    ++next_epoch_;
+    ++stats_.dropped_publishes;
+    return store_.current_epoch();
+  }
+
+  std::unique_ptr<const RoutingSnapshot> snap;
+  if (stall) {
+    // The incremental build is wedged; the no-progress watchdog declares it
+    // and forces a from-scratch rebuild against the fault set (the two
+    // construction paths are equivalence-tested, so readers cannot tell).
+    static obs::Counter& trips =
+        obs::Registry::global().counter("serve.builder.watchdog_trips");
+    trips.add(1);
+    ++stats_.forced_rebuilds;
+    MESHROUTE_TRACE_EVENT(obs::EventKind::WatchdogTrip, 0,
+                          static_cast<std::int64_t>(ordinal), (Coord{0, 0}), next_epoch_,
+                          stats_.pending_injections);
+    snap = std::make_unique<const RoutingSnapshot>(mesh(), state_.faults(), next_epoch_,
+                                                   scratch_);
+  } else {
+    snap = std::make_unique<const RoutingSnapshot>(state_, next_epoch_, scratch_);
+  }
   ++next_epoch_;
   ++stats_.published;
   stats_.pending_injections = 0;

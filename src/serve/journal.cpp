@@ -1,0 +1,144 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace meshroute::serve {
+namespace {
+
+/// Parse one complete `inject=E:X,Y` line into `out`; false on any
+/// deviation from the grammar (caller decides whether that is a torn tail
+/// or corruption).
+bool parse_record(const std::string& line, JournalRecord& out) {
+  constexpr const char* kPrefix = "inject=";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  const auto colon = line.find(':');
+  const auto comma = line.find(',');
+  if (colon == std::string::npos || comma == std::string::npos || comma < colon) return false;
+  try {
+    std::size_t pos = 0;
+    const std::string epoch_text = line.substr(7, colon - 7);
+    const long long epoch = std::stoll(epoch_text, &pos);
+    if (pos != epoch_text.size() || epoch < 0) return false;
+    const std::string x_text = line.substr(colon + 1, comma - colon - 1);
+    const long long x = std::stoll(x_text, &pos);
+    if (pos != x_text.size()) return false;
+    const std::string y_text = line.substr(comma + 1);
+    const long long y = std::stoll(y_text, &pos);
+    if (pos != y_text.size()) return false;
+    out = JournalRecord{static_cast<std::uint64_t>(epoch),
+                       Coord{static_cast<Dist>(x), static_cast<Dist>(y)}};
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+InjectionJournal::InjectionJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("InjectionJournal: cannot open '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+}
+
+InjectionJournal::~InjectionJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void InjectionJournal::append(const JournalRecord& record) {
+  const std::string line = "inject=" + std::to_string(record.epoch) + ':' +
+                           std::to_string(record.site.x) + ',' +
+                           std::to_string(record.site.y) + '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("InjectionJournal: write to '" + path_ +
+                               "' failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("InjectionJournal: fsync of '" + path_ +
+                             "' failed: " + std::strerror(errno));
+  }
+  ++appended_;
+}
+
+std::vector<JournalRecord> InjectionJournal::replay(const std::string& path) {
+  std::vector<JournalRecord> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return records;  // absent journal = fresh start
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const auto nl = content.find('\n', start);
+    const bool complete = nl != std::string::npos;
+    const std::string line =
+        content.substr(start, complete ? nl - start : std::string::npos);
+    JournalRecord rec;
+    if (!line.empty()) {
+      if (parse_record(line, rec)) {
+        records.push_back(rec);
+      } else if (complete) {
+        throw std::runtime_error("InjectionJournal: corrupt record in '" + path + "': '" +
+                                 line + "'");
+      }
+      // A torn (incomplete, unparsable-or-not) final line is a crash
+      // artifact: the write never finished, so the injection was never
+      // applied. Skip it silently.
+    }
+    if (!complete) break;
+    start = nl + 1;
+  }
+  return records;
+}
+
+void InjectionJournal::repair(const std::string& path) {
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return;  // absent journal = nothing to mend
+    content.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const auto last_nl = content.rfind('\n');
+  const std::size_t tail_start = last_nl == std::string::npos ? 0 : last_nl + 1;
+  if (tail_start >= content.size()) return;  // newline-terminated: clean
+  const std::string tail = content.substr(tail_start);
+  JournalRecord rec;
+  if (parse_record(tail, rec)) {
+    // The record is whole, only its terminator was lost: complete the line.
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) {
+      throw std::runtime_error("InjectionJournal: cannot repair '" + path +
+                               "': " + std::strerror(errno));
+    }
+    const char nl = '\n';
+    const bool ok = ::write(fd, &nl, 1) == 1 && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+      throw std::runtime_error("InjectionJournal: cannot repair '" + path +
+                               "': " + std::strerror(errno));
+    }
+  } else {
+    // A write that never finished: the injection was never applied, so the
+    // fragment carries no state. Drop it.
+    if (::truncate(path.c_str(), static_cast<off_t>(tail_start)) != 0) {
+      throw std::runtime_error("InjectionJournal: cannot truncate '" + path +
+                               "': " + std::strerror(errno));
+    }
+  }
+}
+
+}  // namespace meshroute::serve

@@ -1,0 +1,70 @@
+// Crash-recovery journal for the query server: an append-only, fsync'd
+// write-ahead log of applied injections. Each record is one line in the
+// chaos::FaultSchedule grammar — `inject=E:X,Y` with E the world epoch the
+// injection was stamped with — so a journal file doubles as a replayable
+// chaos script and stays human-readable with `cat`.
+//
+// Write-ahead contract: SnapshotBuilder appends (and fsyncs) BEFORE mutating
+// DynamicMeshState, so after a crash the journal is a superset of the
+// applied state, never a subset. Replay tolerates exactly one torn record at
+// the tail (a crash mid-write); any other malformed line throws — that is
+// corruption, not a crash artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coord.hpp"
+
+namespace meshroute::serve {
+
+/// One journaled injection: node `site` turned faulty at world epoch `epoch`.
+struct JournalRecord {
+  std::uint64_t epoch = 0;
+  Coord site;
+
+  friend constexpr bool operator==(const JournalRecord&, const JournalRecord&) = default;
+};
+
+/// Append-only fsync'd injection log. Opening creates the file when absent
+/// and appends when present (recovery reopens the same path and continues).
+class InjectionJournal {
+ public:
+  /// Opens `path` for appending (O_CREAT | O_APPEND); throws
+  /// std::runtime_error on failure.
+  explicit InjectionJournal(std::string path);
+  ~InjectionJournal();
+
+  InjectionJournal(const InjectionJournal&) = delete;
+  InjectionJournal& operator=(const InjectionJournal&) = delete;
+
+  /// Durably append one record: write the full line, then fsync. Throws
+  /// std::runtime_error when the write or sync fails — the caller must NOT
+  /// apply the injection in that case (write-ahead contract).
+  void append(const JournalRecord& record);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+
+  /// Parse a journal file into records (empty when the file is absent —
+  /// a fresh start is not an error). A torn final line (no trailing '\n',
+  /// or unparsable) is skipped; a malformed *interior* line throws
+  /// std::runtime_error with the offending text.
+  [[nodiscard]] static std::vector<JournalRecord> replay(const std::string& path);
+
+  /// Mend a crash-torn tail so the file is safe to append to again: a
+  /// parsable record missing only its '\n' gets the newline (replay already
+  /// counts it), an unparsable fragment is truncated away. Recovery calls
+  /// this after replay and before re-attaching — without it the next append
+  /// would concatenate onto the fragment and corrupt the record. No-op on a
+  /// clean or absent file; throws std::runtime_error on I/O failure.
+  static void repair(const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace meshroute::serve

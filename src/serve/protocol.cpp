@@ -1,11 +1,15 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -94,20 +98,33 @@ std::string handle_line(QueryServer::Session& session, std::string_view line, bo
   std::string err;
   std::ostringstream reply;
 
+  session.note_command();  // tear=SEQ applies to every real command
+
   if (cmd == "DECIDE" || cmd == "ROUTE") {
     if (!parse_coords(toks, 2, server.builder().mesh(), args, err)) {
       return "ERR " + std::string(cmd) + ": " + err;
     }
     const route::QuerySpec spec{args[0], args[1]};
+    const bool force_shed = session.chaos_shed_next_read();
+    static thread_local std::vector<cond::Decision> decide_out;
+    static thread_local std::vector<route::RouteAnswer> route_out;
+    QueryServer::Session::Guard guard;
     if (cmd == "DECIDE") {
-      const cond::Decision dec = session.decide(spec);
-      reply << "OK DECIDE " << decision_name(dec) << " epoch=" << session.last_epoch();
+      guard = session.decide_batch_guarded({&spec, 1}, decide_out, force_shed);
+      if (!guard.admitted) return "BUSY " + std::to_string(guard.retry_after_ms);
+      reply << (guard.degraded ? "DEGRADED" : "OK") << " DECIDE "
+            << decision_name(decide_out.front()) << " epoch=" << session.last_epoch();
     } else {
-      const route::RouteAnswer ans = session.route(spec);
-      reply << "OK ROUTE " << route::to_string(ans.status)
-            << " rung=" << route::to_string(ans.rung) << " hops=" << ans.stats.hops
+      guard = session.route_batch_guarded({&spec, 1}, route_out, force_shed);
+      if (!guard.admitted) return "BUSY " + std::to_string(guard.retry_after_ms);
+      const route::RouteAnswer& ans = route_out.front();
+      reply << (guard.degraded ? "DEGRADED" : "OK") << " ROUTE "
+            << route::to_string(ans.status);
+      if (guard.degraded) reply << " attr=" << route::to_string(ans.attribution);
+      reply << " rung=" << route::to_string(ans.rung) << " hops=" << ans.stats.hops
             << " detours=" << ans.stats.detours << " epoch=" << session.last_epoch();
     }
+    if (guard.degraded) reply << " lag=" << guard.lag;
     return reply.str();
   }
   if (cmd == "INJECT") {
@@ -123,10 +140,19 @@ std::string handle_line(QueryServer::Session& session, std::string_view line, bo
     if (toks.size() != 1) return "ERR STATS takes no arguments";
     return "OK STATS " + experiment::json::to_string(server.stats_json());
   }
+  if (cmd == "HEALTH") {
+    if (toks.size() != 1) return "ERR HEALTH takes no arguments";
+    return "OK HEALTH " + experiment::json::to_string(server.health_json());
+  }
   if (cmd == "EPOCH") {
     if (toks.size() != 1) return "ERR EPOCH takes no arguments";
     reply << "OK EPOCH " << server.builder().store().current_epoch();
     return reply.str();
+  }
+  if (cmd == "SHUTDOWN") {
+    quit = true;
+    server.request_shutdown();
+    return "OK SHUTDOWN";
   }
   if (cmd == "QUIT") {
     quit = true;
@@ -136,15 +162,30 @@ std::string handle_line(QueryServer::Session& session, std::string_view line, bo
 }
 
 std::size_t run_session(QueryServer& server, std::istream& in, std::ostream& out) {
+  // Bounded client-side backoff for BUSY replies: the script driver is its
+  // own client, so it honors the retry-after hint in place.
+  constexpr int kMaxBusyRetries = 8;
+  constexpr std::int64_t kMaxSleepMs = 100;  // scripts must not hang on chaos
+
   QueryServer::Session session(server);
   std::size_t commands = 0;
   std::string line;
   bool quit = false;
   while (!quit && std::getline(in, line)) {
-    const std::string reply = handle_line(session, line, quit);
-    if (reply.empty()) continue;
-    ++commands;
-    out << reply << '\n';
+    for (int attempt = 0;; ++attempt) {
+      const std::string reply = handle_line(session, line, quit);
+      if (session.torn()) {
+        out.flush();
+        return commands;  // abrupt close: the reply is dropped
+      }
+      if (reply.empty()) break;
+      ++commands;
+      out << reply << '\n';
+      if (reply.rfind("BUSY ", 0) != 0 || attempt >= kMaxBusyRetries) break;
+      const std::int64_t hint_ms = std::strtoll(reply.c_str() + 5, nullptr, 10);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::clamp<std::int64_t>(hint_ms, 0, kMaxSleepMs)));
+    }
   }
   out.flush();
   return commands;
@@ -170,6 +211,7 @@ void serve_connection(QueryServer& server, int fd) {
       const std::string_view line(pending.data() + start, nl - start);
       start = nl + 1;
       std::string reply = handle_line(session, line, quit);
+      if (session.torn()) return;  // scripted tear: abrupt close, reply dropped
       if (reply.empty()) continue;
       reply.push_back('\n');
       std::size_t off = 0;
@@ -205,6 +247,7 @@ int serve_tcp(QueryServer& server, std::uint16_t port, int max_connections) {
     return 1;
   }
   for (int served = 0; max_connections < 0 || served < max_connections; ++served) {
+    if (server.shutdown_requested()) break;
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -214,6 +257,7 @@ int serve_tcp(QueryServer& server, std::uint16_t port, int max_connections) {
     }
     serve_connection(server, fd);
     ::close(fd);
+    if (server.shutdown_requested()) break;
   }
   ::close(listener);
   return 0;

@@ -1,0 +1,57 @@
+#include "serve/resilience.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace meshroute::serve {
+
+void Admission::Ticket::release() noexcept {
+  if (owner_ != nullptr) {
+    owner_->depth_.fetch_sub(1, std::memory_order_relaxed);
+    owner_ = nullptr;
+  }
+}
+
+Admission::Ticket Admission::try_admit(std::int64_t& retry_after_ms, bool force_shed) {
+  static obs::Counter& shed_counter = obs::Registry::global().counter("serve.shed_total");
+  static obs::Histogram& depth_hist = obs::Registry::global().histogram("serve.queue_depth");
+
+  bool shed = force_shed;
+  if (!shed && cfg_.queue_capacity > 0) {
+    // Optimistic increment; back out when over capacity. Depth can
+    // transiently overshoot by the number of racing admitters, never the
+    // admitted count.
+    const std::int64_t prev = depth_.fetch_add(1, std::memory_order_relaxed);
+    if (prev >= cfg_.queue_capacity) {
+      depth_.fetch_sub(1, std::memory_order_relaxed);
+      shed = true;
+    }
+  } else if (!shed) {
+    depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (shed) {
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    shed_counter.add(1);
+    const std::int64_t streak = shed_streak_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t exponent = std::min(streak, cfg_.busy_max_exponent);
+    retry_after_ms = std::max<std::int64_t>(1, cfg_.busy_base_ms) << exponent;
+    return Ticket{};
+  }
+
+  shed_streak_.store(0, std::memory_order_relaxed);
+  depth_hist.observe(depth_.load(std::memory_order_relaxed));
+  return Ticket{this};
+}
+
+void Admission::note_service(std::int64_t elapsed_us) {
+  if (cfg_.deadline_us > 0 && elapsed_us > cfg_.deadline_us) {
+    static obs::Counter& misses =
+        obs::Registry::global().counter("serve.deadline_miss_total");
+    misses.add(1);
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace meshroute::serve

@@ -1,0 +1,137 @@
+// Serving resilience primitives (DESIGN §13): the ADMIT gate in front of
+// every read request, and the stale-marked FaultView the DEGRADE path routes
+// through.
+//
+// Admission is a bounded counting gate, not a literal queue: the line
+// protocol and bench loops hold a Ticket for exactly the time they spend
+// answering, so `depth` is the number of requests in flight server-wide.
+// When depth would exceed the capacity the request is shed with a suggested
+// retry-after that backs off exponentially in the length of the current
+// shed streak — an overloaded server tells its clients to spread out, and
+// the hint decays back to the base as soon as a request gets through.
+//
+// Every admission outcome feeds obs:
+//   serve.shed_total      — requests rejected at the gate
+//   serve.queue_depth     — depth histogram sampled at each admit
+//   serve.deadline_miss_total — admitted requests that finished past their
+//                               per-request deadline (budget, not abort:
+//                               the answer is still returned)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/rect.hpp"
+#include "route/ladder.hpp"
+
+namespace meshroute::serve {
+
+/// Knobs for the resilience layer. The zero values disable each guard, so a
+/// default-constructed server behaves exactly like the pre-resilience one.
+struct ResilienceConfig {
+  /// In-flight request cap; 0 = unbounded (shedding off).
+  std::int64_t queue_capacity = 0;
+  /// Base retry-after hint for a shed request (milliseconds).
+  std::int64_t busy_base_ms = 1;
+  /// Backoff cap: retry-after = busy_base_ms << min(streak, busy_max_exponent).
+  std::int64_t busy_max_exponent = 6;
+  /// Max snapshot-epoch lag served at full fidelity; beyond it responses are
+  /// answered DEGRADED through the ladder with InfoStale attribution.
+  /// 0 = no staleness guard.
+  std::uint64_t max_staleness_epochs = 0;
+  /// Per-request service-time budget (microseconds); 0 = no deadline. A miss
+  /// is counted (serve.deadline_miss_total), not aborted.
+  std::int64_t deadline_us = 0;
+
+  friend bool operator==(const ResilienceConfig&, const ResilienceConfig&) = default;
+};
+
+/// The bounded admission gate. Thread-safe; one instance per server.
+class Admission {
+ public:
+  explicit Admission(const ResilienceConfig& cfg) : cfg_(cfg) {}
+
+  Admission(const Admission&) = delete;
+  Admission& operator=(const Admission&) = delete;
+
+  /// RAII in-flight slot: destruction (or release()) decrements the depth.
+  /// A default-constructed / shed Ticket holds nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(Admission* owner) : owner_(owner) {}
+    Ticket(Ticket&& other) noexcept : owner_(other.owner_) { other.owner_ = nullptr; }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        release();
+        owner_ = other.owner_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { release(); }
+
+    [[nodiscard]] bool admitted() const noexcept { return owner_ != nullptr; }
+    void release() noexcept;
+
+   private:
+    Admission* owner_ = nullptr;
+  };
+
+  /// Try to admit one request. On success the returned Ticket is live and
+  /// `retry_after_ms` is untouched; on shed the Ticket is empty and
+  /// `retry_after_ms` carries the backoff hint for the BUSY reply.
+  /// `force_shed` short-circuits the capacity check (serve-chaos `shed=SEQ`).
+  [[nodiscard]] Ticket try_admit(std::int64_t& retry_after_ms, bool force_shed = false);
+
+  [[nodiscard]] std::int64_t depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed_total() const noexcept {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const ResilienceConfig& config() const noexcept { return cfg_; }
+
+  /// Record an admitted request's service time against the deadline budget.
+  void note_service(std::int64_t elapsed_us);
+  [[nodiscard]] std::uint64_t deadline_misses() const noexcept {
+    return deadline_misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Ticket;
+
+  ResilienceConfig cfg_;
+  std::atomic<std::int64_t> depth_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::int64_t> shed_streak_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+};
+
+/// FaultView decorator that reports every node's picture as stale while
+/// delegating truth and belief untouched. The staleness guard routes
+/// DEGRADED answers through this wrapper so any rung abandonment is
+/// attributed InfoStale (ladder.hpp's is_stale contract) — the reply then
+/// says WHY it degraded, not just that it failed.
+class StaleMarkedView final : public route::FaultView {
+ public:
+  explicit StaleMarkedView(const route::FaultView& inner) : inner_(inner) {}
+
+  [[nodiscard]] bool truly_bad(Coord c, std::int64_t time) const override {
+    return inner_.truly_bad(c, time);
+  }
+  void believed_blocks(Coord at, std::int64_t time, std::vector<Rect>& out) const override {
+    inner_.believed_blocks(at, time, out);
+  }
+  [[nodiscard]] bool is_stale(Coord /*at*/, std::int64_t /*time*/) const override {
+    return true;
+  }
+
+ private:
+  const route::FaultView& inner_;
+};
+
+}  // namespace meshroute::serve

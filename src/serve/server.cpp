@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.hpp"
@@ -17,7 +18,45 @@ std::int64_t now_us() {
 }  // namespace
 
 QueryServer::QueryServer(SnapshotBuilder& builder, ServeConfig config)
-    : builder_(builder), config_(std::move(config)) {}
+    : builder_(builder), config_(std::move(config)), admission_(config_.resilience) {}
+
+void QueryServer::set_serve_chaos(const chaos::FaultSchedule& schedule) {
+  builder_.set_serve_chaos(schedule);
+  shed_seqs_.clear();
+  tear_seqs_.clear();
+  for (const chaos::ServeChaosEvent& e : schedule.serve_events()) {
+    if (e.kind == chaos::ServeChaosEvent::Kind::Shed) shed_seqs_.push_back(e.seq);
+    if (e.kind == chaos::ServeChaosEvent::Kind::Tear) tear_seqs_.push_back(e.seq);
+  }
+}
+
+bool QueryServer::chaos_shed_at(std::uint64_t read_ordinal) const noexcept {
+  return std::binary_search(shed_seqs_.begin(), shed_seqs_.end(), read_ordinal);
+}
+
+bool QueryServer::chaos_tear_at(std::uint64_t command_ordinal) const noexcept {
+  return std::binary_search(tear_seqs_.begin(), tear_seqs_.end(), command_ordinal);
+}
+
+experiment::json::Value QueryServer::health_json() const {
+  using experiment::json::Value;
+  const BuilderStats& bs = builder_.stats();
+  Value::Object o;
+  o["epoch"] = Value(static_cast<double>(builder_.store().current_epoch()));
+  o["world_epoch"] = Value(static_cast<double>(builder_.world_epoch()));
+  o["epoch_lag"] = Value(static_cast<double>(builder_.epoch_lag()));
+  o["max_staleness"] = Value(static_cast<double>(config_.resilience.max_staleness_epochs));
+  o["queue_depth"] = Value(static_cast<double>(admission_.depth()));
+  o["queue_capacity"] = Value(static_cast<double>(config_.resilience.queue_capacity));
+  o["shed_total"] = Value(static_cast<double>(admission_.shed_total()));
+  o["degraded_total"] = Value(static_cast<double>(degraded_total()));
+  o["deadline_misses"] = Value(static_cast<double>(admission_.deadline_misses()));
+  o["dropped_publishes"] = Value(static_cast<double>(bs.dropped_publishes));
+  o["forced_rebuilds"] = Value(static_cast<double>(bs.forced_rebuilds));
+  o["recovered_records"] = Value(static_cast<double>(bs.recovered_records));
+  o["journaling"] = Value(builder_.journaling());
+  return Value(std::move(o));
+}
 
 experiment::json::Value QueryServer::stats_json() const {
   using experiment::json::Value;
@@ -33,6 +72,9 @@ experiment::json::Value QueryServer::stats_json() const {
   o["published"] = Value(static_cast<double>(bs.published));
   o["pending_injections"] = Value(static_cast<double>(bs.pending_injections));
   o["relabeled_nodes"] = Value(static_cast<double>(bs.relabeled_nodes));
+  o["dropped_publishes"] = Value(static_cast<double>(bs.dropped_publishes));
+  o["forced_rebuilds"] = Value(static_cast<double>(bs.forced_rebuilds));
+  o["recovered_records"] = Value(static_cast<double>(bs.recovered_records));
   o["readers"] = Value(static_cast<double>(store.registered_readers()));
   o["retired"] = Value(static_cast<double>(store.retired_count()));
   o["model"] = Value(route::to_string(config_.model));
@@ -81,6 +123,83 @@ void QueryServer::Session::route_batch(std::span<const route::QuerySpec> specs,
   const SnapshotStore::Ref snap = reader_.acquire();
   route::route_batch(snap->query_view(), specs, server_.config_.ladder, out);
   note_batch(snap->epoch(), specs.size(), now_us() - t0);
+}
+
+bool QueryServer::Session::stale_beyond_bound(std::uint64_t held_epoch,
+                                              std::uint64_t& lag) const {
+  const std::uint64_t world = server_.builder_.world_epoch();
+  lag = world > held_epoch ? world - held_epoch : 0;
+  const std::uint64_t bound = server_.config_.resilience.max_staleness_epochs;
+  return bound > 0 && lag > bound;
+}
+
+QueryServer::Session::Guard QueryServer::Session::decide_batch_guarded(
+    std::span<const route::QuerySpec> specs, std::vector<cond::Decision>& out,
+    bool force_shed) {
+  Guard g;
+  Admission::Ticket ticket = server_.admission_.try_admit(g.retry_after_ms, force_shed);
+  if (!ticket.admitted()) {
+    g.admitted = false;
+    return g;
+  }
+  const std::int64_t t0 = now_us();
+  const SnapshotStore::Ref snap = reader_.acquire();
+  g.degraded = stale_beyond_bound(snap->epoch(), g.lag);
+  const ServeConfig& cfg = server_.config_;
+  // A decision has no ladder to fall back on: a stale-beyond-bound answer is
+  // still computed (against the best snapshot we have) but flagged DEGRADED
+  // so the caller knows the epoch it reflects is out of date.
+  route::decide_batch(snap->query_view(), specs, cfg.model, cfg.strategy, cfg.pivots,
+                      cfg.strategy_cfg, out);
+  const std::int64_t elapsed = now_us() - t0;
+  if (g.degraded) {
+    static obs::Counter& degraded = obs::Registry::global().counter("serve.degraded_total");
+    degraded.add(1);
+    server_.degraded_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  note_batch(snap->epoch(), specs.size(), elapsed);
+  server_.admission_.note_service(elapsed);
+  return g;
+}
+
+QueryServer::Session::Guard QueryServer::Session::route_batch_guarded(
+    std::span<const route::QuerySpec> specs, std::vector<route::RouteAnswer>& out,
+    bool force_shed) {
+  Guard g;
+  Admission::Ticket ticket = server_.admission_.try_admit(g.retry_after_ms, force_shed);
+  if (!ticket.admitted()) {
+    g.admitted = false;
+    return g;
+  }
+  const std::int64_t t0 = now_us();
+  const SnapshotStore::Ref snap = reader_.acquire();
+  g.degraded = stale_beyond_bound(snap->epoch(), g.lag);
+  if (g.degraded) {
+    // Serve through the degradation ladder with the view marked stale, so
+    // any rung abandonment is attributed InfoStale — the reply then carries
+    // WHY full fidelity was unavailable, not a silently stale answer.
+    static obs::Counter& degraded = obs::Registry::global().counter("serve.degraded_total");
+    degraded.add(1);
+    server_.degraded_total_.fetch_add(1, std::memory_order_relaxed);
+    const StaleMarkedView stale_view(*snap);
+    route::route_batch(snap->mesh(), stale_view, specs, server_.config_.ladder, out);
+  } else {
+    route::route_batch(snap->query_view(), specs, server_.config_.ladder, out);
+  }
+  const std::int64_t elapsed = now_us() - t0;
+  note_batch(snap->epoch(), specs.size(), elapsed);
+  server_.admission_.note_service(elapsed);
+  return g;
+}
+
+void QueryServer::Session::note_command() noexcept {
+  ++command_ordinal_;
+  if (server_.chaos_tear_at(command_ordinal_)) torn_ = true;
+}
+
+bool QueryServer::Session::chaos_shed_next_read() noexcept {
+  ++read_ordinal_;
+  return server_.chaos_shed_at(read_ordinal_);
 }
 
 cond::Decision QueryServer::Session::decide(route::QuerySpec spec) {

@@ -14,17 +14,29 @@
 //   serve.staleness_epochs  — how many epochs behind the just-published
 //                             world the acquired snapshot was,
 // and the counters serve.queries / serve.batches, all via obs::Registry.
+//
+// Resilience (DESIGN §13): the guarded batch entry points put every read
+// through the ADMIT gate (Admission, resilience.hpp) — over capacity the
+// request is shed with a retry-after hint — and through the max-staleness
+// guard: when the acquired snapshot's epoch trails the write side beyond
+// the configured bound, the answer is served DEGRADED (route walks go
+// through a StaleMarkedView so every rung abandonment is attributed
+// InfoStale). serve.degraded_total counts degraded requests; health_json()
+// is the HEALTH protocol document.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "chaos/fault_schedule.hpp"
 #include "common/coord.hpp"
 #include "cond/strategies.hpp"
 #include "experiment/json.hpp"
 #include "route/query.hpp"
 #include "serve/builder.hpp"
+#include "serve/resilience.hpp"
 #include "serve/store.hpp"
 
 namespace meshroute::serve {
@@ -36,6 +48,7 @@ struct ServeConfig {
   cond::StrategyConfig strategy_cfg{};
   std::vector<Coord> pivots;          ///< extension-3 pivot set (may be empty)
   route::LadderOptions ladder{};
+  ResilienceConfig resilience{};      ///< shedding/staleness/deadline guards
 };
 
 class QueryServer {
@@ -57,6 +70,30 @@ class QueryServer {
   /// reader registration) — the STATS protocol reply.
   [[nodiscard]] experiment::json::Value stats_json() const;
 
+  /// Resilience status document (epoch lag, queue depth, shed/degraded
+  /// counts, recovery stats) — the HEALTH protocol reply.
+  [[nodiscard]] experiment::json::Value health_json() const;
+
+  [[nodiscard]] Admission& admission() noexcept { return admission_; }
+
+  /// Arm serve-layer self-chaos: the builder-side events (bdelay/bstall/
+  /// pubdrop) go to the builder, the session-side ordinals (shed/tear) are
+  /// kept here for the protocol layer to consult.
+  void set_serve_chaos(const chaos::FaultSchedule& schedule);
+  [[nodiscard]] bool chaos_shed_at(std::uint64_t read_ordinal) const noexcept;
+  [[nodiscard]] bool chaos_tear_at(std::uint64_t command_ordinal) const noexcept;
+
+  /// Cooperative shutdown (the SHUTDOWN protocol command): the TCP accept
+  /// loop and script drivers stop after the in-flight session ends.
+  void request_shutdown() noexcept { shutdown_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t degraded_total() const noexcept {
+    return degraded_total_.load(std::memory_order_relaxed);
+  }
+
   /// One reader: a registered store slot plus reusable buffers. Create one
   /// per querying thread; entry points are safe to call concurrently with
   /// publishes and with other Sessions (never with themselves).
@@ -76,19 +113,48 @@ class QueryServer {
     [[nodiscard]] cond::Decision decide(route::QuerySpec spec);
     [[nodiscard]] route::RouteAnswer route(route::QuerySpec spec);
 
+    /// Outcome of a guarded batch: shed at the gate (BUSY), or served —
+    /// possibly DEGRADED when the snapshot lagged past the staleness bound.
+    struct Guard {
+      bool admitted = true;
+      std::int64_t retry_after_ms = 0;  ///< backoff hint when !admitted
+      bool degraded = false;
+      std::uint64_t lag = 0;            ///< world_epoch - served epoch
+    };
+
+    /// Guarded entry points: ADMIT gate + staleness guard around the plain
+    /// batch calls. When shed, `out` is untouched. `force_shed` is the
+    /// serve-chaos shed hook. Degraded route walks go through a
+    /// StaleMarkedView, so answers carry InfoStale attribution.
+    Guard decide_batch_guarded(std::span<const route::QuerySpec> specs,
+                               std::vector<cond::Decision>& out, bool force_shed = false);
+    Guard route_batch_guarded(std::span<const route::QuerySpec> specs,
+                              std::vector<route::RouteAnswer>& out, bool force_shed = false);
+
     [[nodiscard]] QueryServer& server() noexcept { return server_; }
 
     /// Epoch the most recent batch was answered against.
     [[nodiscard]] std::uint64_t last_epoch() const noexcept { return last_epoch_; }
     [[nodiscard]] std::uint64_t queries_served() const noexcept { return queries_; }
 
+    /// Protocol bookkeeping for serve-chaos: count one command, tearing the
+    /// session when its ordinal is scripted (`tear=SEQ`); count one read
+    /// request, reporting whether it is scripted to shed (`shed=SEQ`).
+    void note_command() noexcept;
+    [[nodiscard]] bool torn() const noexcept { return torn_; }
+    [[nodiscard]] bool chaos_shed_next_read() noexcept;
+
    private:
     void note_batch(std::uint64_t held_epoch, std::size_t n, std::int64_t elapsed_us);
+    [[nodiscard]] bool stale_beyond_bound(std::uint64_t held_epoch, std::uint64_t& lag) const;
 
     QueryServer& server_;
     SnapshotStore::Reader reader_;
     std::uint64_t last_epoch_ = 0;
     std::uint64_t queries_ = 0;
+    std::uint64_t command_ordinal_ = 0;  ///< 1-based, for tear=SEQ
+    std::uint64_t read_ordinal_ = 0;     ///< 1-based, for shed=SEQ
+    bool torn_ = false;
     std::vector<cond::Decision> decide_buf_;
     std::vector<route::RouteAnswer> route_buf_;
   };
@@ -96,6 +162,11 @@ class QueryServer {
  private:
   SnapshotBuilder& builder_;
   ServeConfig config_;
+  Admission admission_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> degraded_total_{0};
+  std::vector<std::uint64_t> shed_seqs_;  ///< sorted chaos ordinals
+  std::vector<std::uint64_t> tear_seqs_;
 };
 
 }  // namespace meshroute::serve

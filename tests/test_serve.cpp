@@ -152,6 +152,58 @@ TEST(SnapshotStore, RetiresUntilReadersRelease) {
   EXPECT_EQ(store.retired_count(), 0u);
 }
 
+// Reclamation under reader churn: readers register, acquire, release, and
+// deregister continuously while the writer publishes epochs. The sanitize
+// preset (ASan/UBSan) is the real assertion here — a snapshot freed while an
+// announced epoch could still reference it is a use-after-free — and at the
+// end, with every Ref dropped, one more publish must sweep the history to
+// empty (no retired snapshot leaks past its last reader).
+TEST(SnapshotStore, ReclaimsEpochsUnderReaderChurn) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  serve::SnapshotBuilder builder(mesh);
+  serve::SnapshotStore& store = builder.store();
+
+  constexpr int kChurners = 4;
+  constexpr int kEpochs = 60;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> acquires{0};
+  std::vector<std::thread> churners;
+  churners.reserve(kChurners);
+  for (int t = 0; t < kChurners; ++t) {
+    churners.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 77);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // A short-lived Reader: registration churn, not just Ref churn.
+        serve::SnapshotStore::Reader reader(store);
+        for (int i = 0; i < 8; ++i) {
+          const serve::SnapshotStore::Ref ref = reader.acquire();
+          // Touch the snapshot so a premature free is an ASan hit, and
+          // hold some Refs across a few publishes.
+          ASSERT_LE(ref->epoch(), store.current_epoch());
+          ASSERT_EQ(ref->mesh().width(), 16);
+          acquires.fetch_add(1, std::memory_order_relaxed);
+          if (rng.uniform(0, 3) == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      }
+    });
+  }
+
+  for (int e = 0; e < kEpochs; ++e) {
+    builder.inject_publish({static_cast<Dist>(e % 16), static_cast<Dist>((e / 16) % 16)});
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : churners) th.join();
+
+  EXPECT_EQ(store.current_epoch(), static_cast<std::uint64_t>(kEpochs));
+  EXPECT_EQ(store.registered_readers(), 0u);
+  EXPECT_GT(acquires.load(), 0u);
+  // Quiescent sweep: nothing pins history anymore.
+  builder.inject_publish({15, 15});
+  EXPECT_EQ(store.retired_count(), 0u);
+}
+
 // ---- Line protocol --------------------------------------------------------
 
 TEST(ServeProtocol, HandlesEveryCommandClass) {

@@ -22,7 +22,8 @@ endif()
 set(commands map decide route serve)
 set(flags
   --n --faults --seed --src --dst --model --segment --pivot-levels --strategy
-  --policy --ppm --ascii --chaos --ttl --trace --script --port --max-conns --help)
+  --policy --ppm --ascii --chaos --ttl --trace --script --port --max-conns
+  --journal --queue-depth --max-staleness --help)
 
 foreach(cmd IN LISTS commands)
   string(FIND "${help_text}" "${cmd}" idx)

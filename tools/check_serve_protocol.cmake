@@ -21,6 +21,7 @@ INJECT 10 10
 EPOCH
 DECIDE 2 2 20 21
 STATS
+HEALTH
 BOGUS 1 2
 QUIT
 ")
@@ -46,6 +47,8 @@ foreach(mode script stdin)
       "OK STATS {"
       "\"epoch\":1"
       "\"readers\":"
+      "OK HEALTH {"
+      "\"epoch_lag\":0"
       "ERR unknown command"
       "OK BYE")
     string(FIND "${out}" "${needle}" idx)
@@ -53,6 +56,41 @@ foreach(mode script stdin)
       message(FATAL_ERROR "serve (${mode}) output missing '${needle}':\n${out}")
     endif()
   endforeach()
+endforeach()
+
+# Resilience phase: serve-chaos sheds the first read (BUSY + scripted-client
+# retry), two dropped publications push the epoch lag past --max-staleness
+# (DEGRADED reply + HEALTH lag), and SHUTDOWN ends the session.
+set(rscript "${WORK_DIR}/serve_resilience_script.txt")
+file(WRITE "${rscript}"
+"ROUTE 2 2 20 21
+INJECT 10 10
+INJECT 11 10
+HEALTH
+ROUTE 2 2 20 21
+SHUTDOWN
+")
+
+execute_process(COMMAND ${CTL} serve --n 24 --faults 20 --seed 3
+                --chaos "shed=1;pubdrop=1;pubdrop=2" --max-staleness 1
+                --script ${rscript}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve (resilience) exited with ${rc}:\n${out}${err}")
+endif()
+foreach(needle
+    "BUSY "
+    "OK ROUTE"
+    "\"epoch_lag\":2"
+    "\"shed_total\":1"
+    "DEGRADED ROUTE"
+    " attr="
+    " lag=2"
+    "OK SHUTDOWN")
+  string(FIND "${out}" "${needle}" idx)
+  if(idx EQUAL -1)
+    message(FATAL_ERROR "serve (resilience) output missing '${needle}':\n${out}")
+  endif()
 endforeach()
 
 message(STATUS "serve protocol replies match over --script and stdin")

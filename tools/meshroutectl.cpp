@@ -10,11 +10,19 @@
 //   meshroutectl serve  --n 32 --faults 40 --seed 7 [--model fb|mcc]
 //                       [--strategy s1|s2|s3|s4] [--segment 5] [--pivot-levels 3]
 //                       [--script FILE] [--port P] [--max-conns C]
+//                       [--journal FILE] [--queue-depth N] [--max-staleness K]
+//                       [--chaos FILE|SPEC]
 //
 // serve runs the epoch-snapshotted query server (src/serve) speaking the
-// line protocol of serve/protocol.hpp — DECIDE/ROUTE/INJECT/STATS/EPOCH/QUIT
-// — over stdin/stdout, a --script file, or a loopback TCP --port. INJECT
-// publishes a new immutable snapshot; reads stay lock-free throughout.
+// line protocol of serve/protocol.hpp — DECIDE/ROUTE/INJECT/STATS/HEALTH/
+// EPOCH/SHUTDOWN/QUIT — over stdin/stdout, a --script file, or a loopback
+// TCP --port. INJECT publishes a new immutable snapshot; reads stay
+// lock-free throughout. The resilience knobs (DESIGN §13): --queue-depth
+// bounds in-flight reads (over it: BUSY <retry_after_ms>, script sessions
+// back off and retry), --max-staleness serves DEGRADED answers when the
+// published snapshot lags the world, --journal write-ahead-logs every
+// injection and recovers from the log on restart, and --chaos arms the
+// serve-layer self-chaos events (bdelay/bstall/pubdrop/shed/tear).
 //
 // With --chaos, route runs the graceful-degradation ladder against a live
 // FaultSchedule (see src/chaos/fault_schedule.hpp for the spec grammar;
@@ -76,6 +84,9 @@ struct Options {
   std::optional<std::string> script; ///< serve: read requests from a file
   std::optional<long> port;          ///< serve: TCP port instead of stdin
   int max_conns = -1;                ///< serve: connections before exiting (-1 = forever)
+  std::optional<std::string> journal;///< serve: WAL path (recover + append)
+  long queue_depth = 0;              ///< serve: admission capacity (0 = unbounded)
+  long max_staleness = 0;            ///< serve: epoch-lag bound (0 = no guard)
 };
 
 Coord parse_coord(const std::string& key, const std::string& s) {
@@ -107,7 +118,8 @@ void print_usage(std::ostream& os) {
         "  decide  evaluate the sufficient conditions for a (src, dst) pair\n"
         "  route   walk a packet from --src to --dst\n"
         "  serve   run the epoch-snapshotted query server (DECIDE/ROUTE/INJECT/\n"
-        "          STATS/EPOCH/QUIT line protocol on stdin, --script, or --port)\n"
+        "          STATS/HEALTH/EPOCH/SHUTDOWN/QUIT line protocol on stdin,\n"
+        "          --script, or --port)\n"
         "flags (accept both '--key value' and '--key=value'):\n"
         "  --n N                    mesh side                       (default 32)\n"
         "  --faults K               uniform random fault count      (default 0)\n"
@@ -121,14 +133,21 @@ void print_usage(std::ostream& os) {
         "  --policy boundary|global information policy for route   (default boundary)\n"
         "  --ppm FILE               render the world (and path) as a PPM image\n"
         "  --ascii                  force the ASCII map even for n > 64\n"
-        "  --chaos FILE|SPEC        route with the degradation ladder under a fault\n"
-        "                           schedule, e.g. --chaos 'inject=3:5,5;lag=4'\n"
+        "  --chaos FILE|SPEC        route: degradation ladder under a fault schedule,\n"
+        "                           e.g. --chaos 'inject=3:5,5;lag=4'; serve: arm the\n"
+        "                           self-chaos events (bdelay/bstall/pubdrop/shed/tear)\n"
         "  --ttl N                  ladder hop budget with --chaos  (0 = auto)\n"
         "  --trace FILE|-           write the run's event stream as Chrome trace-event\n"
         "                           JSON ('-' = stdout); load the file in Perfetto\n"
         "  --script FILE            serve: read protocol requests from FILE\n"
         "  --port P                 serve: listen on loopback TCP port P\n"
         "  --max-conns C            serve: exit after C connections (default: forever)\n"
+        "  --journal FILE           serve: fsync'd injection journal; replayed on start\n"
+        "                           (crash recovery), appended to while serving\n"
+        "  --queue-depth N          serve: admission capacity; over it reads get\n"
+        "                           BUSY <retry_after_ms>          (default: unbounded)\n"
+        "  --max-staleness K        serve: answer DEGRADED when the served snapshot\n"
+        "                           lags the world by more than K epochs (default: off)\n"
         "  --help                   print this message and exit\n";
 }
 
@@ -235,18 +254,32 @@ Options parse(int argc, char** argv) {
     } else if (key == "--max-conns") {
       opt.max_conns = static_cast<int>(parse_long(key, next_value(key, attached)));
       if (opt.max_conns < 1) throw std::invalid_argument("--max-conns must be >= 1");
+    } else if (key == "--journal") {
+      opt.journal = next_value(key, attached);
+      if (opt.journal->empty()) throw std::invalid_argument("--journal expects a file name");
+    } else if (key == "--queue-depth") {
+      opt.queue_depth = parse_long(key, next_value(key, attached));
+      if (opt.queue_depth < 0) throw std::invalid_argument("--queue-depth must be >= 0");
+    } else if (key == "--max-staleness") {
+      opt.max_staleness = parse_long(key, next_value(key, attached));
+      if (opt.max_staleness < 0) throw std::invalid_argument("--max-staleness must be >= 0");
     } else {
       throw std::invalid_argument("unknown flag '" + key + "'");
     }
   }
-  if (opt.chaos && opt.command != "route") {
-    throw std::invalid_argument("--chaos only applies to the route command");
+  if (opt.chaos && opt.command != "route" && opt.command != "serve") {
+    throw std::invalid_argument("--chaos only applies to the route and serve commands");
   }
   if (opt.ttl != 0 && !opt.chaos) {
     throw std::invalid_argument("--ttl requires --chaos");
   }
   if ((opt.script || opt.port || opt.max_conns != -1) && opt.command != "serve") {
     throw std::invalid_argument("--script/--port/--max-conns only apply to the serve command");
+  }
+  if ((opt.journal || opt.queue_depth != 0 || opt.max_staleness != 0) &&
+      opt.command != "serve") {
+    throw std::invalid_argument(
+        "--journal/--queue-depth/--max-staleness only apply to the serve command");
   }
   if (opt.script && opt.port) {
     throw std::invalid_argument("--script and --port are mutually exclusive");
@@ -279,7 +312,16 @@ int run_serve(const Options& opt) {
   const Mesh2D mesh(opt.n, opt.n);
   Rng rng(opt.seed);
   const fault::FaultSet faults = fault::uniform_random_faults(mesh, opt.faults, rng);
-  serve::SnapshotBuilder builder(mesh, faults.faults());
+  // With --journal the recovery constructor is the only path: an absent or
+  // empty journal is simply a fresh start that begins journaling.
+  std::optional<serve::SnapshotBuilder> builder_slot;
+  if (opt.journal) {
+    builder_slot.emplace(mesh, faults.faults(), *opt.journal,
+                         serve::SnapshotBuilder::RecoverFromJournal{});
+  } else {
+    builder_slot.emplace(mesh, faults.faults());
+  }
+  serve::SnapshotBuilder& builder = *builder_slot;
 
   serve::ServeConfig cfg;
   cfg.model = opt.model;
@@ -289,10 +331,31 @@ int run_serve(const Options& opt) {
     cfg.pivots = info::generate_pivots(mesh.bounds(), opt.pivot_levels,
                                        info::PivotPlacement::Random, &rng);
   }
+  cfg.resilience.queue_capacity = opt.queue_depth;
+  cfg.resilience.max_staleness_epochs = static_cast<std::uint64_t>(opt.max_staleness);
   serve::QueryServer server(builder, std::move(cfg));
 
+  if (opt.chaos) {
+    chaos::FaultSchedule sched;
+    try {
+      if (std::ifstream probe(*opt.chaos); probe.good()) {
+        sched = chaos::FaultSchedule::load(*opt.chaos);
+      } else {
+        sched = chaos::FaultSchedule::parse(*opt.chaos);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: --chaos: " << e.what() << "\n";
+      return 2;
+    }
+    server.set_serve_chaos(sched);
+  }
+
   std::cerr << "serving " << opt.n << "x" << opt.n << " mesh, " << faults.count()
-            << " seed faults, epoch " << builder.store().current_epoch() << "\n";
+            << " seed faults, epoch " << builder.store().current_epoch();
+  if (opt.journal) {
+    std::cerr << ", " << builder.stats().recovered_records << " journal records replayed";
+  }
+  std::cerr << "\n";
   if (opt.port) {
     return serve::serve_tcp(server, static_cast<std::uint16_t>(*opt.port), opt.max_conns);
   }
