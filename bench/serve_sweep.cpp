@@ -18,7 +18,18 @@
 // --json emits the bench_compare kernel schema:
 //   {"bench":"serve","n":...,"meta":{...},"kernels":[{"name":"decide_query",
 //    "iters":...,"median_us":...},...],"results":{...},"qps":...,
-//    "staleness_p99":...,"wall_ms":...}
+//    "staleness_p99":...,"windowed_queries":...,"windowed_hops_p99":...,
+//    "windowed_query_p99_us":...,"wall_ms":...}
+//
+// Live-windowed observability (DESIGN §14): the sweep drives an
+// obs::LiveWindows ring over the global registry — one window per publish
+// round (explicit 1'000'000-tick spans in deterministic mode, wall-clock in
+// racing mode) — and --windowed=FILE|- dumps the merged ring as the
+// obs::write_windowed_json schema bench_compare --metrics diffs. In
+// deterministic mode the dump is restricted to {serve.queries, serve.hops}
+// (pure workload sums; the wall-time histograms are excluded) so it is
+// byte-identical for any --threads value — the serve_windowed_determinism
+// ctest compares --threads=1 against --threads=4 byte for byte.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -34,6 +45,7 @@
 #include "common/rng.hpp"
 #include "experiment/json.hpp"
 #include "obs/export.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "route/query.hpp"
@@ -65,8 +77,9 @@ struct Options {
   bool deterministic = false;
   long shed_capacity = 0;  // admission cap for racing mode (0 = unbounded)
   long deadline_us = 0;    // per-request deadline budget (0 = off)
-  std::string json;     // empty = off; "-" = stdout
-  std::string metrics;  // empty = off; "-" = stdout
+  std::string json;      // empty = off; "-" = stdout
+  std::string metrics;   // empty = off; "-" = stdout
+  std::string windowed;  // empty = off; "-" = stdout (window-ring JSON)
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -74,13 +87,16 @@ struct Options {
       << "usage: serve_sweep [--n=N] [--faults=K] [--seed=S] [--rounds=R] [--batch=B]\n"
          "                   [--threads=T] [--deterministic] [--quick]\n"
          "                   [--shed-capacity=N] [--deadline-us=N]\n"
-         "                   [--json=FILE|-] [--metrics=FILE|-]\n"
+         "                   [--json=FILE|-] [--metrics=FILE|-] [--windowed=FILE|-]\n"
          "  --deterministic  barrier-round mode: timings zeroed, JSON output\n"
          "                   byte-identical for any --threads value\n"
          "  --shed-capacity  racing mode: bound in-flight batches; over it the\n"
          "                   admission gate sheds (BUSY) and the reader backs off\n"
          "  --deadline-us    racing mode: per-batch service budget; misses are\n"
-         "                   counted (serve.deadline_miss_total), not aborted\n";
+         "                   counted (serve.deadline_miss_total), not aborted\n"
+         "  --windowed       dump the per-round window ring (write_windowed_json\n"
+         "                   schema); deterministic mode restricts it to the\n"
+         "                   pure-sum metrics so it is --threads independent\n";
   std::exit(2);
 }
 
@@ -121,6 +137,9 @@ Options parse_options(int argc, char** argv) {
       } else if (arg.rfind("--metrics=", 0) == 0) {
         opt.metrics = arg.substr(10);
         if (opt.metrics.empty()) usage_and_exit();
+      } else if (arg.rfind("--windowed=", 0) == 0) {
+        opt.windowed = arg.substr(11);
+        if (opt.windowed.empty()) usage_and_exit();
       } else {
         usage_and_exit();
       }
@@ -157,6 +176,10 @@ struct Totals {
 
 void tally(const std::vector<cond::Decision>& decisions,
            const std::vector<route::RouteAnswer>& answers, Totals& t) {
+  // Per-answer hop distribution: histogram buckets are atomic sums, so the
+  // counts are independent of answer order and thread partition — the one
+  // windowed histogram a deterministic replay may export.
+  static obs::Histogram& hops_hist = obs::Registry::global().histogram("serve.hops");
   t.queries += static_cast<std::int64_t>(answers.size());
   for (const cond::Decision d : decisions) {
     t.minimal += d == cond::Decision::Minimal;
@@ -167,6 +190,7 @@ void tally(const std::vector<cond::Decision>& decisions,
     t.hops += a.stats.hops;
     t.detours += a.stats.detours;
     t.escalations += a.stats.escalations;
+    hops_hist.observe(a.stats.hops);
   }
 }
 
@@ -224,6 +248,13 @@ int main(int argc, char** argv) {
          static_cast<Dist>(world_rng.uniform(0, opt.n - 1))};
   }
 
+  // One measurement window per publish round. Deterministic mode closes each
+  // window with a fixed logical span (one "second" per round) so rates and
+  // the ring header are pure functions of the workload; racing mode measures
+  // wall-clock spans between publishes.
+  obs::LiveWindows windows(obs::Registry::global());
+  constexpr std::int64_t kRoundTickUs = 1'000'000;
+
   const int threads = opt.threads;
   std::vector<Totals> per_thread(static_cast<std::size_t>(threads));
   std::vector<std::vector<double>> decide_us(static_cast<std::size_t>(threads));
@@ -257,6 +288,7 @@ int main(int argc, char** argv) {
         });
       }
       for (std::thread& th : pool) th.join();
+      windows.advance(kRoundTickUs);
     }
   } else {
     // Racing mode: readers stream batches while the writer publishes epochs;
@@ -319,6 +351,7 @@ int main(int argc, char** argv) {
     }
     for (int r = 0; r < opt.rounds; ++r) {
       server.inject_publish(sites[static_cast<std::size_t>(r)]);
+      windows.advance();
       // Pace the writer so readers interleave with the epoch swaps instead
       // of seeing one final burst.
       std::this_thread::sleep_for(std::chrono::microseconds(500));
@@ -369,6 +402,18 @@ int main(int argc, char** argv) {
       !opt.deterministic && staleness_it != metrics.histograms.end()
           ? staleness_it->second.percentile(0.99)
           : 0.0;
+  // Windowed columns: the newest retained windows merged. Query count and
+  // hop p99 are pure workload sums (thread-count independent); the windowed
+  // latency p99 is wall-time and zeroed in deterministic mode like the rest.
+  const obs::MetricsSnapshot windowed_snap = windows.windowed();
+  const auto windowed_p99 = [&](const char* name) {
+    const auto it = windowed_snap.histograms.find(name);
+    return it == windowed_snap.histograms.end() ? 0.0 : it->second.percentile(0.99);
+  };
+  const std::int64_t windowed_queries = windows.windowed_count("serve.queries");
+  const double windowed_hops_p99 = windowed_p99("serve.hops");
+  const double windowed_query_p99_us =
+      opt.deterministic ? 0.0 : windowed_p99("serve.query_us");
 
   std::printf("serve_sweep: n=%d faults=%zu rounds=%d batch=%d%s\n",
               static_cast<int>(opt.n), opt.faults, opt.rounds, opt.batch,
@@ -383,6 +428,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(totals.detours),
               static_cast<long long>(totals.escalations),
               static_cast<unsigned long long>(builder.store().current_epoch()));
+  std::printf("  windowed (last %zu of %llu rounds): queries=%lld hops_p99=%.1f\n",
+              windows.retained(), static_cast<unsigned long long>(windows.ticks()),
+              static_cast<long long>(windowed_queries), windowed_hops_p99);
   if (!opt.deterministic) {
     std::printf("  qps=%.0f decide_us=%.3f route_us=%.3f staleness_p99=%.1f epochs\n",
                 qps, decide_median_us, route_median_us, staleness_p99);
@@ -444,6 +492,9 @@ int main(int argc, char** argv) {
     doc["decide_p99_us"] = opt.deterministic ? 0.0 : decide_p99_us;
     doc["route_p99_us"] = opt.deterministic ? 0.0 : route_p99_us;
     doc["staleness_p99"] = staleness_p99;
+    doc["windowed_queries"] = static_cast<double>(windowed_queries);
+    doc["windowed_hops_p99"] = windowed_hops_p99;
+    doc["windowed_query_p99_us"] = windowed_query_p99_us;
     doc["wall_ms"] = wall_ms;
 
     const std::string text = experiment::json::to_string(Value(std::move(doc)));
@@ -460,5 +511,13 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.metrics.empty() && !obs::write_metrics_json(opt.metrics, metrics)) return 1;
+  if (!opt.windowed.empty()) {
+    // Deterministic dumps carry only the pure-sum metrics; the wall-time
+    // histograms (serve.query_us, serve.staleness_epochs) would differ per
+    // run and across --threads.
+    std::vector<std::string> allow;
+    if (opt.deterministic) allow = {"serve.hops", "serve.queries"};
+    if (!obs::write_windowed_json(opt.windowed, windows, 0, {}, allow)) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,442 @@
+#include "obs/live.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <utility>
+
+namespace meshroute::obs {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_int(std::string& out, std::int64_t v) { out += std::to_string(v); }
+
+/// Same double grammar as export.cpp: exact integers print as integers, the
+/// rest as %.17g — both parse back through experiment::json.
+void append_double(std::string& out, double v) {
+  if (v >= -9.0e15 && v <= 9.0e15) {
+    const auto as_int = static_cast<std::int64_t>(v);
+    if (static_cast<double>(as_int) == v) {
+      append_int(out, as_int);
+      return;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  out += s;  // metric names are plain identifiers; no escaping needed
+  out += '"';
+}
+
+/// Prometheus metric name: prefix + name with '.'/'-' flattened to '_'.
+std::string prom_name(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out += prefix;
+  for (const char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& hist) {
+  out += "{\"count\":";
+  append_int(out, hist.count);
+  out += ",\"sum\":";
+  append_int(out, hist.sum);
+  out += ",\"p50\":";
+  append_double(out, hist.percentile(0.50));
+  out += ",\"p95\":";
+  append_double(out, hist.percentile(0.95));
+  out += ",\"p99\":";
+  append_double(out, hist.percentile(0.99));
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    if (hist.buckets[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    append_int(out, HistogramSnapshot::bucket_lo(i));
+    out += ',';
+    append_int(out, HistogramSnapshot::bucket_hi(i));
+    out += ',';
+    append_int(out, hist.buckets[i]);
+    out += ']';
+  }
+  out += "]}";
+}
+
+bool allowed(const std::vector<std::string>& allow, const std::string& name) {
+  if (allow.empty()) return true;
+  return std::find(allow.begin(), allow.end(), name) != allow.end();
+}
+
+void append_event_json(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":";
+  append_quoted(out, to_string(e.kind));
+  out += ",\"track\":";
+  append_int(out, static_cast<std::int64_t>(e.track));
+  out += ",\"time\":";
+  append_int(out, e.time);
+  out += ",\"x\":";
+  append_int(out, e.at.x);
+  out += ",\"y\":";
+  append_int(out, e.at.y);
+  out += ",\"a\":";
+  append_int(out, e.a);
+  out += ",\"b\":";
+  append_int(out, e.b);
+  out += '}';
+}
+
+}  // namespace
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& cur, const MetricsSnapshot& base) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = base.counters.find(name);
+    out.counters[name] = it == base.counters.end() ? value : value - it->second;
+  }
+  for (const auto& [name, hist] : cur.histograms) {
+    const auto it = base.histograms.find(name);
+    if (it == base.histograms.end()) {
+      out.histograms[name] = hist;
+      continue;
+    }
+    HistogramSnapshot d = hist;
+    d.count -= it->second.count;
+    d.sum -= it->second.sum;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      d.buckets[i] -= it->second.buckets[i];
+    }
+    out.histograms[name] = d;
+  }
+  return out;
+}
+
+LiveWindows::LiveWindows(Registry& registry, WindowConfig cfg)
+    : registry_(registry),
+      cfg_(cfg),
+      baseline_(registry.snapshot()),
+      last_advance_us_(steady_now_us()) {
+  if (cfg_.retain == 0) cfg_.retain = 1;
+}
+
+void LiveWindows::advance() {
+  const std::int64_t now = steady_now_us();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t span = now - last_advance_us_;
+  last_advance_us_ = now;
+  MetricsSnapshot cur = registry_.snapshot();
+  ring_.push_back(WindowDelta{ticks_, span < 0 ? 0 : span, snapshot_delta(cur, baseline_)});
+  baseline_ = std::move(cur);
+  ++ticks_;
+  while (ring_.size() > cfg_.retain) ring_.pop_front();
+}
+
+void LiveWindows::advance(std::int64_t span_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_advance_us_ = steady_now_us();
+  MetricsSnapshot cur = registry_.snapshot();
+  ring_.push_back(WindowDelta{ticks_, span_us, snapshot_delta(cur, baseline_)});
+  baseline_ = std::move(cur);
+  ++ticks_;
+  while (ring_.size() > cfg_.retain) ring_.pop_front();
+}
+
+std::uint64_t LiveWindows::ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+std::size_t LiveWindows::retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+MetricsSnapshot LiveWindows::windowed(std::size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = last_n == 0 ? ring_.size() : std::min(last_n, ring_.size());
+  MetricsSnapshot merged;
+  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    const MetricsSnapshot& d = ring_[i].delta;
+    for (const auto& [name, value] : d.counters) merged.counters[name] += value;
+    for (const auto& [name, hist] : d.histograms) merged.histograms[name].merge(hist);
+  }
+  return merged;
+}
+
+std::int64_t LiveWindows::windowed_span_us(std::size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = last_n == 0 ? ring_.size() : std::min(last_n, ring_.size());
+  std::int64_t span = 0;
+  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) span += ring_[i].span_us;
+  return span;
+}
+
+double LiveWindows::rate_per_s(std::string_view counter, std::size_t last_n) const {
+  const std::int64_t span = windowed_span_us(last_n);
+  if (span <= 0) return 0.0;
+  const std::int64_t moved = windowed_count(counter, last_n);
+  return static_cast<double>(moved) / (static_cast<double>(span) / 1e6);
+}
+
+std::int64_t LiveWindows::windowed_count(std::string_view counter,
+                                         std::size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = last_n == 0 ? ring_.size() : std::min(last_n, ring_.size());
+  std::int64_t moved = 0;
+  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    const auto it = ring_[i].delta.counters.find(std::string(counter));
+    if (it != ring_[i].delta.counters.end()) moved += it->second;
+  }
+  return moved;
+}
+
+std::vector<WindowDelta> LiveWindows::deltas() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot,
+                      const std::map<std::string, double>& gauges,
+                      std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    // Counters get the conventional _total suffix unless the registry name
+    // already carries it (serve.shed_total must not become ..._total_total).
+    std::string pname = prom_name(prefix, name);
+    if (pname.size() < 6 || pname.compare(pname.size() - 6, 6, "_total") != 0) {
+      pname += "_total";
+    }
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + ' ';
+    append_int(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string pname = prom_name(prefix, name);
+    out += "# TYPE " + pname + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;  // sparse, but le values stay cumulative
+      cumulative += hist.buckets[i];
+      out += pname + "_bucket{le=\"";
+      append_int(out, HistogramSnapshot::bucket_hi(i));
+      out += "\"} ";
+      append_int(out, cumulative);
+      out += '\n';
+    }
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    append_int(out, hist.count);
+    out += '\n';
+    out += pname + "_sum ";
+    append_int(out, hist.sum);
+    out += '\n';
+    out += pname + "_count ";
+    append_int(out, hist.count);
+    out += '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = prom_name(prefix, name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + ' ';
+    append_double(out, value);
+    out += '\n';
+  }
+  out += "# EOF\n";
+  os << out;
+}
+
+void write_windowed_json(std::ostream& os, const LiveWindows& windows,
+                         std::size_t last_n,
+                         const std::map<std::string, double>& gauges,
+                         const std::vector<std::string>& allow) {
+  const MetricsSnapshot merged = windows.windowed(last_n);
+  const std::int64_t span_us = windows.windowed_span_us(last_n);
+
+  std::string out;
+  out += "{\"windows\":{\"ticks\":";
+  append_int(out, static_cast<std::int64_t>(windows.ticks()));
+  out += ",\"retained\":";
+  append_int(out, static_cast<std::int64_t>(windows.retained()));
+  out += ",\"span_us\":";
+  append_int(out, span_us);
+  out += "},\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : merged.counters) {
+    if (!allowed(allow, name)) continue;
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    append_int(out, value);
+  }
+  out += "},\"rates\":{";
+  first = true;
+  for (const auto& [name, value] : merged.counters) {
+    if (!allowed(allow, name)) continue;
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    append_double(out, span_us > 0
+                           ? static_cast<double>(value) /
+                                 (static_cast<double>(span_us) / 1e6)
+                           : 0.0);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : merged.histograms) {
+    if (!allowed(allow, name)) continue;
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    append_histogram_json(out, hist);
+  }
+  out += '}';
+  if (!gauges.empty()) {
+    out += ",\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : gauges) {
+      if (!first) out += ',';
+      first = false;
+      append_quoted(out, name);
+      out += ':';
+      append_double(out, value);
+    }
+    out += '}';
+  }
+  out += '}';
+  os << out << "\n";
+}
+
+bool write_windowed_json(const std::string& path, const LiveWindows& windows,
+                         std::size_t last_n,
+                         const std::map<std::string, double>& gauges,
+                         const std::vector<std::string>& allow) {
+  if (path.empty()) return false;
+  if (path == "-") {
+    write_windowed_json(std::cout, windows, last_n, gauges, allow);
+    return true;
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::cerr << "error: cannot open --windowed file '" << path << "'\n";
+    return false;
+  }
+  write_windowed_json(file, windows, last_n, gauges, allow);
+  return true;
+}
+
+const char* to_string(SpanStage stage) noexcept {
+  switch (stage) {
+    case SpanStage::Admission: return "admission";
+    case SpanStage::Acquire: return "acquire";
+    case SpanStage::Work: return "work";
+    case SpanStage::Reply: return "reply";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, std::size_t exemplar_capacity)
+    : capacity_(capacity ? capacity : 1),
+      exemplar_capacity_(exemplar_capacity ? exemplar_capacity : 1) {}
+
+void FlightRecorder::record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  ring_.push_back(event);
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+void FlightRecorder::add_exemplar(std::vector<TraceEvent> chain) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exemplars_.push_back(std::move(chain));
+  while (exemplars_.size() > exemplar_capacity_) exemplars_.pop_front();
+}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<std::vector<TraceEvent>> FlightRecorder::exemplars() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {exemplars_.begin(), exemplars_.end()};
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void write_flight_json(std::ostream& os, const FlightRecorder& recorder,
+                       std::string_view reason) {
+  const std::vector<TraceEvent> events = recorder.events();
+  const std::vector<std::vector<TraceEvent>> exemplars = recorder.exemplars();
+
+  std::string out;
+  out += "{\"flight\":{\"reason\":";
+  append_quoted(out, reason);
+  out += ",\"recorded\":";
+  append_int(out, static_cast<std::int64_t>(recorder.recorded()));
+  out += ",\"dropped\":";
+  append_int(out, static_cast<std::int64_t>(recorder.dropped()));
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ',';
+    append_event_json(out, events[i]);
+  }
+  out += "],\"exemplars\":[";
+  for (std::size_t i = 0; i < exemplars.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[';
+    for (std::size_t j = 0; j < exemplars[i].size(); ++j) {
+      if (j != 0) out += ',';
+      append_event_json(out, exemplars[i][j]);
+    }
+    out += ']';
+  }
+  out += "]}}";
+  os << out << "\n";
+}
+
+bool write_flight_json(const std::string& path, const FlightRecorder& recorder,
+                       std::string_view reason) {
+  if (path.empty()) return false;
+  if (path == "-") {
+    write_flight_json(std::cout, recorder, reason);
+    return true;
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::cerr << "error: cannot open flight-recorder dump file '" << path << "'\n";
+    return false;
+  }
+  write_flight_json(file, recorder, reason);
+  return true;
+}
+
+}  // namespace meshroute::obs

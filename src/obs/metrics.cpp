@@ -22,7 +22,7 @@ std::int64_t HistogramSnapshot::bucket_hi(std::size_t bucket) noexcept {
 
 double HistogramSnapshot::percentile(double p) const noexcept {
   if (count <= 0) return 0.0;
-  if (p < 0.0) p = 0.0;
+  if (!(p >= 0.0)) p = 0.0;  // negative or NaN
   if (p > 1.0) p = 1.0;
   // Rank of the target sample (1-based); walk the cumulative distribution
   // and interpolate linearly inside the covering bucket.

@@ -58,7 +58,9 @@ struct HistogramSnapshot {
   [[nodiscard]] static std::int64_t bucket_hi(std::size_t bucket) noexcept;
 
   /// Estimate the p-quantile (p in [0, 1]) by linear interpolation inside
-  /// the covering bucket. 0 when empty. Deterministic.
+  /// the covering bucket. Defined results at the edges: exactly 0.0 for an
+  /// empty snapshot (count <= 0) for ANY p; out-of-range and NaN p clamp
+  /// into [0, 1]. Deterministic.
   [[nodiscard]] double percentile(double p) const noexcept;
 
   /// Element-wise addition — the associative merge the sweep reduction and

@@ -18,6 +18,9 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::ArqRetry: return "arq_retry";
     case EventKind::FlitStall: return "flit_stall";
     case EventKind::WatchdogTrip: return "watchdog_trip";
+    case EventKind::SpanBegin: return "span_begin";
+    case EventKind::SpanEnd: return "span_end";
+    case EventKind::EpochPublish: return "epoch_publish";
   }
   return "unknown";
 }

@@ -54,6 +54,9 @@ enum class EventKind : std::uint8_t {
   ArqRetry = 4,        ///< run_lossy retransmitted a dropped crossing (a = attempt, b = backoff)
   FlitStall = 5,       ///< a wormhole flit could not advance (a = packet, b = direction)
   WatchdogTrip = 6,    ///< the no-progress watchdog fired (a = flits in flight, b = stuck packets)
+  SpanBegin = 7,       ///< a serve-pipeline stage started (a = SpanStage, b = stage payload)
+  SpanEnd = 8,         ///< a serve-pipeline stage finished (a = SpanStage, b = stage payload)
+  EpochPublish = 9,    ///< the write side published a snapshot (a = epoch, b = changed 0/1)
 };
 
 /// Stable lower-snake name ("route_hop", ...) for exports and logs.

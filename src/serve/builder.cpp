@@ -52,9 +52,10 @@ std::unique_ptr<const RoutingSnapshot> SnapshotBuilder::recover_snapshot(
   stats_.recovered_records = records.size();
   // Republish under the highest journaled epoch: bit-identical to what an
   // uninterrupted run would be serving after its publish of those records.
-  next_epoch_ = records.empty() ? 1 : max_epoch + 1;
+  const std::uint64_t next = records.empty() ? 1 : max_epoch + 1;
+  next_epoch_.store(next, std::memory_order_relaxed);
   journal_ = std::make_unique<InjectionJournal>(journal_path);
-  auto snap = std::make_unique<const RoutingSnapshot>(state_, next_epoch_ - 1, scratch_);
+  auto snap = std::make_unique<const RoutingSnapshot>(state_, next - 1, scratch_);
   recover_us.observe(now_us() - t0);
   return snap;
 }
@@ -82,7 +83,9 @@ std::size_t SnapshotBuilder::inject(Coord c) {
   // Write-ahead: the record must be durable before the state changes, so a
   // crash between the two leaves the journal a superset of the applied
   // state (replay is idempotent — re-injecting a faulty node is a no-op).
-  if (journal_ != nullptr) journal_->append(JournalRecord{next_epoch_, c});
+  if (journal_ != nullptr) {
+    journal_->append(JournalRecord{next_epoch_.load(std::memory_order_relaxed), c});
+  }
   state_.inject_fault(c);
   const std::size_t delta = state_.last_changed().size();
   if (delta > 0) {
@@ -109,11 +112,12 @@ std::uint64_t SnapshotBuilder::publish() {
   }
   if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
 
+  const std::uint64_t epoch = next_epoch_.load(std::memory_order_relaxed);
   if (drop) {
     // The world epoch advances but the swap never lands: readers keep the
     // previous snapshot and epoch_lag() grows. Pending injections stay
     // pending — the next successful publish carries them.
-    ++next_epoch_;
+    next_epoch_.store(epoch + 1, std::memory_order_relaxed);
     ++stats_.dropped_publishes;
     return store_.current_epoch();
   }
@@ -128,14 +132,14 @@ std::uint64_t SnapshotBuilder::publish() {
     trips.add(1);
     ++stats_.forced_rebuilds;
     MESHROUTE_TRACE_EVENT(obs::EventKind::WatchdogTrip, 0,
-                          static_cast<std::int64_t>(ordinal), (Coord{0, 0}), next_epoch_,
+                          static_cast<std::int64_t>(ordinal), (Coord{0, 0}), epoch,
                           stats_.pending_injections);
-    snap = std::make_unique<const RoutingSnapshot>(mesh(), state_.faults(), next_epoch_,
+    snap = std::make_unique<const RoutingSnapshot>(mesh(), state_.faults(), epoch,
                                                    scratch_);
   } else {
-    snap = std::make_unique<const RoutingSnapshot>(state_, next_epoch_, scratch_);
+    snap = std::make_unique<const RoutingSnapshot>(state_, epoch, scratch_);
   }
-  ++next_epoch_;
+  next_epoch_.store(epoch + 1, std::memory_order_relaxed);
   ++stats_.published;
   stats_.pending_injections = 0;
   return store_.publish(std::move(snap));

@@ -31,6 +31,7 @@
 // all — that is the point of the store.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -105,8 +106,11 @@ class SnapshotBuilder {
   std::uint64_t inject_publish(Coord c);
 
   /// Epoch the write side has reached (every publish() advances it, dropped
-  /// or not); the initial world is epoch 0.
-  [[nodiscard]] std::uint64_t world_epoch() const noexcept { return next_epoch_ - 1; }
+  /// or not); the initial world is epoch 0. Safe to read from any thread
+  /// (the --obs-port scrape thread polls it for the epoch_lag gauge).
+  [[nodiscard]] std::uint64_t world_epoch() const noexcept {
+    return next_epoch_.load(std::memory_order_relaxed) - 1;
+  }
 
   /// How many epochs the published snapshot trails the write side — 0 in
   /// healthy operation, > 0 after dropped publications.
@@ -130,7 +134,9 @@ class SnapshotBuilder {
 
   dynamic::DynamicMeshState state_;
   SnapshotScratch scratch_;
-  std::uint64_t next_epoch_;
+  /// Written only by the single writer; atomic (relaxed) so world_epoch()
+  /// and epoch_lag() are readable from observability threads.
+  std::atomic<std::uint64_t> next_epoch_;
   BuilderStats stats_;
   std::unique_ptr<InjectionJournal> journal_;
   std::vector<chaos::ServeChaosEvent> chaos_events_;  ///< builder kinds only

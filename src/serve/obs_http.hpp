@@ -1,0 +1,56 @@
+// ObsHttpServer: the `meshroutectl serve --obs-port` scrape endpoint.
+//
+// A deliberately tiny, loopback-only HTTP/1.0 responder on its own thread:
+// every GET (the path is not even inspected — /metrics, /, anything) is
+// answered with `QueryServer::metrics_text()` as
+// `text/plain; version=0.0.4`, one connection at a time. Each scrape closes
+// a measurement window (metrics_text's contract), so a Prometheus poller
+// pointed at it sees moving windowed rates with zero configuration.
+//
+// Thread safety: the responder thread only calls metrics_text(), which is
+// built from atomics and internally-locked structures (Registry snapshot,
+// LiveWindows, Admission::depth, the builder's atomic epoch counters) — no
+// coordination with the protocol loop is needed. stop() (or destruction)
+// joins the thread; the accept loop polls a nonblocking listener every
+// ~50ms so shutdown is prompt. POSIX only: on other platforms construction
+// fails cleanly (ok() == false, message on stderr).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace meshroute::serve {
+
+class ObsHttpServer {
+ public:
+  /// Bind 127.0.0.1:`port` (0 = ephemeral; see port()) and start serving.
+  ObsHttpServer(QueryServer& server, std::uint16_t port);
+  ~ObsHttpServer();
+
+  ObsHttpServer(const ObsHttpServer&) = delete;
+  ObsHttpServer& operator=(const ObsHttpServer&) = delete;
+
+  /// False when the listener could not be bound (or no socket support);
+  /// the object is then inert and safe to destroy.
+  [[nodiscard]] bool ok() const noexcept { return listener_ >= 0; }
+
+  /// The bound port — the actual one when constructed with port 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stop accepting and join the responder thread (idempotent).
+  void stop();
+
+ private:
+  void loop();
+
+  QueryServer& server_;
+  std::atomic<bool> stop_{false};
+  int listener_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace meshroute::serve

@@ -131,14 +131,20 @@ std::string handle_line(QueryServer::Session& session, std::string_view line, bo
     if (!parse_coords(toks, 1, server.builder().mesh(), args, err)) {
       return "ERR INJECT: " + err;
     }
-    const std::size_t changed = server.builder().inject(args[0]);
-    const std::uint64_t epoch = server.builder().publish();
-    reply << "OK INJECT epoch=" << epoch << " changed=" << changed;
+    const QueryServer::InjectResult r = server.inject_and_publish(args[0]);
+    reply << "OK INJECT epoch=" << r.epoch << " changed=" << r.changed;
     return reply.str();
   }
   if (cmd == "STATS") {
     if (toks.size() != 1) return "ERR STATS takes no arguments";
     return "OK STATS " + experiment::json::to_string(server.stats_json());
+  }
+  if (cmd == "METRICS") {
+    if (toks.size() != 1) return "ERR METRICS takes no arguments";
+    // The one multi-line reply: the status line, then the Prometheus text
+    // through its '# EOF' terminator (the scrape knows its own end, so the
+    // line-per-reply framing is not needed).
+    return "OK METRICS\n" + server.metrics_text();
   }
   if (cmd == "HEALTH") {
     if (toks.size() != 1) return "ERR HEALTH takes no arguments";
@@ -152,6 +158,7 @@ std::string handle_line(QueryServer::Session& session, std::string_view line, bo
   if (cmd == "SHUTDOWN") {
     quit = true;
     server.request_shutdown();
+    server.dump_flight("shutdown");  // no-op unless --postmortem armed it
     return "OK SHUTDOWN";
   }
   if (cmd == "QUIT") {

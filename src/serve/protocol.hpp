@@ -6,6 +6,7 @@
 //            | INJECT x y             inject a fault, publish the next epoch
 //            | STATS                  server status document (JSON)
 //            | HEALTH                 resilience status document (JSON)
+//            | METRICS                Prometheus text exposition (multi-line)
 //            | EPOCH                  current published epoch
 //            | SHUTDOWN               close the session AND stop the server
 //            | QUIT                   close the session
@@ -20,9 +21,14 @@
 //   DECIDE -> OK DECIDE minimal|sub-minimal|unknown epoch=E
 //   ROUTE  -> OK ROUTE <status> rung=<rung> hops=H detours=D epoch=E
 //   INJECT -> OK INJECT epoch=E changed=N
-//   STATS  -> OK STATS {...}        (single-line JSON)
+//   STATS  -> OK STATS {...}        (single-line JSON; includes the windowed
+//                                    query stats, DESIGN §14)
 //   HEALTH -> OK HEALTH {...}       (single-line JSON; epoch lag, queue
 //                                    depth, shed/degraded counts)
+//   METRICS -> OK METRICS \n <prometheus text> ... # EOF
+//              (the ONE multi-line reply: everything through the '# EOF'
+//               line is the scrape body; each METRICS closes a measurement
+//               window, so windowed gauges move between scrapes)
 //   EPOCH  -> OK EPOCH E
 //   SHUTDOWN -> OK SHUTDOWN         (then the TCP accept loop exits too)
 //   QUIT   -> OK BYE

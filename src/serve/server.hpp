@@ -15,6 +15,18 @@
 //                             world the acquired snapshot was,
 // and the counters serve.queries / serve.batches, all via obs::Registry.
 //
+// Live observability (DESIGN §14): the server owns an obs::LiveWindows ring
+// (each METRICS scrape closes a measurement window, so windowed rates and
+// percentiles move between scrapes) and an always-on obs::FlightRecorder.
+// Every guarded batch emits a four-stage span chain — admission → snapshot
+// acquire → decide/route work → reply — as span_begin/span_end trace events
+// (logical clocks: track = server-wide span ordinal, time = step within the
+// span) into both the MESHROUTE_TRACE_EVENT stream (no-op when tracing is
+// compiled out) and the flight recorder; batches at or above
+// ServeConfig::slow_query_us retain their whole chain as an exemplar.
+// dump_flight() writes the postmortem JSON on watchdog trips (detected in
+// inject_and_publish via the forced-rebuild count) and on SHUTDOWN.
+//
 // Resilience (DESIGN §13): the guarded batch entry points put every read
 // through the ADMIT gate (Admission, resilience.hpp) — over capacity the
 // request is shed with a retry-after hint — and through the max-staleness
@@ -30,10 +42,14 @@
 #include <span>
 #include <vector>
 
+#include <string>
+#include <string_view>
+
 #include "chaos/fault_schedule.hpp"
 #include "common/coord.hpp"
 #include "cond/strategies.hpp"
 #include "experiment/json.hpp"
+#include "obs/live.hpp"
 #include "route/query.hpp"
 #include "serve/builder.hpp"
 #include "serve/resilience.hpp"
@@ -49,6 +65,10 @@ struct ServeConfig {
   std::vector<Coord> pivots;          ///< extension-3 pivot set (may be empty)
   route::LadderOptions ladder{};
   ResilienceConfig resilience{};      ///< shedding/staleness/deadline guards
+  obs::WindowConfig window{};         ///< METRICS window ring sizing
+  std::int64_t slow_query_us = 0;     ///< retain span exemplars for batches
+                                      ///< at/above this latency (0 = off)
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 class QueryServer {
@@ -66,9 +86,46 @@ class QueryServer {
   /// until the swap lands.
   std::uint64_t inject_publish(Coord c) { return builder_.inject_publish(c); }
 
+  /// Outcome of the instrumented write path (the INJECT protocol command).
+  struct InjectResult {
+    std::uint64_t epoch = 0;   ///< published epoch
+    std::size_t changed = 0;   ///< nodes relabeled by the injection
+    bool watchdog = false;     ///< a bstall watchdog trip forced a rebuild
+  };
+
+  /// inject_publish plus observability: records an epoch_publish trace/flight
+  /// event, detects a watchdog-forced rebuild (forced_rebuilds moved) and —
+  /// when one fired — records a watchdog_trip event and dumps the flight
+  /// recorder ("watchdog"). Single-writer, like the builder underneath.
+  InjectResult inject_and_publish(Coord c);
+
   /// Server-wide status document (epoch, world shape, write-side work,
-  /// reader registration) — the STATS protocol reply.
+  /// reader registration, windowed query stats) — the STATS protocol reply.
   [[nodiscard]] experiment::json::Value stats_json() const;
+
+  /// Prometheus text exposition of the global registry plus live gauges
+  /// (serve.queue_depth_now, serve.epoch, serve.epoch_lag, windowed rates and
+  /// p99). CLOSES the current measurement window first — each scrape is a
+  /// window boundary, so windowed values move between scrapes. Thread-safe
+  /// (the --obs-port scrape thread calls this concurrently with sessions).
+  /// No trailing newline: the METRICS protocol reply appends its own.
+  [[nodiscard]] std::string metrics_text();
+
+  [[nodiscard]] obs::LiveWindows& windows() noexcept { return windows_; }
+  [[nodiscard]] obs::FlightRecorder& recorder() noexcept { return recorder_; }
+
+  /// Arm postmortem dumps: dump_flight() writes the recorder to `path`
+  /// (write_flight_json schema). Empty path disarms. Set before serving
+  /// starts; not synchronized against concurrent dump_flight calls.
+  void set_flight_dump(std::string path) { flight_path_ = std::move(path); }
+  [[nodiscard]] const std::string& flight_dump_path() const noexcept {
+    return flight_path_;
+  }
+
+  /// Dump the flight recorder to the armed path tagged with `reason`
+  /// ("watchdog", "shutdown", ...). Returns false when disarmed or the file
+  /// cannot be written.
+  bool dump_flight(std::string_view reason);
 
   /// Resilience status document (epoch lag, queue depth, shed/degraded
   /// counts, recovery stats) — the HEALTH protocol reply.
@@ -160,9 +217,18 @@ class QueryServer {
   };
 
  private:
+  /// Emits one guarded batch's span chain (server.cpp). Begin/end pairs go
+  /// to the trace stream and the flight recorder; finish() retains the
+  /// chain as an exemplar when the batch was slow.
+  class SpanChain;
+
   SnapshotBuilder& builder_;
   ServeConfig config_;
   Admission admission_;
+  obs::LiveWindows windows_;
+  obs::FlightRecorder recorder_;
+  std::string flight_path_;                  ///< "" = postmortem dumps disarmed
+  std::atomic<std::uint64_t> span_seq_{0};   ///< next span ordinal (track id)
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> degraded_total_{0};
   std::vector<std::uint64_t> shed_seqs_;  ///< sorted chaos ordinals

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
 #include "obs/export.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "route/ladder.hpp"
@@ -116,6 +118,22 @@ TEST(Metrics, PercentilesAreMonotoneAndBounded) {
   EXPECT_LE(p50, 1023.0);
 
   EXPECT_EQ(obs::HistogramSnapshot{}.percentile(0.5), 0.0);
+}
+
+TEST(Metrics, PercentileEmptySnapshotAndClampedP) {
+  // Empty snapshot: exactly 0.0 for ANY p, including the pathological ones.
+  const obs::HistogramSnapshot empty{};
+  for (const double p : {-1.0, 0.0, 0.5, 1.0, 7.0,
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_EQ(empty.percentile(p), 0.0) << "p=" << p;
+  }
+  // Non-empty: out-of-range and NaN p clamp into [0, 1] instead of reading
+  // outside the bucket array.
+  const obs::HistogramSnapshot s = snapshot_of({1, 2, 4, 8, 16});
+  EXPECT_EQ(s.percentile(-3.0), s.percentile(0.0));
+  EXPECT_EQ(s.percentile(1.5), s.percentile(1.0));
+  EXPECT_EQ(s.percentile(std::numeric_limits<double>::quiet_NaN()),
+            s.percentile(0.0));
 }
 
 TEST(Metrics, RegistrySnapshotAndReset) {
@@ -260,6 +278,172 @@ TEST(Export, MetricsJsonRoundTripsThroughExperimentJson) {
     bucket_total += b.as_array()[2].as_number();
   }
   EXPECT_EQ(bucket_total, 64.0);
+}
+
+// ---------------------------------------------------------------------------
+// Live observability (DESIGN §14): window-delta algebra, the ring's retain
+// semantics, Prometheus exposition, and the flight recorder's loss
+// accounting — the pieces the serve layer wires together.
+
+TEST(Live, SnapshotDeltaSubtractsAndPassesNewMetricsThrough) {
+  obs::Registry reg;
+  reg.counter("walks").add(10);
+  reg.histogram("lat").observe(5);
+  const obs::MetricsSnapshot base = reg.snapshot();
+
+  reg.counter("walks").add(7);
+  reg.histogram("lat").observe(5);
+  reg.histogram("lat").observe(900);
+  reg.counter("fresh").add(3);  // registered during the window
+  const obs::MetricsSnapshot delta = obs::snapshot_delta(reg.snapshot(), base);
+
+  EXPECT_EQ(delta.counters.at("walks"), 7);
+  EXPECT_EQ(delta.counters.at("fresh"), 3);
+  EXPECT_EQ(delta.histograms.at("lat").count, 2);
+  EXPECT_EQ(delta.histograms.at("lat").sum, 905);
+  using HS = obs::HistogramSnapshot;
+  EXPECT_EQ(delta.histograms.at("lat").buckets[HS::bucket_of(5)], 1);
+  EXPECT_EQ(delta.histograms.at("lat").buckets[HS::bucket_of(900)], 1);
+}
+
+TEST(Live, WindowRingRetainsNewestAndMergesDeltas) {
+  obs::Registry reg;
+  obs::LiveWindows windows(reg, obs::WindowConfig{.retain = 2});
+  obs::Counter& c = reg.counter("serve.queries");
+  obs::Histogram& h = reg.histogram("serve.hops");
+
+  // Three windows with movement 1, 10, 100 — the ring keeps the newest two.
+  for (const std::int64_t movement : {1, 10, 100}) {
+    c.add(movement);
+    h.observe(movement);
+    windows.advance(1'000'000);
+  }
+  EXPECT_EQ(windows.ticks(), 3u);
+  EXPECT_EQ(windows.retained(), 2u);
+
+  EXPECT_EQ(windows.windowed_count("serve.queries"), 110);   // 10 + 100
+  EXPECT_EQ(windows.windowed_count("serve.queries", 1), 100);  // newest only
+  EXPECT_EQ(windows.windowed_count("absent"), 0);
+  // 110 counts over 2 explicit one-second spans.
+  EXPECT_DOUBLE_EQ(windows.rate_per_s("serve.queries"), 55.0);
+  EXPECT_EQ(windows.windowed_span_us(), 2'000'000);
+
+  const obs::MetricsSnapshot merged = windows.windowed();
+  EXPECT_EQ(merged.histograms.at("serve.hops").count, 2);  // the 10 and the 100
+  EXPECT_EQ(merged.histograms.at("serve.hops").sum, 110);
+
+  const std::vector<obs::WindowDelta> deltas = windows.deltas();
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas.front().index, 1u);  // oldest retained is tick #1
+  EXPECT_EQ(deltas.back().delta.counters.at("serve.queries"), 100);
+}
+
+TEST(Live, WindowedJsonHonorsAllowFilter) {
+  obs::Registry reg;
+  obs::LiveWindows windows(reg);
+  reg.counter("keep").add(4);
+  reg.counter("drop").add(9);
+  reg.histogram("keep.lat").observe(2);
+  windows.advance(500'000);
+
+  std::ostringstream os;
+  obs::write_windowed_json(os, windows, 0, {{"g", 1.5}}, {"keep", "keep.lat"});
+  const auto doc = experiment::json::parse(os.str());
+  EXPECT_EQ(doc.at("windows").at("ticks").as_number(), 1.0);
+  EXPECT_EQ(doc.at("windows").at("span_us").as_number(), 500'000.0);
+  EXPECT_EQ(doc.at("counters").at("keep").as_number(), 4.0);
+  EXPECT_FALSE(doc.at("counters").has("drop"));
+  EXPECT_EQ(doc.at("histograms").at("keep.lat").at("count").as_number(), 1.0);
+  EXPECT_EQ(doc.at("gauges").at("g").as_number(), 1.5);
+  // rate = 4 counts / 0.5 s.
+  EXPECT_EQ(doc.at("rates").at("keep").as_number(), 8.0);
+}
+
+TEST(Live, PrometheusExpositionShape) {
+  obs::Registry reg;
+  reg.counter("serve.queries").add(12);
+  reg.counter("serve.shed_total").add(2);  // must NOT become _total_total
+  obs::Histogram& h = reg.histogram("route-lat");
+  h.observe(1);
+  h.observe(100);
+
+  std::ostringstream os;
+  obs::write_prometheus(os, reg.snapshot(), {{"serve.depth", 3.5}});
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE meshroute_serve_queries_total counter\n"
+                      "meshroute_serve_queries_total 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("meshroute_serve_shed_total 2\n"), std::string::npos);
+  EXPECT_EQ(text.find("_total_total"), std::string::npos);
+  // Histogram: sanitized family, cumulative buckets, +Inf, sum and count.
+  EXPECT_NE(text.find("# TYPE meshroute_route_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("meshroute_route_lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("meshroute_route_lat_bucket{le=\"127\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("meshroute_route_lat_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("meshroute_route_lat_sum 101\n"), std::string::npos);
+  EXPECT_NE(text.find("meshroute_route_lat_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE meshroute_serve_depth gauge\n"
+                      "meshroute_serve_depth 3.5\n"),
+            std::string::npos);
+  // Terminated, and terminated last.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+obs::TraceEvent flight_event(std::uint64_t track, std::int64_t time,
+                             obs::EventKind kind, std::int64_t a) {
+  return obs::TraceEvent{track, time, kind, Coord{1, 2}, a, 0};
+}
+
+TEST(Live, FlightRecorderRingAccountingAndDump) {
+  obs::FlightRecorder recorder(/*capacity=*/4, /*exemplar_capacity=*/2);
+  for (std::int64_t t = 0; t < 10; ++t) {
+    recorder.record(flight_event(0, t, obs::EventKind::EpochPublish, t));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().time, 6);  // oldest surviving
+  EXPECT_EQ(events.back().time, 9);
+
+  // Three exemplars into a 2-slot deque: the oldest chain is evicted.
+  for (std::int64_t span = 0; span < 3; ++span) {
+    recorder.add_exemplar({
+        flight_event(static_cast<std::uint64_t>(span), 0,
+                     obs::EventKind::SpanBegin, 0),
+        flight_event(static_cast<std::uint64_t>(span), 1,
+                     obs::EventKind::SpanEnd, 0),
+    });
+  }
+  ASSERT_EQ(recorder.exemplars().size(), 2u);
+  EXPECT_EQ(recorder.exemplars().front().front().track, 1u);
+
+  std::ostringstream os;
+  obs::write_flight_json(os, recorder, "watchdog");
+  const auto doc = experiment::json::parse(os.str());
+  const auto& flight = doc.at("flight");
+  EXPECT_EQ(flight.at("reason").as_string(), "watchdog");
+  EXPECT_EQ(flight.at("recorded").as_number(), 10.0);
+  EXPECT_EQ(flight.at("dropped").as_number(), 6.0);
+  ASSERT_EQ(flight.at("events").as_array().size(), 4u);
+  EXPECT_EQ(flight.at("events").as_array()[0].at("name").as_string(),
+            "epoch_publish");
+  EXPECT_EQ(flight.at("events").as_array()[0].at("x").as_number(), 1.0);
+  ASSERT_EQ(flight.at("exemplars").as_array().size(), 2u);
+  EXPECT_EQ(flight.at("exemplars").as_array()[0].as_array()[0]
+                .at("name").as_string(),
+            "span_begin");
+}
+
+TEST(Live, SpanStageNamesAreStable) {
+  EXPECT_STREQ(obs::to_string(obs::SpanStage::Admission), "admission");
+  EXPECT_STREQ(obs::to_string(obs::SpanStage::Acquire), "acquire");
+  EXPECT_STREQ(obs::to_string(obs::SpanStage::Work), "work");
+  EXPECT_STREQ(obs::to_string(obs::SpanStage::Reply), "reply");
+  EXPECT_STREQ(obs::to_string(obs::EventKind::SpanBegin), "span_begin");
+  EXPECT_STREQ(obs::to_string(obs::EventKind::SpanEnd), "span_end");
+  EXPECT_STREQ(obs::to_string(obs::EventKind::EpochPublish), "epoch_publish");
 }
 
 // ---------------------------------------------------------------------------

@@ -7,8 +7,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,12 +22,22 @@
 #include "dynamic/dynamic_state.hpp"
 #include "experiment/json.hpp"
 #include "fault/fault_set.hpp"
+#include "obs/live.hpp"
+#include "obs/trace.hpp"
 #include "route/query.hpp"
 #include "serve/builder.hpp"
+#include "serve/obs_http.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/store.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 namespace meshroute {
 namespace {
@@ -255,7 +270,184 @@ TEST(ServeProtocol, StatsJsonRoundTrips) {
   EXPECT_GE(doc.at("faults").as_number(), 20.0);
   EXPECT_TRUE(doc.has("readers"));
   EXPECT_TRUE(doc.has("strategy"));
+  // Windowed fields (DESIGN §14). STATS must NOT close a window — repeated
+  // STATS stay byte-stable when nothing else runs.
+  EXPECT_TRUE(doc.has("window_ticks"));
+  EXPECT_TRUE(doc.has("window_queries"));
+  EXPECT_TRUE(doc.has("window_query_p99_us"));
+  EXPECT_EQ(serve::handle_line(session, "STATS", quit), reply);
 }
+
+// ---- Live observability: METRICS, spans, flight recorder ------------------
+
+TEST(ServeProtocol, MetricsScrapeIsPrometheusTextAndClosesWindows) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 20, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::QueryServer server(builder);
+  serve::QueryServer::Session session(server);
+
+  bool quit = false;
+  EXPECT_TRUE(serve::handle_line(session, "METRICS now", quit).starts_with("ERR"));
+  (void)serve::handle_line(session, "ROUTE 2 2 20 21", quit);
+  const std::uint64_t ticks_before = server.windows().ticks();
+  const std::string reply = serve::handle_line(session, "METRICS", quit);
+  ASSERT_TRUE(reply.starts_with("OK METRICS\n"));
+  EXPECT_NE(reply.find("# TYPE meshroute_serve_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(reply.find("# TYPE meshroute_serve_query_us histogram"),
+            std::string::npos);
+  EXPECT_NE(reply.find("meshroute_serve_window_queries_per_s"), std::string::npos);
+  EXPECT_NE(reply.find("meshroute_serve_epoch "), std::string::npos);
+  EXPECT_TRUE(reply.ends_with("# EOF"));  // run_session appends the newline
+  // Every scrape is a window boundary.
+  EXPECT_EQ(server.windows().ticks(), ticks_before + 1);
+  (void)serve::handle_line(session, "METRICS", quit);
+  EXPECT_EQ(server.windows().ticks(), ticks_before + 2);
+}
+
+TEST(QueryServer, GuardedBatchesEmitPairedSpansIntoFlightRecorder) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 20, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::ServeConfig cfg;
+  cfg.slow_query_us = 1;  // a 128-query batch always clears this bound
+  serve::QueryServer server(builder, std::move(cfg));
+  serve::QueryServer::Session session(server);
+
+  const std::vector<route::QuerySpec> specs = fixed_specs(mesh, 128, 11);
+  std::vector<route::RouteAnswer> answers;
+  ASSERT_TRUE(session.route_batch_guarded(specs, answers).admitted);
+
+  // One span chain: admission/acquire/work/reply, each begin paired with an
+  // end on the same (track, stage); all on the same span ordinal.
+  const std::vector<obs::TraceEvent> events = server.recorder().events();
+  std::map<std::pair<std::uint64_t, std::int64_t>, int> open;
+  int begins = 0;
+  int ends = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::EventKind::SpanBegin) {
+      ++begins;
+      ++open[{e.track, e.a}];
+    }
+    if (e.kind == obs::EventKind::SpanEnd) {
+      ++ends;
+      --open[{e.track, e.a}];
+    }
+  }
+  EXPECT_EQ(begins, 4);
+  EXPECT_EQ(ends, 4);
+  for (const auto& [key, balance] : open) {
+    EXPECT_EQ(balance, 0) << "track=" << key.first << " stage=" << key.second;
+  }
+  // The slow-query bound retained the whole chain as an exemplar.
+  ASSERT_EQ(server.recorder().exemplars().size(), 1u);
+  EXPECT_EQ(server.recorder().exemplars()[0].size(), 8u);
+}
+
+TEST(QueryServer, InjectAndPublishRecordsEpochTransitions) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 20, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::QueryServer server(builder);
+
+  const serve::QueryServer::InjectResult r = server.inject_and_publish({10, 10});
+  EXPECT_EQ(r.epoch, 1u);
+  EXPECT_FALSE(r.watchdog);  // no chaos: the publish went through cleanly
+
+  bool saw_publish = false;
+  for (const obs::TraceEvent& e : server.recorder().events()) {
+    if (e.kind == obs::EventKind::EpochPublish) {
+      saw_publish = true;
+      EXPECT_EQ(e.a, 1);
+      EXPECT_EQ(e.at, (Coord{10, 10}));
+    }
+    EXPECT_NE(e.kind, obs::EventKind::WatchdogTrip);
+  }
+  EXPECT_TRUE(saw_publish);
+}
+
+TEST(QueryServer, FlightDumpWritesSchemaValidPostmortem) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 20, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::QueryServer server(builder);
+  serve::QueryServer::Session session(server);
+
+  bool quit = false;
+  (void)serve::handle_line(session, "ROUTE 2 2 20 21", quit);
+  (void)server.inject_and_publish({10, 10});
+
+  EXPECT_FALSE(server.dump_flight("unit"));  // no --postmortem path armed
+  const std::string path = "flight_unit_test.json";
+  server.set_flight_dump(path);
+  EXPECT_EQ(server.flight_dump_path(), path);
+  ASSERT_TRUE(server.dump_flight("unit"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const experiment::json::Value doc = experiment::json::parse(buffer.str());
+  const experiment::json::Value& flight = doc.at("flight");
+  EXPECT_EQ(flight.at("reason").as_string(), "unit");
+  const double recorded = flight.at("recorded").as_number();
+  const double dropped = flight.at("dropped").as_number();
+  EXPECT_EQ(static_cast<double>(flight.at("events").as_array().size()) + dropped,
+            recorded);
+  EXPECT_GT(recorded, 0.0);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+// ---- The --obs-port scrape endpoint over a real loopback socket -----------
+
+TEST(ObsHttp, ServesPrometheusScrapeOnEphemeralPort) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3);
+  const fault::FaultSet faults = fault::uniform_random_faults(mesh, 20, rng);
+  serve::SnapshotBuilder builder(mesh, faults.faults());
+  serve::QueryServer server(builder);
+  {
+    serve::QueryServer::Session session(server);
+    std::vector<route::RouteAnswer> answers;
+    (void)session.route_batch_guarded(fixed_specs(mesh, 8, 5), answers);
+  }
+
+  serve::ObsHttpServer http(server, /*port=*/0);  // 0 = kernel-picked
+  ASSERT_TRUE(http.ok());
+  ASSERT_GT(http.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(http.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_GT(::send(fd, request, sizeof(request) - 1, 0), 0);
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  http.stop();
+
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE meshroute_serve_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("# EOF"), std::string::npos);
+}
+#endif  // __unix__ || __APPLE__
 
 // ---- Concurrent readers across epoch swaps --------------------------------
 

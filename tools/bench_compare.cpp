@@ -13,8 +13,11 @@
 //
 // With --metrics the inputs are instead two --metrics snapshots (the
 // {"counters":{...},"histograms":{...}} schema obs::write_metrics_json
-// emits); every counter and histogram count/p50 is diffed side by side.
-// The diff is informational — exit is 0 unless the files fail to parse.
+// emits) OR two windowed documents (obs::write_windowed_json: the same
+// counters/histograms plus a {"windows":...} header and "rates"/"gauges"
+// maps — the header is echoed and the extra maps diffed when present);
+// every counter and histogram count/p50 is diffed side by side. The diff is
+// informational — exit is 0 unless the files fail to parse.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -101,10 +104,24 @@ int compare_metrics(const std::string& old_path, const std::string& new_path) {
   const Value old_doc = load(old_path);
   const Value new_doc = load(new_path);
 
-  const auto counters = [](const Value& doc, const std::string& path) {
+  // Windowed documents carry a header describing the measurement ring; echo
+  // it so a diff across different window counts is legible.
+  const auto window_header = [](const Value& doc, const std::string& path) {
+    if (!doc.has("windows")) return;
+    const Value& w = doc.at("windows");
+    std::printf("%s: windows ticks=%.0f retained=%.0f span_us=%.0f\n", path.c_str(),
+                w.at("ticks").as_number(), w.at("retained").as_number(),
+                w.at("span_us").as_number());
+  };
+  window_header(old_doc, old_path);
+  window_header(new_doc, new_path);
+
+  const auto number_map = [](const Value& doc, const char* key,
+                             const std::string& path) {
     std::map<std::string, double> out;
+    if (!doc.has(key)) return out;
     try {
-      for (const auto& kv : doc.at("counters").as_object()) {
+      for (const auto& kv : doc.at(key).as_object()) {
         out[kv.first] = kv.second.as_number();
       }
     } catch (const std::exception& e) {
@@ -113,25 +130,48 @@ int compare_metrics(const std::string& old_path, const std::string& new_path) {
     }
     return out;
   };
-  const auto old_counters = counters(old_doc, old_path);
-  const auto new_counters = counters(new_doc, new_path);
 
-  std::printf("%-34s %14s %14s %12s\n", "counter", "old", "new", "delta");
-  std::map<std::string, bool> names;
-  for (const auto& kv : old_counters) names[kv.first] = true;
-  for (const auto& kv : new_counters) names[kv.first] = true;
-  for (const auto& kv : names) {
-    const std::string& name = kv.first;
-    const auto o = old_counters.find(name);
-    const auto n = new_counters.find(name);
-    if (o == old_counters.end()) {
-      std::printf("%-34s %14s %14.0f %12s\n", name.c_str(), "-", n->second, "new");
-    } else if (n == new_counters.end()) {
-      std::printf("%-34s %14.0f %14s %12s\n", name.c_str(), o->second, "-", "gone");
-    } else {
-      std::printf("%-34s %14.0f %14.0f %+12.0f\n", name.c_str(), o->second, n->second,
-                  n->second - o->second);
+  // One side-by-side table per numeric map. `decimals` renders counters as
+  // integers and rates/gauges with fractions.
+  const auto diff_table = [](const char* label, int decimals,
+                             const std::map<std::string, double>& old_vals,
+                             const std::map<std::string, double>& new_vals) {
+    std::printf("%-34s %14s %14s %12s\n", label, "old", "new", "delta");
+    std::map<std::string, bool> names;
+    for (const auto& kv : old_vals) names[kv.first] = true;
+    for (const auto& kv : new_vals) names[kv.first] = true;
+    for (const auto& kv : names) {
+      const std::string& name = kv.first;
+      const auto o = old_vals.find(name);
+      const auto n = new_vals.find(name);
+      if (o == old_vals.end()) {
+        std::printf("%-34s %14s %14.*f %12s\n", name.c_str(), "-", decimals, n->second,
+                    "new");
+      } else if (n == new_vals.end()) {
+        std::printf("%-34s %14.*f %14s %12s\n", name.c_str(), decimals, o->second, "-",
+                    "gone");
+      } else {
+        std::printf("%-34s %14.*f %14.*f %+12.*f\n", name.c_str(), decimals, o->second,
+                    decimals, n->second, decimals, n->second - o->second);
+      }
     }
+  };
+
+  if (!old_doc.has("counters") || !new_doc.has("counters")) {
+    std::cerr << "bench_compare: --metrics documents must carry a counters map\n";
+    std::exit(2);
+  }
+  diff_table("counter", 0, number_map(old_doc, "counters", old_path),
+             number_map(new_doc, "counters", new_path));
+  const auto old_rates = number_map(old_doc, "rates", old_path);
+  const auto new_rates = number_map(new_doc, "rates", new_path);
+  if (!old_rates.empty() || !new_rates.empty()) {
+    diff_table("rate_per_s", 3, old_rates, new_rates);
+  }
+  const auto old_gauges = number_map(old_doc, "gauges", old_path);
+  const auto new_gauges = number_map(new_doc, "gauges", new_path);
+  if (!old_gauges.empty() || !new_gauges.empty()) {
+    diff_table("gauge", 3, old_gauges, new_gauges);
   }
 
   const auto histograms = [](const Value& doc) {

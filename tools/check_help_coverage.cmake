@@ -23,7 +23,8 @@ set(commands map decide route serve)
 set(flags
   --n --faults --seed --src --dst --model --segment --pivot-levels --strategy
   --policy --ppm --ascii --chaos --ttl --trace --script --port --max-conns
-  --journal --queue-depth --max-staleness --help)
+  --journal --queue-depth --max-staleness --obs-port --postmortem
+  --slow-query-us --help)
 
 foreach(cmd IN LISTS commands)
   string(FIND "${help_text}" "${cmd}" idx)

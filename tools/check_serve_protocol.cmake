@@ -13,15 +13,19 @@ endif()
 
 set(script "${WORK_DIR}/serve_script.txt")
 file(WRITE "${script}"
-"# smoke script: every command class, plus a parse error mid-session
+"# smoke script: every command class, plus a parse error mid-session.
+# METRICS appears twice with queries in between so the two scrapes must
+# show a moved serve.queries counter (checked below).
 EPOCH
 DECIDE 2 2 20 21
 ROUTE 2 2 20 21
+METRICS
 INJECT 10 10
 EPOCH
 DECIDE 2 2 20 21
 STATS
 HEALTH
+METRICS
 BOGUS 1 2
 QUIT
 ")
@@ -47,8 +51,18 @@ foreach(mode script stdin)
       "OK STATS {"
       "\"epoch\":1"
       "\"readers\":"
+      "\"window_queries\":"
+      "\"window_query_p99_us\":"
       "OK HEALTH {"
       "\"epoch_lag\":0"
+      "OK METRICS"
+      "# TYPE meshroute_serve_queries_total counter"
+      "# TYPE meshroute_serve_query_us histogram"
+      "_bucket{le="
+      "meshroute_serve_window_queries_per_s"
+      "meshroute_serve_queue_depth_now"
+      "meshroute_serve_epoch_lag"
+      "# EOF"
       "ERR unknown command"
       "OK BYE")
     string(FIND "${out}" "${needle}" idx)
@@ -56,6 +70,18 @@ foreach(mode script stdin)
       message(FATAL_ERROR "serve (${mode}) output missing '${needle}':\n${out}")
     endif()
   endforeach()
+  # The live-observability acceptance check: the lifetime serve.queries
+  # counter must have moved between the two scrapes (queries ran in between).
+  string(REGEX MATCHALL "meshroute_serve_queries_total [0-9]+" scrapes "${out}")
+  list(LENGTH scrapes n_scrapes)
+  if(NOT n_scrapes EQUAL 2)
+    message(FATAL_ERROR "serve (${mode}) expected 2 METRICS scrapes, saw ${n_scrapes}:\n${out}")
+  endif()
+  list(GET scrapes 0 scrape0)
+  list(GET scrapes 1 scrape1)
+  if(scrape0 STREQUAL scrape1)
+    message(FATAL_ERROR "serve (${mode}) METRICS did not move between scrapes: '${scrape0}'")
+  endif()
 endforeach()
 
 # Resilience phase: serve-chaos sheds the first read (BUSY + scripted-client

@@ -11,7 +11,8 @@
 //                       [--strategy s1|s2|s3|s4] [--segment 5] [--pivot-levels 3]
 //                       [--script FILE] [--port P] [--max-conns C]
 //                       [--journal FILE] [--queue-depth N] [--max-staleness K]
-//                       [--chaos FILE|SPEC]
+//                       [--chaos FILE|SPEC] [--obs-port P] [--postmortem FILE]
+//                       [--slow-query-us T]
 //
 // serve runs the epoch-snapshotted query server (src/serve) speaking the
 // line protocol of serve/protocol.hpp — DECIDE/ROUTE/INJECT/STATS/HEALTH/
@@ -23,6 +24,13 @@
 // published snapshot lags the world, --journal write-ahead-logs every
 // injection and recovers from the log on restart, and --chaos arms the
 // serve-layer self-chaos events (bdelay/bstall/pubdrop/shed/tear).
+//
+// Live observability (DESIGN §14): the METRICS protocol command and the
+// --obs-port loopback HTTP endpoint both answer Prometheus text exposition
+// (each scrape closes a measurement window, so windowed rates move between
+// scrapes); --postmortem arms the flight recorder's dump file, written when
+// the builder watchdog trips (bstall chaos) or SHUTDOWN runs;
+// --slow-query-us retains the span chains of slow queries as exemplars.
 //
 // With --chaos, route runs the graceful-degradation ladder against a live
 // FaultSchedule (see src/chaos/fault_schedule.hpp for the spec grammar;
@@ -57,6 +65,7 @@
 #include "route/path.hpp"
 #include "route/query.hpp"
 #include "serve/builder.hpp"
+#include "serve/obs_http.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -87,6 +96,9 @@ struct Options {
   std::optional<std::string> journal;///< serve: WAL path (recover + append)
   long queue_depth = 0;              ///< serve: admission capacity (0 = unbounded)
   long max_staleness = 0;            ///< serve: epoch-lag bound (0 = no guard)
+  std::optional<long> obs_port;      ///< serve: HTTP metrics port (0 = ephemeral)
+  std::optional<std::string> postmortem;  ///< serve: flight-recorder dump file
+  long slow_query_us = 0;            ///< serve: span-exemplar threshold (0 = off)
 };
 
 Coord parse_coord(const std::string& key, const std::string& s) {
@@ -148,6 +160,13 @@ void print_usage(std::ostream& os) {
         "                           BUSY <retry_after_ms>          (default: unbounded)\n"
         "  --max-staleness K        serve: answer DEGRADED when the served snapshot\n"
         "                           lags the world by more than K epochs (default: off)\n"
+        "  --obs-port P             serve: loopback HTTP endpoint answering every GET\n"
+        "                           with Prometheus text metrics (0 = ephemeral port,\n"
+        "                           printed on stderr)\n"
+        "  --postmortem FILE        serve: arm the flight recorder; dump recent spans\n"
+        "                           and epoch events to FILE on watchdog trip/SHUTDOWN\n"
+        "  --slow-query-us T        serve: retain span-chain exemplars for queries\n"
+        "                           taking >= T microseconds      (default: off)\n"
         "  --help                   print this message and exit\n";
 }
 
@@ -263,6 +282,21 @@ Options parse(int argc, char** argv) {
     } else if (key == "--max-staleness") {
       opt.max_staleness = parse_long(key, next_value(key, attached));
       if (opt.max_staleness < 0) throw std::invalid_argument("--max-staleness must be >= 0");
+    } else if (key == "--obs-port") {
+      opt.obs_port = parse_long(key, next_value(key, attached));
+      if (*opt.obs_port < 0 || *opt.obs_port > 65535) {
+        throw std::invalid_argument("--obs-port expects 0..65535");
+      }
+    } else if (key == "--postmortem") {
+      opt.postmortem = next_value(key, attached);
+      if (opt.postmortem->empty()) {
+        throw std::invalid_argument("--postmortem expects a file name");
+      }
+    } else if (key == "--slow-query-us") {
+      opt.slow_query_us = parse_long(key, next_value(key, attached));
+      if (opt.slow_query_us < 0) {
+        throw std::invalid_argument("--slow-query-us must be >= 0");
+      }
     } else {
       throw std::invalid_argument("unknown flag '" + key + "'");
     }
@@ -280,6 +314,11 @@ Options parse(int argc, char** argv) {
       opt.command != "serve") {
     throw std::invalid_argument(
         "--journal/--queue-depth/--max-staleness only apply to the serve command");
+  }
+  if ((opt.obs_port || opt.postmortem || opt.slow_query_us != 0) &&
+      opt.command != "serve") {
+    throw std::invalid_argument(
+        "--obs-port/--postmortem/--slow-query-us only apply to the serve command");
   }
   if (opt.script && opt.port) {
     throw std::invalid_argument("--script and --port are mutually exclusive");
@@ -333,7 +372,9 @@ int run_serve(const Options& opt) {
   }
   cfg.resilience.queue_capacity = opt.queue_depth;
   cfg.resilience.max_staleness_epochs = static_cast<std::uint64_t>(opt.max_staleness);
+  cfg.slow_query_us = opt.slow_query_us;
   serve::QueryServer server(builder, std::move(cfg));
+  if (opt.postmortem) server.set_flight_dump(*opt.postmortem);
 
   if (opt.chaos) {
     chaos::FaultSchedule sched;
@@ -356,6 +397,13 @@ int run_serve(const Options& opt) {
     std::cerr << ", " << builder.stats().recovered_records << " journal records replayed";
   }
   std::cerr << "\n";
+  std::optional<serve::ObsHttpServer> obs_http;
+  if (opt.obs_port) {
+    obs_http.emplace(server, static_cast<std::uint16_t>(*opt.obs_port));
+    if (!obs_http->ok()) return 2;
+    std::cerr << "obs: metrics on http://127.0.0.1:" << obs_http->port()
+              << "/metrics\n";
+  }
   if (opt.port) {
     return serve::serve_tcp(server, static_cast<std::uint16_t>(*opt.port), opt.max_conns);
   }
