@@ -42,6 +42,7 @@
 #include "cond/conditions.hpp"
 #include "cond/wang.hpp"
 #include "experiment/json.hpp"
+#include "experiment/sweep.hpp"
 #include "experiment/workspace.hpp"
 #include "fault/block_model.hpp"
 #include "fault/fault_set.hpp"
@@ -121,7 +122,11 @@ struct KernelResult {
 KernelResult run_kernel(const std::string& name, int reps, int iters,
                         const std::function<void()>& fn) {
   std::vector<double> us(static_cast<std::size_t>(reps));
-  fn();  // warm-up: first-touch allocations land outside the timed region
+  // Warm-up rep (excluded from stats): a full iters loop, not a single call
+  // — the batch kernels grow their SoA arenas lazily, and one call leaves
+  // later first-touch page faults inside the first timed rep (batch8_*
+  // kernels used to report max ~6x their median from exactly that).
+  for (int i = 0; i < iters; ++i) fn();
   for (auto& sample : us) {
     const auto t0 = Clock::now();
     for (int i = 0; i < iters; ++i) fn();
@@ -278,6 +283,46 @@ int main(int argc, char** argv) {
                 r.min_us, r.max_us);
   }
 
+  // Batch-width sweep: per-trial prebuild cost at B lanes vs the direct
+  // make_trial baseline. This is the measurement behind
+  // experiment::default_batch_for's constants — the crossover (first B whose
+  // per-trial cost beats B=1) and the heuristic's pick for THIS machine are
+  // recorded in meta.batch_sweep, NOT kernels[], so bench_compare's
+  // median gate never flags a machine-dependent crossover shift.
+  double baseline_us = 0;
+  for (const auto& r : results) {
+    if (r.name == "make_trial_ws") baseline_us = r.median_us;
+  }
+  struct BatchPoint {
+    int batch;
+    double per_trial_us;
+  };
+  std::vector<BatchPoint> batch_points;
+  int crossover = 0;
+  std::printf("\n%-16s %12s  (make_trial baseline %.3f us/trial)\n", "batch_sweep",
+              "us_per_trial", baseline_us);
+  for (const int b : {2, 4, 8, 16, 32}) {
+    const std::vector<experiment::TrialConfig> sweep_configs(
+        static_cast<std::size_t>(b), experiment::TrialConfig{.n = kSide, .faults = kFaults});
+    const KernelResult kr =
+        run_kernel("batch_sweep", opt.reps, std::max(1, 16 / b / scale), [&] {
+          lane_rngs.clear();
+          for (int l = 0; l < b; ++l) {
+            lane_rngs.emplace_back(seed_combine(0x94eb1d, ++prebuild_salt));
+          }
+          experiment::prebuild_trials(sweep_configs, lane_rngs, batch_ws);
+        });
+    const double per_trial = kr.median_us / b;
+    batch_points.push_back({b, per_trial});
+    if (crossover == 0 && per_trial < baseline_us) crossover = b;
+    std::printf("%-16d %12.3f\n", b, per_trial);
+  }
+  const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+  const int auto_batch =
+      experiment::default_batch_for(hw_threads, core::simd::active_tier());
+  std::printf("crossover=%d default_batch_for(threads=%d)=%d\n", crossover, hw_threads,
+              auto_batch);
+
   if (!opt.json.empty()) {
     experiment::json::Value::Array kernels;
     for (const auto& r : results) {
@@ -296,6 +341,21 @@ int main(int argc, char** argv) {
     meta["threads"] = static_cast<double>(std::thread::hardware_concurrency());
     meta["trace_enabled"] = MESHROUTE_TRACE_ENABLED != 0;
     meta["simd"] = std::string(core::simd::tier_name(core::simd::active_tier()));
+    {
+      experiment::json::Value::Array points;
+      for (const BatchPoint& p : batch_points) {
+        experiment::json::Value::Object o;
+        o["batch"] = static_cast<double>(p.batch);
+        o["us_per_trial"] = p.per_trial_us;
+        points.emplace_back(std::move(o));
+      }
+      experiment::json::Value::Object bs;
+      bs["baseline_us_per_trial"] = baseline_us;
+      bs["points"] = std::move(points);
+      bs["crossover"] = static_cast<double>(crossover);  // 0 = never beat B=1
+      bs["auto_batch"] = static_cast<double>(auto_batch);
+      meta["batch_sweep"] = std::move(bs);
+    }
     experiment::json::Value::Object doc;
     doc["bench"] = "core";
     doc["n"] = static_cast<double>(kSide);

@@ -10,10 +10,18 @@
 //     latency medians as bench_compare kernels.
 //   * --deterministic: every round is barrier-synchronized — publish, then
 //     answer that round's batch against exactly that epoch, then next round.
-//     Wall-clock numbers are zeroed and the aggregate answer counts are pure
-//     sums over (epoch, query) pairs, so the emitted JSON is byte-identical
-//     for any --threads value (the serve_determinism ctest compares
-//     --threads=1 against --threads=4 with cmake -E compare_files).
+//     Aggregate answer counts are pure sums over (epoch, query) pairs for any
+//     --threads value; kernel timings stay real wall time (steady_clock ns
+//     per batch, divided per query) so the tracked BENCH_serve.json carries
+//     gateable medians. --zero-timings additionally zeroes every wall-derived
+//     field, making the JSON byte-identical across --threads (the
+//     serve_determinism ctest compares --threads=1 against --threads=4 with
+//     cmake -E compare_files).
+//
+// --flight=F makes the writer queue F epochs per round and publish them
+// through SnapshotBuilder's batched SoA flush (F=1 keeps plain
+// inject_publish); per-epoch build latency lands in serve.rebuild_us and the
+// top-level rebuild_median_us / rebuild_p99_us JSON columns.
 //
 // --json emits the bench_compare kernel schema:
 //   {"bench":"serve","n":...,"meta":{...},"kernels":[{"name":"decide_query",
@@ -43,6 +51,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "experiment/json.hpp"
 #include "obs/export.hpp"
 #include "obs/live.hpp"
@@ -71,10 +80,14 @@ struct Options {
   Dist n = 96;
   std::size_t faults = 64;
   std::uint64_t seed = 1;
-  int rounds = 48;    // epochs published by the writer
+  int rounds = 48;    // flush rounds driven by the writer
   int batch = 192;    // queries per round
   int threads = 4;    // reader threads
+  int flight = 1;     // epochs enqueued per round; >1 takes the batched
+                      // SoA flush path (SnapshotBuilder::enqueue/flush)
   bool deterministic = false;
+  bool zero_timings = false;  // zero every wall-derived number (the
+                              // determinism byte-compare ctests)
   long shed_capacity = 0;  // admission cap for racing mode (0 = unbounded)
   long deadline_us = 0;    // per-request deadline budget (0 = off)
   std::string json;      // empty = off; "-" = stdout
@@ -85,11 +98,17 @@ struct Options {
 [[noreturn]] void usage_and_exit() {
   std::cerr
       << "usage: serve_sweep [--n=N] [--faults=K] [--seed=S] [--rounds=R] [--batch=B]\n"
-         "                   [--threads=T] [--deterministic] [--quick]\n"
+         "                   [--threads=T] [--flight=F] [--deterministic]\n"
+         "                   [--zero-timings] [--quick]\n"
          "                   [--shed-capacity=N] [--deadline-us=N]\n"
          "                   [--json=FILE|-] [--metrics=FILE|-] [--windowed=FILE|-]\n"
-         "  --deterministic  barrier-round mode: timings zeroed, JSON output\n"
-         "                   byte-identical for any --threads value\n"
+         "  --deterministic  barrier-round mode: answer counts are pure sums over\n"
+         "                   (epoch, query) pairs for any --threads value; kernel\n"
+         "                   timings stay real wall time unless --zero-timings\n"
+         "  --zero-timings   zero every wall-derived field so the JSON is\n"
+         "                   byte-identical across --threads (determinism ctests)\n"
+         "  --flight=F       epochs enqueued per round, 1-64; F>=2 publishes each\n"
+         "                   round through the batched SoA flush\n"
          "  --shed-capacity  racing mode: bound in-flight batches; over it the\n"
          "                   admission gate sheds (BUSY) and the reader backs off\n"
          "  --deadline-us    racing mode: per-batch service budget; misses are\n"
@@ -108,6 +127,10 @@ Options parse_options(int argc, char** argv) {
     try {
       if (arg == "--deterministic") {
         opt.deterministic = true;
+      } else if (arg == "--zero-timings") {
+        opt.zero_timings = true;
+      } else if (arg.rfind("--flight=", 0) == 0) {
+        opt.flight = static_cast<int>(num(9));
       } else if (arg == "--quick") {
         opt.n = 48;
         opt.faults = 32;
@@ -147,7 +170,10 @@ Options parse_options(int argc, char** argv) {
       usage_and_exit();
     }
   }
-  if (opt.n < 4 || opt.rounds < 1 || opt.batch < 1 || opt.threads < 1) usage_and_exit();
+  if (opt.n < 4 || opt.rounds < 1 || opt.batch < 1 || opt.threads < 1 ||
+      opt.flight < 1 || opt.flight > 64) {
+    usage_and_exit();
+  }
   return opt;
 }
 
@@ -240,13 +266,30 @@ int main(int argc, char** argv) {
   server_cfg.resilience.deadline_us = opt.deadline_us;
   serve::QueryServer server(builder, std::move(server_cfg));
 
-  // The writer's injection sites for epochs 1..rounds, fixed up front so the
-  // world's evolution is a pure function of the seed.
-  std::vector<Coord> sites(static_cast<std::size_t>(opt.rounds));
+  // The writer's injection sites for epochs 1..rounds*flight, fixed up front
+  // so the world's evolution is a pure function of the seed.
+  std::vector<Coord> sites(static_cast<std::size_t>(opt.rounds) *
+                           static_cast<std::size_t>(opt.flight));
   for (Coord& c : sites) {
     c = {static_cast<Dist>(world_rng.uniform(0, opt.n - 1)),
          static_cast<Dist>(world_rng.uniform(0, opt.n - 1))};
   }
+
+  // One writer round: flight=1 keeps the plain inject_publish path (serve
+  // chaos, watchdog); flight>=2 queues the round's epochs and publishes the
+  // whole flight through SnapshotBuilder's batched SoA flush.
+  const auto publish_round = [&](int r) {
+    if (opt.flight == 1) {
+      server.inject_publish(sites[static_cast<std::size_t>(r)]);
+      return;
+    }
+    for (int f = 0; f < opt.flight; ++f) {
+      builder.enqueue(
+          sites[static_cast<std::size_t>(r) * static_cast<std::size_t>(opt.flight) +
+                static_cast<std::size_t>(f)]);
+    }
+    builder.flush();
+  };
 
   // One measurement window per publish round. Deterministic mode closes each
   // window with a fixed logical span (one "second" per round) so rates and
@@ -267,7 +310,7 @@ int main(int argc, char** argv) {
     // Barrier rounds: publish, then every answer in the round is computed
     // against exactly that epoch. Totals are partition-independent.
     for (int r = 0; r < opt.rounds; ++r) {
-      server.inject_publish(sites[static_cast<std::size_t>(r)]);
+      publish_round(r);
       const std::vector<route::QuerySpec> specs = round_specs(opt, r);
       std::vector<std::thread> pool;
       pool.reserve(static_cast<std::size_t>(threads));
@@ -282,8 +325,22 @@ int main(int argc, char** argv) {
           std::vector<cond::Decision> decisions;
           std::vector<route::RouteAnswer> answers;
           const std::span<const route::QuerySpec> slice(specs.data() + lo, hi - lo);
+          // Real batch wall times (steady_clock ns, divided per query) unless
+          // the byte-compare ctests asked for --zero-timings: sub-resolution
+          // "0 µs" kernel medians gate nothing (the tracked BENCH_serve.json
+          // regression the zeroed-everything era actually shipped).
+          const auto t0 = Clock::now();
           session.decide_batch(slice, decisions);
+          const auto t1 = Clock::now();
           session.route_batch(slice, answers);
+          const auto t2 = Clock::now();
+          if (!opt.zero_timings) {
+            const double per = 1.0 / static_cast<double>(slice.size());
+            decide_us[static_cast<std::size_t>(t)].push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0).count() * per);
+            route_us[static_cast<std::size_t>(t)].push_back(
+                std::chrono::duration<double, std::micro>(t2 - t1).count() * per);
+          }
           tally(decisions, answers, per_thread[static_cast<std::size_t>(t)]);
         });
       }
@@ -350,7 +407,7 @@ int main(int argc, char** argv) {
       });
     }
     for (int r = 0; r < opt.rounds; ++r) {
-      server.inject_publish(sites[static_cast<std::size_t>(r)]);
+      publish_round(r);
       windows.advance();
       // Pace the writer so readers interleave with the epoch swaps instead
       // of seeing one final burst.
@@ -363,7 +420,7 @@ int main(int argc, char** argv) {
   }
 
   const double wall_ms =
-      opt.deterministic
+      opt.zero_timings
           ? 0.0
           : std::chrono::duration<double, std::milli>(Clock::now() - t_start).count();
 
@@ -394,6 +451,18 @@ int main(int argc, char** argv) {
                          ? static_cast<double>(2 * totals.queries) / (wall_ms / 1000.0)
                          : 0.0;
   const obs::MetricsSnapshot metrics = obs::Registry::global().snapshot();
+  // Per-epoch snapshot build latency (SnapshotBuilder's serve.rebuild_us):
+  // the epoch-pipeline headline. flight=1 times the plain delta-fed publish;
+  // flight>=2 times the batched SoA flush's per-epoch share.
+  const auto rebuild_it = metrics.histograms.find("serve.rebuild_us");
+  const double rebuild_median_us =
+      !opt.zero_timings && rebuild_it != metrics.histograms.end()
+          ? rebuild_it->second.percentile(0.50)
+          : 0.0;
+  const double rebuild_p99_us =
+      !opt.zero_timings && rebuild_it != metrics.histograms.end()
+          ? rebuild_it->second.percentile(0.99)
+          : 0.0;
   const auto staleness_it = metrics.histograms.find("serve.staleness_epochs");
   // Zeroed in deterministic mode like the other timing-derived numbers: the
   // histogram's observation count scales with --threads, and the percentile
@@ -413,10 +482,10 @@ int main(int argc, char** argv) {
   const std::int64_t windowed_queries = windows.windowed_count("serve.queries");
   const double windowed_hops_p99 = windowed_p99("serve.hops");
   const double windowed_query_p99_us =
-      opt.deterministic ? 0.0 : windowed_p99("serve.query_us");
+      opt.zero_timings ? 0.0 : windowed_p99("serve.query_us");
 
-  std::printf("serve_sweep: n=%d faults=%zu rounds=%d batch=%d%s\n",
-              static_cast<int>(opt.n), opt.faults, opt.rounds, opt.batch,
+  std::printf("serve_sweep: n=%d faults=%zu rounds=%d batch=%d flight=%d%s\n",
+              static_cast<int>(opt.n), opt.faults, opt.rounds, opt.batch, opt.flight,
               opt.deterministic ? " (deterministic)" : "");
   std::printf("  queries: %lld (delivered %lld, minimal %lld, sub-minimal %lld)\n",
               static_cast<long long>(totals.queries),
@@ -431,12 +500,14 @@ int main(int argc, char** argv) {
   std::printf("  windowed (last %zu of %llu rounds): queries=%lld hops_p99=%.1f\n",
               windows.retained(), static_cast<unsigned long long>(windows.ticks()),
               static_cast<long long>(windowed_queries), windowed_hops_p99);
-  if (!opt.deterministic) {
+  if (!opt.zero_timings) {
     std::printf("  qps=%.0f decide_us=%.3f route_us=%.3f staleness_p99=%.1f epochs\n",
                 qps, decide_median_us, route_median_us, staleness_p99);
     std::printf("  admitted=%lld shed=%lld decide_p99_us=%.3f route_p99_us=%.3f\n",
                 static_cast<long long>(admitted_total),
                 static_cast<long long>(shed_total), decide_p99_us, route_p99_us);
+    std::printf("  rebuild_median_us=%.3f rebuild_p99_us=%.3f (flight=%d)\n",
+                rebuild_median_us, rebuild_p99_us, opt.flight);
   }
 
   if (!opt.json.empty()) {
@@ -446,8 +517,12 @@ int main(int argc, char** argv) {
     meta["build_type"] = MESHROUTE_BUILD_TYPE;
     meta["compiler"] = MESHROUTE_COMPILER;
     meta["trace_enabled"] = MESHROUTE_TRACE_ENABLED != 0;
-    if (!opt.deterministic) {
-      // Omitted in deterministic mode: the file must be byte-identical
+    // The active kernel tier: a fixed string for a given build+env, so it
+    // survives the byte-compare ctests — and bench_compare refuses to gate
+    // serve BENCH files whose tiers differ (check_meta_mismatch coverage).
+    meta["simd"] = std::string(core::simd::tier_name(core::simd::active_tier()));
+    if (!opt.zero_timings) {
+      // Omitted under --zero-timings: the file must be byte-identical
       // across --threads (the serve_determinism ctest).
       meta["threads"] = static_cast<double>(threads);
     }
@@ -484,13 +559,19 @@ int main(int argc, char** argv) {
     doc["seed"] = static_cast<double>(opt.seed);
     doc["rounds"] = static_cast<double>(opt.rounds);
     doc["batch"] = static_cast<double>(opt.batch);
+    doc["flight"] = static_cast<double>(opt.flight);
     doc["deterministic"] = opt.deterministic;
     doc["meta"] = std::move(meta);
     doc["kernels"] = std::move(kernels);
     doc["results"] = std::move(results);
     doc["qps"] = qps;
-    doc["decide_p99_us"] = opt.deterministic ? 0.0 : decide_p99_us;
-    doc["route_p99_us"] = opt.deterministic ? 0.0 : route_p99_us;
+    doc["decide_p99_us"] = opt.zero_timings ? 0.0 : decide_p99_us;
+    doc["route_p99_us"] = opt.zero_timings ? 0.0 : route_p99_us;
+    // Top-level (not kernels[]) on purpose: rebuild latency is tracked for
+    // humans and the ISSUE headline, while the bench_compare median gate
+    // sticks to the per-query kernels.
+    doc["rebuild_median_us"] = rebuild_median_us;
+    doc["rebuild_p99_us"] = rebuild_p99_us;
     doc["staleness_p99"] = staleness_p99;
     doc["windowed_queries"] = static_cast<double>(windowed_queries);
     doc["windowed_hops_p99"] = windowed_hops_p99;

@@ -13,14 +13,26 @@ namespace meshroute::core::simd {
 
 namespace {
 
+/// The best tier this process can actually run — the bottom of every forced
+/// tier's degradation ladder.
+Tier best_tier() noexcept {
+  if (native512_supported()) return Tier::Native512;
+  if (native_supported()) return Tier::Native;
+  return Tier::Generic;
+}
+
 Tier resolve_tier() noexcept {
   if (const char* env = std::getenv("MESHROUTE_SIMD")) {
     const std::string_view v(env);
     if (v == "scalar") return Tier::Scalar;
     if (v == "generic") return Tier::Generic;
     if (v == "native") return native_supported() ? Tier::Native : Tier::Generic;
+    if (v == "native512") {
+      if (native512_supported()) return Tier::Native512;
+      return native_supported() ? Tier::Native : Tier::Generic;
+    }
   }
-  return native_supported() ? Tier::Native : Tier::Generic;
+  return best_tier();
 }
 
 Tier& tier_state() noexcept {
@@ -35,6 +47,7 @@ const char* tier_name(Tier t) noexcept {
     case Tier::Scalar: return "scalar";
     case Tier::Generic: return "generic";
     case Tier::Native: return "native";
+    case Tier::Native512: return "native512";
   }
   return "?";
 }
@@ -55,9 +68,18 @@ bool native_supported() noexcept {
 #endif
 }
 
+bool native512_supported() noexcept {
+#if defined(MESHROUTE_SIMD_NATIVE) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
 Tier active_tier() noexcept { return tier_state(); }
 
 Tier force_tier(Tier t) noexcept {
+  if (t == Tier::Native512 && !native512_supported()) t = Tier::Native;
   if (t == Tier::Native && !native_supported()) t = Tier::Generic;
   tier_state() = t;
   return t;
@@ -907,6 +929,40 @@ MESHROUTE_TARGET_AVX2 void batch_reach_fill_native(const BitGridBatch& b, Coord 
   batch_reach_fill_vec(b, src, out, s);
 }
 #define MESHROUTE_HAVE_NATIVE 1
+
+// The AVX-512 tier re-instantiates the identical source once more under
+// target("avx512f") (which implies AVX2 on GCC, so the u64x4/i32x8 paths
+// still lower natively): every u64x8 op in the batch kernels becomes one zmm
+// instruction instead of a split ymm pair. Selected at runtime only when
+// __builtin_cpu_supports("avx512f") agrees (simd.hpp tier ladder).
+#define MESHROUTE_TARGET_AVX512 __attribute__((target("avx512f")))
+MESHROUTE_TARGET_AVX512 void block_fixpoint_native512(BitGrid& bad, SweepScratch& s) {
+  block_fixpoint_vec(bad, s);
+}
+MESHROUTE_TARGET_AVX512 void mcc_sweeps_native512(const BitGrid& fp, BitGrid& up, BitGrid& cp,
+                                                  bool t1, SweepScratch& s) {
+  mcc_sweeps_vec(fp, up, cp, t1, s);
+}
+MESHROUTE_TARGET_AVX512 void reach_fill_native512(const BitGrid& b, Coord src, BitGrid& out,
+                                                  SweepScratch& s) {
+  reach_fill_vec(b, src, out, s);
+}
+MESHROUTE_TARGET_AVX512 void safety_fill_native512(const BitGrid& o, std::int32_t* aos,
+                                                   SweepScratch& s) {
+  safety_fill_vec(o, aos, s);
+}
+MESHROUTE_TARGET_AVX512 void batch_block_fixpoint_native512(BitGridBatch& bad, SweepScratch& s) {
+  batch_block_fixpoint_vec(bad, s);
+}
+MESHROUTE_TARGET_AVX512 void batch_mcc_sweeps_native512(const BitGridBatch& fp, BitGridBatch& up,
+                                                        BitGridBatch& cp, bool t1,
+                                                        SweepScratch& s) {
+  batch_mcc_sweeps_vec(fp, up, cp, t1, s);
+}
+MESHROUTE_TARGET_AVX512 void batch_reach_fill_native512(const BitGridBatch& b, Coord src,
+                                                        BitGridBatch& out, SweepScratch& s) {
+  batch_reach_fill_vec(b, src, out, s);
+}
 #endif
 
 }  // namespace
@@ -916,12 +972,13 @@ MESHROUTE_TARGET_AVX2 void batch_reach_fill_native(const BitGridBatch& b, Coord 
 // ===========================================================================
 
 #if defined(MESHROUTE_HAVE_NATIVE)
-#define MESHROUTE_DISPATCH(fn, ...)                          \
-  switch (tier_state()) {                                    \
-    case Tier::Scalar: return fn##_scalar(__VA_ARGS__);      \
-    case Tier::Native: return fn##_native(__VA_ARGS__);      \
-    case Tier::Generic: break;                               \
-  }                                                          \
+#define MESHROUTE_DISPATCH(fn, ...)                            \
+  switch (tier_state()) {                                      \
+    case Tier::Scalar: return fn##_scalar(__VA_ARGS__);        \
+    case Tier::Native: return fn##_native(__VA_ARGS__);        \
+    case Tier::Native512: return fn##_native512(__VA_ARGS__);  \
+    case Tier::Generic: break;                                 \
+  }                                                            \
   return fn##_generic(__VA_ARGS__)
 #else
 #define MESHROUTE_DISPATCH(fn, ...)                          \

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/simd.hpp"
 #include "experiment/json.hpp"
 #include "experiment/workspace.hpp"
 #include "obs/export.hpp"
@@ -42,7 +43,8 @@ std::string SweepConfig::usage() {
       "  --seed=S       base seed, decimal or 0x hex            (default 0x5eed2002)\n"
       "  --threads=T    worker threads, 0 = hardware            (default 0)\n"
       "  --batch=B      trials prebuilt per worker claim via the SoA batch\n"
-      "                 kernels, 1-64; results identical to B=1  (default 1)\n"
+      "                 kernels, 1-64; results identical to B=1; 0 = auto,\n"
+      "                 scaled to threads x SIMD tier             (default 0)\n"
       "  --json=FILE    structured output; '-' writes the JSON as stdout's last line\n"
       "  --metrics=FILE flat counter/histogram snapshot (obs registry); '-' = stdout\n"
       "  --quick        smoke-test sweep (trials=8, dests=10)\n";
@@ -77,8 +79,8 @@ std::optional<SweepConfig> SweepConfig::try_parse(int argc, char** argv, std::st
         cfg.threads = parse_int("--threads", v);
       } else if (const char* v = value_of("--batch=")) {
         cfg.batch = parse_int("--batch", v);
-        if (cfg.batch < 1 || cfg.batch > 64) {
-          throw std::invalid_argument("--batch must be in [1, 64]");
+        if (cfg.batch > 64) {
+          throw std::invalid_argument("--batch must be in [0, 64] (0 = auto)");
         }
       } else if (const char* v = value_of("--json=")) {
         if (*v == '\0') throw std::invalid_argument("--json expects a file name or '-'");
@@ -112,6 +114,18 @@ int SweepConfig::resolved_threads() const {
   if (threads > 0) return threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int SweepConfig::resolved_batch() const {
+  if (batch > 0) return batch;
+  return default_batch_for(resolved_threads(), core::simd::active_tier());
+}
+
+int default_batch_for(int threads, core::simd::Tier tier) noexcept {
+  // Memory-bound prebuilds (DESIGN §12): narrow runs get nothing from wide
+  // claims, and the scalar tier has no word-parallel sweeps to amortize.
+  if (threads <= 2 || tier == core::simd::Tier::Scalar) return 1;
+  return std::min(64, 8 * std::max(1, threads / 4));
 }
 
 std::string SweepConfig::setup_string() const {
@@ -217,7 +231,7 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const TrialFn& fn) 
   obs::Histogram& route_us_hist = obs::Registry::global().histogram("sweep.route_us");
   obs::Histogram& prebuild_us_hist = obs::Registry::global().histogram("sweep.prebuild_us");
 
-  const auto batch = static_cast<std::size_t>(std::max(1, config_.batch));
+  const auto batch = static_cast<std::size_t>(std::max(1, config_.resolved_batch()));
   const auto worker = [&]() {
     TrialWorkspace workspace;
     // Each worker thread collects trace events into its own buffer; the

@@ -54,6 +54,10 @@ namespace meshroute::obs {
 class TraceSink;
 }  // namespace meshroute::obs
 
+namespace meshroute::core::simd {
+enum class Tier : std::uint8_t;
+}  // namespace meshroute::core::simd
+
 namespace meshroute::experiment {
 
 struct TrialWorkspace;
@@ -69,8 +73,9 @@ struct SweepConfig {
   int dests = 40;                  ///< destinations per configuration
   std::uint64_t seed = 0x5eed2002; ///< base seed (hex accepted on the flag)
   int threads = 0;                 ///< worker threads; 0 = hardware concurrency
-  int batch = 1;                   ///< cells per worker claim; >1 prebuilds
-                                   ///< their trials via the SoA batch kernels
+  int batch = 0;                   ///< cells per worker claim; >1 prebuilds their
+                                   ///< trials via the SoA batch kernels; 0 = auto
+                                   ///< (default_batch_for(threads, tier))
   std::string json_path;           ///< --json target; "" = off, "-" = stdout
   std::string metrics_path;        ///< --metrics target; "" = off, "-" = stdout
   bool quick = false;              ///< --quick given (trials=8, dests=10)
@@ -93,6 +98,11 @@ struct SweepConfig {
 
   /// Worker-thread count after resolving 0 to the hardware concurrency.
   [[nodiscard]] int resolved_threads() const;
+
+  /// Worker-claim size after resolving 0 (auto) through
+  /// default_batch_for(resolved_threads(), active SIMD tier). Explicit
+  /// --batch values pass through untouched.
+  [[nodiscard]] int resolved_batch() const;
 
   /// "n=200, 60 trials x 40 destinations" — the benches' title suffix.
   [[nodiscard]] std::string setup_string() const;
@@ -225,6 +235,17 @@ class SweepRunner {
   std::vector<std::string> columns_;
   obs::TraceSink* trace_sink_ = nullptr;
 };
+
+/// Core-scaled default worker-claim size for --batch=0 (auto). The SoA
+/// prebuild path is memory-bound (DESIGN §12): with few threads the shared
+/// LLC absorbs the lane arenas and batching buys little, while wide runs
+/// amortize the per-claim sweep setup across more lanes before the memory
+/// system saturates. Hence 1 (plain claims) for <= 2 threads or the Scalar
+/// tier (no SIMD sweeps to amortize), else ~8 lanes per 4 cores, capped at
+/// the kernels' 64-lane maximum. The crossover behind these constants is
+/// measured by microbench's batch-sweep and recorded in BENCH_core.json
+/// meta (`batch_sweep`).
+[[nodiscard]] int default_batch_for(int threads, core::simd::Tier tier) noexcept;
 
 /// Points with x = k for a plain fault-count sweep.
 [[nodiscard]] std::vector<SweepPoint> fault_count_points(const std::vector<std::size_t>& ks);

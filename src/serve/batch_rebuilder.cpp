@@ -1,0 +1,65 @@
+#include "serve/batch_rebuilder.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "fault/block_model.hpp"
+#include "fault/mcc_model.hpp"
+#include "info/safety_level.hpp"
+
+namespace meshroute::serve {
+
+void BatchRebuilder::build(const Mesh2D& mesh, std::span<const fault::FaultSet* const> faults,
+                           SnapshotScratch& scratch, std::span<SnapshotParts> parts) {
+  const std::size_t k = faults.size();
+  if (parts.size() != k) {
+    throw std::invalid_argument("BatchRebuilder::build: faults/parts size mismatch");
+  }
+  if (k == 0) return;
+
+  fb_planes_.resize(k);
+  mcc1_planes_.resize(k);
+  mcc2_planes_.resize(k);
+  std::vector<fault::BlockSet*> block_out(k);
+  std::vector<fault::MccSet*> mcc1_out(k);
+  std::vector<fault::MccSet*> mcc2_out(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    parts[l].faults = *faults[l];
+    block_out[l] = &parts[l].blocks;
+    mcc1_out[l] = &parts[l].mcc1;
+    mcc2_out[l] = &parts[l].mcc2;
+  }
+
+  // Three SoA sweeps — each lane's final obstacle plane is grabbed through
+  // the after_lane hook while the batch scratch still holds it.
+  fault::build_faulty_blocks_batch(
+      mesh, faults, block_out, scratch.block,
+      [&](int l) { fb_planes_[static_cast<std::size_t>(l)] = scratch.block.bad_plane; });
+  fault::build_mcc_batch(
+      mesh, faults, fault::MccKind::TypeOne, mcc1_out, scratch.mcc1,
+      [&](int l) { mcc1_planes_[static_cast<std::size_t>(l)] = scratch.mcc1.labeled_plane; });
+  fault::build_mcc_batch(
+      mesh, faults, fault::MccKind::TypeTwo, mcc2_out, scratch.mcc2,
+      [&](int l) { mcc2_planes_[static_cast<std::size_t>(l)] = scratch.mcc2.labeled_plane; });
+
+  // One batched safety fill per model stage.
+  std::vector<const core::BitGrid*> planes(k);
+  std::vector<info::SafetyGrid*> safety(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    planes[l] = &fb_planes_[l];
+    safety[l] = &parts[l].fb_safety;
+  }
+  info::compute_safety_levels_batch(mesh, planes, safety);
+  for (std::size_t l = 0; l < k; ++l) {
+    planes[l] = &mcc1_planes_[l];
+    safety[l] = &parts[l].mcc1_safety;
+  }
+  info::compute_safety_levels_batch(mesh, planes, safety);
+  for (std::size_t l = 0; l < k; ++l) {
+    planes[l] = &mcc2_planes_[l];
+    safety[l] = &parts[l].mcc2_safety;
+  }
+  info::compute_safety_levels_batch(mesh, planes, safety);
+}
+
+}  // namespace meshroute::serve

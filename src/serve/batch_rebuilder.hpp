@@ -1,0 +1,45 @@
+// BatchRebuilder: the SoA flight path behind SnapshotBuilder::flush()
+// (DESIGN §15). When several epochs are pending at once — coalesced
+// injections, chaos-schedule replay, journal recovery bursts — each pending
+// epoch is one cumulative fault world (F_0 ⊂ F_1 ⊂ … ⊂ F_{k-1}), and the
+// per-epoch fixpoint sweeps that dominate a publish are exactly the batch
+// kernels' shape: independent fault sets over one mesh. Packing the worlds
+// into core::BitGridBatch lanes runs build_faulty_blocks_batch /
+// build_mcc_batch / compute_safety_levels_batch ONCE for the whole flight —
+// every word op advances all pending epochs — and each lane materializes
+// into its RoutingSnapshot through the parts constructor, bit-identical to
+// what the sequential per-epoch path would have published (tests assert the
+// equivalence epoch by epoch).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitgrid.hpp"
+#include "fault/fault_set.hpp"
+#include "mesh/mesh2d.hpp"
+#include "serve/snapshot.hpp"
+
+namespace meshroute::serve {
+
+class BatchRebuilder {
+ public:
+  /// Fills parts[l] (blocks, both MCCs, all three safety grids; faults are
+  /// adopted from faults[l]) for every lane of the flight. `faults` and
+  /// `parts` must be the same size. Runs three SoA sweeps and three batched
+  /// safety fills over `scratch`'s batch planes; the per-lane obstacle
+  /// planes are copied out lane-by-lane through the builders' after_lane
+  /// hooks into buffers this object retains across flights.
+  void build(const Mesh2D& mesh, std::span<const fault::FaultSet* const> faults,
+             SnapshotScratch& scratch, std::span<SnapshotParts> parts);
+
+ private:
+  /// Per-lane final obstacle planes (faulty-block union / MCC labelings),
+  /// captured while the batch scratch still holds each lane — the inputs to
+  /// the batched safety fills.
+  std::vector<core::BitGrid> fb_planes_;
+  std::vector<core::BitGrid> mcc1_planes_;
+  std::vector<core::BitGrid> mcc2_planes_;
+};
+
+}  // namespace meshroute::serve

@@ -1,11 +1,13 @@
 #include "serve/builder.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <memory>
 #include <thread>
 #include <utility>
 
+#include "info/safety_level.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -23,6 +25,13 @@ dynamic::DynamicMeshState seeded_state(Mesh2D mesh, std::span<const Coord> initi
   dynamic::DynamicMeshState state(std::move(mesh));
   for (const Coord c : initial_faults) state.inject_fault(c);
   return state;
+}
+
+/// Per-epoch snapshot build latency, sequential and batched alike — the
+/// epoch-pipeline headline (BENCH_serve.json rebuild_p99_us).
+obs::Histogram& rebuild_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram("serve.rebuild_us");
+  return h;
 }
 
 }  // namespace
@@ -122,6 +131,7 @@ std::uint64_t SnapshotBuilder::publish() {
     return store_.current_epoch();
   }
 
+  const std::int64_t build_t0 = now_us();
   std::unique_ptr<const RoutingSnapshot> snap;
   if (stall) {
     // The incremental build is wedged; the no-progress watchdog declares it
@@ -139,6 +149,7 @@ std::uint64_t SnapshotBuilder::publish() {
   } else {
     snap = std::make_unique<const RoutingSnapshot>(state_, epoch, scratch_);
   }
+  rebuild_histogram().observe(now_us() - build_t0);
   next_epoch_.store(epoch + 1, std::memory_order_relaxed);
   ++stats_.published;
   stats_.pending_injections = 0;
@@ -148,6 +159,84 @@ std::uint64_t SnapshotBuilder::publish() {
 std::uint64_t SnapshotBuilder::inject_publish(Coord c) {
   inject(c);
   return publish();
+}
+
+void SnapshotBuilder::enqueue(Coord c) {
+  // Journal under the epoch this injection will publish as — the i-th
+  // queued epoch of the flight — so the journal bytes are identical to the
+  // sequential inject()/publish() interleaving's.
+  if (journal_ != nullptr) {
+    journal_->append(JournalRecord{
+        next_epoch_.load(std::memory_order_relaxed) + pending_.size(), c});
+  }
+  state_.inject_fault(c);
+  const std::size_t delta = state_.last_changed().size();
+  if (delta > 0) {
+    ++stats_.injections;
+    ++stats_.pending_injections;
+    stats_.relabeled_nodes += static_cast<std::int64_t>(delta);
+  }
+  pending_.push_back(PendingEpoch{c, state_.faults()});
+}
+
+std::uint64_t SnapshotBuilder::flush(
+    const std::function<void(const RoutingSnapshot&)>& on_publish) {
+  const std::size_t k = pending_.size();
+  if (k == 0) return store_.current_epoch();
+  const std::int64_t t0 = now_us();
+  std::uint64_t epoch = next_epoch_.load(std::memory_order_relaxed);
+
+  const auto publish_one = [&](std::unique_ptr<const RoutingSnapshot> snap) {
+    if (on_publish) on_publish(*snap);
+    next_epoch_.store(epoch + 1, std::memory_order_relaxed);
+    ++stats_.published;
+    store_.publish(std::move(snap));
+    ++epoch;
+  };
+
+#if defined(MESHROUTE_FORCE_SCALAR)
+  // The builders are pinned to their scalar reference kernels: rebuild each
+  // queued world from scratch sequentially (same results, no SoA flight).
+  constexpr bool kBatch = false;
+#else
+  const bool kBatch = k >= 2;
+#endif
+  if (kBatch) {
+    std::vector<const fault::FaultSet*> worlds(k);
+    for (std::size_t l = 0; l < k; ++l) worlds[l] = &pending_[l].faults;
+    std::vector<SnapshotParts> parts(k);
+    rebuilder_.build(mesh(), worlds, scratch_, parts);
+#if !defined(NDEBUG)
+    // The flight's last lane is the live world: its block planes must
+    // coincide with the incrementally-maintained state — the same
+    // equivalence the delta-vs-scratch snapshot test pins.
+    assert(info::obstacle_mask(mesh(), parts.back().blocks) == state_.obstacle_mask());
+    assert(parts.back().fb_safety == state_.safety());
+#endif
+    for (std::size_t l = 0; l < k; ++l) {
+      publish_one(
+          std::make_unique<const RoutingSnapshot>(mesh(), std::move(parts[l]), epoch));
+    }
+    stats_.batched_epochs += k;
+  } else if (k == 1) {
+    // Single pending epoch: the live state IS that world — take the same
+    // delta-fed path as publish(), so flight=1 costs exactly one publish.
+    publish_one(std::make_unique<const RoutingSnapshot>(state_, epoch, scratch_));
+  } else {
+    for (std::size_t l = 0; l < k; ++l) {
+      publish_one(std::make_unique<const RoutingSnapshot>(mesh(), pending_[l].faults, epoch,
+                                                          scratch_));
+    }
+  }
+  pending_.clear();
+  stats_.pending_injections = 0;
+  // Per-epoch share of the flight's wall time: the batched path amortizes
+  // the sweeps, so this is the number that must not regress at flight=1 and
+  // must drop at flight>=4 (BENCH_serve.json rebuild_p99_us).
+  const std::int64_t per_epoch =
+      (now_us() - t0 + static_cast<std::int64_t>(k) / 2) / static_cast<std::int64_t>(k);
+  for (std::size_t l = 0; l < k; ++l) rebuild_histogram().observe(per_epoch);
+  return store_.current_epoch();
 }
 
 }  // namespace meshroute::serve

@@ -26,9 +26,15 @@
 //     after dropped publications), the quantity the serve layer's
 //     max-staleness guard bounds.
 //
-// Single-writer: inject()/publish() must come from one thread (or be
-// externally serialized). Readers need no coordination with the builder at
-// all — that is the point of the store.
+// Epoch pipeline (DESIGN §15): enqueue() queues each injection as its own
+// pending epoch; flush() publishes the whole flight in epoch order, and with
+// >= 2 pending epochs builds every snapshot in ONE batched SoA pass
+// (BatchRebuilder — the block/MCC/safety sweeps advance all pending worlds
+// per word op). Bit-identical to the sequential path, epoch by epoch.
+//
+// Single-writer: inject()/publish()/enqueue()/flush() must come from one
+// thread (or be externally serialized). Readers need no coordination with
+// the builder at all — that is the point of the store.
 #pragma once
 
 #include <atomic>
@@ -38,10 +44,14 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "chaos/fault_schedule.hpp"
 #include "common/coord.hpp"
 #include "dynamic/dynamic_state.hpp"
+#include "fault/fault_set.hpp"
 #include "mesh/mesh2d.hpp"
+#include "serve/batch_rebuilder.hpp"
 #include "serve/journal.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/store.hpp"
@@ -57,6 +67,7 @@ struct BuilderStats {
   std::uint64_t dropped_publishes = 0;   ///< pubdrop chaos: epochs that never landed
   std::uint64_t forced_rebuilds = 0;     ///< watchdog-forced from-scratch rebuilds
   std::uint64_t recovered_records = 0;   ///< journal records replayed at recovery
+  std::uint64_t batched_epochs = 0;      ///< epochs published through the SoA flight path
 };
 
 class SnapshotBuilder {
@@ -105,6 +116,28 @@ class SnapshotBuilder {
   /// inject() + publish() — the one-disturbance-one-epoch convenience.
   std::uint64_t inject_publish(Coord c);
 
+  /// Queue one injection as its OWN pending epoch: the state mutates (and
+  /// the journal records the injection under the epoch it will publish as,
+  /// exactly like the sequential flow) but nothing is published until
+  /// flush(). The cumulative fault world of each queued epoch is captured,
+  /// so a flight of k enqueues publishes k distinct worlds F_0 ⊂ … ⊂
+  /// F_{k-1} — bit-identical to k inject_publish() calls.
+  void enqueue(Coord c);
+
+  /// Number of epochs currently queued for the next flush().
+  [[nodiscard]] std::size_t queued_epochs() const noexcept { return pending_.size(); }
+
+  /// Publish every queued epoch in order through the RCU store. With >= 2
+  /// queued epochs the snapshots are built by one batched SoA flight
+  /// (BatchRebuilder: the block/MCC/safety sweeps each run once across all
+  /// pending worlds as BitGridBatch lanes); a single queued epoch takes the
+  /// same delta-fed path as publish(). Per-epoch build time feeds the
+  /// serve.rebuild_us histogram either way. `on_publish` (optional; used by
+  /// the epoch-equality tests) observes each snapshot right before its swap.
+  /// Serve-chaos events do NOT apply here — their ordinals count publish()
+  /// calls only. Returns the store's epoch after the last swap.
+  std::uint64_t flush(const std::function<void(const RoutingSnapshot&)>& on_publish = {});
+
   /// Epoch the write side has reached (every publish() advances it, dropped
   /// or not); the initial world is epoch 0. Safe to read from any thread
   /// (the --obs-port scrape thread polls it for the epoch_lag gauge).
@@ -132,6 +165,14 @@ class SnapshotBuilder {
   [[nodiscard]] std::unique_ptr<const RoutingSnapshot> recover_snapshot(
       const std::string& journal_path);
 
+  /// One queued epoch of a flight: the injected site plus the cumulative
+  /// fault world the epoch must publish (captured at enqueue() time, since
+  /// the live state keeps advancing under later enqueues).
+  struct PendingEpoch {
+    Coord site;
+    fault::FaultSet faults;
+  };
+
   dynamic::DynamicMeshState state_;
   SnapshotScratch scratch_;
   /// Written only by the single writer; atomic (relaxed) so world_epoch()
@@ -141,6 +182,8 @@ class SnapshotBuilder {
   std::unique_ptr<InjectionJournal> journal_;
   std::vector<chaos::ServeChaosEvent> chaos_events_;  ///< builder kinds only
   std::uint64_t publish_ordinal_ = 0;                 ///< 1-based chaos SEQ counter
+  std::vector<PendingEpoch> pending_;                 ///< flight queued by enqueue()
+  BatchRebuilder rebuilder_;                          ///< retained flight buffers
   SnapshotStore store_;  ///< last: its initial snapshot is built from state_
 };
 

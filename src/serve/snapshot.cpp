@@ -83,6 +83,23 @@ RoutingSnapshot::RoutingSnapshot(const dynamic::DynamicMeshState& state, std::ui
   finish_derived(scratch);
 }
 
+RoutingSnapshot::RoutingSnapshot(const Mesh2D& mesh, SnapshotParts parts, std::uint64_t epoch)
+    : epoch_(epoch),
+      mesh_(mesh),
+      faults_(std::move(parts.faults)),
+      blocks_(std::move(parts.blocks)),
+      mcc1_(std::move(parts.mcc1)),
+      mcc2_(std::move(parts.mcc2)),
+      boundary_(mesh_, blocks_),
+      fb_safety_(std::move(parts.fb_safety)),
+      mcc1_safety_(std::move(parts.mcc1_safety)),
+      mcc2_safety_(std::move(parts.mcc2_safety)) {
+  faulty_mask_ = faults_.mask();
+  info::obstacle_mask(mesh_, blocks_, fb_mask_);
+  info::obstacle_mask(mesh_, mcc1_, mcc1_mask_);
+  info::obstacle_mask(mesh_, mcc2_, mcc2_mask_);
+}
+
 void RoutingSnapshot::finish_derived(SnapshotScratch& scratch) {
   faulty_mask_ = faults_.mask();
   fault::build_mcc(mesh_, faults_, fault::MccKind::TypeOne, mcc1_, scratch.mcc1);

@@ -20,11 +20,14 @@ namespace {
 using simd::SweepScratch;
 using simd::Tier;
 
-/// Tiers worth testing on this machine: scalar + generic always, native only
-/// when the CPU/build provide it (force_tier degrades silently otherwise).
+/// Tiers worth testing on this machine: scalar + generic always, the native
+/// tiers only when the CPU/build provide them (force_tier degrades silently
+/// otherwise). Every equivalence/invariant suite below iterates this list,
+/// so an AVX-512 host automatically byte-checks the native512 kernels too.
 std::vector<Tier> testable_tiers() {
   std::vector<Tier> tiers{Tier::Scalar, Tier::Generic};
   if (simd::native_supported()) tiers.push_back(Tier::Native);
+  if (simd::native512_supported()) tiers.push_back(Tier::Native512);
   return tiers;
 }
 
@@ -324,7 +327,9 @@ TEST(BatchEquivalence, ReachFillIncludingBlockedSourceLane) {
       BitGrid got;
       out.extract_lane(l, got);
       EXPECT_EQ(got, expect) << simd::tier_name(t) << " lane=" << l;
-      if (l == 4) EXPECT_FALSE(got.any());
+      if (l == 4) {
+        EXPECT_FALSE(got.any());
+      }
     }
   }
 }
@@ -340,9 +345,19 @@ TEST(SimdDispatch, ForceTierRoundTripsAndDegrades) {
   EXPECT_EQ(simd::force_tier(Tier::Generic), Tier::Generic);
   const Tier native = simd::force_tier(Tier::Native);
   EXPECT_EQ(native, simd::native_supported() ? Tier::Native : Tier::Generic);
+  // Native512 degrades down the ladder: AVX-512 host -> Native512, AVX2-only
+  // host -> Native, neither -> Generic. Never an unsupported tier.
+  const Tier native512 = simd::force_tier(Tier::Native512);
+  if (simd::native512_supported()) {
+    EXPECT_EQ(native512, Tier::Native512);
+  } else {
+    EXPECT_EQ(native512, simd::native_supported() ? Tier::Native : Tier::Generic);
+  }
+  EXPECT_EQ(simd::active_tier(), native512);
   EXPECT_STREQ(simd::tier_name(Tier::Scalar), "scalar");
   EXPECT_STREQ(simd::tier_name(Tier::Generic), "generic");
   EXPECT_STREQ(simd::tier_name(Tier::Native), "native");
+  EXPECT_STREQ(simd::tier_name(Tier::Native512), "native512");
 }
 
 TEST(SimdInvariants, KernelsPreserveTailBitsAndRowPadding) {

@@ -9,7 +9,10 @@
 // on a field that makes medians incomparable (trace_enabled, build_type) —
 // pass --allow-meta-mismatch to downgrade that to a warning. Kernels present
 // in only one file are reported but do not fail the comparison (adding or
-// retiring a kernel must not break CI against a stale baseline).
+// retiring a kernel must not break CI against a stale baseline), and a
+// baseline median below the timing-resolution floor (1 ns) is warned about
+// and skipped rather than gated — a zeroed or sub-resolution baseline would
+// otherwise flag any real rerun as an unbounded regression.
 //
 // With --metrics the inputs are instead two --metrics snapshots (the
 // {"counters":{...},"histograms":{...}} schema obs::write_metrics_json
@@ -252,7 +255,15 @@ int main(int argc, char** argv) {
   const auto old_medians = medians(old_doc, old_path);
   const auto new_medians = medians(new_doc, new_path);
 
+  // Baselines below the clock's practical resolution carry no information: a
+  // 0 µs median (the zeroed-timings serve files of old, or a kernel faster
+  // than one steady_clock tick per iteration) would flag ANY nonzero rerun
+  // as an unbounded regression. Such kernels are reported as incomparable
+  // and never gate.
+  constexpr double kMinComparableUs = 1e-3;
+
   int regressions = 0;
+  int incomparable = 0;
   std::printf("%-16s %12s %12s %9s\n", "kernel", "old_us", "new_us", "delta");
   for (const auto& [name, new_us] : new_medians) {
     const auto it = old_medians.find(name);
@@ -261,7 +272,18 @@ int main(int argc, char** argv) {
       continue;
     }
     const double old_us = it->second;
-    const double delta = old_us > 0 ? (new_us - old_us) / old_us : 0.0;
+    if (old_us < kMinComparableUs) {
+      ++incomparable;
+      std::printf("%-16s %12.3f %12.3f %9s\n", name.c_str(), old_us, new_us,
+                  "sub-res");
+      std::fprintf(stderr,
+                   "bench_compare: warning: %s baseline median %.6f us is below "
+                   "the %.3f us resolution floor; not comparable — regenerate "
+                   "the baseline with real timings\n",
+                   name.c_str(), old_us, kMinComparableUs);
+      continue;
+    }
+    const double delta = (new_us - old_us) / old_us;
     const bool regressed = new_us > old_us * (1.0 + threshold);
     std::printf("%-16s %12.3f %12.3f %+8.1f%%%s\n", name.c_str(), old_us, new_us,
                 delta * 100.0, regressed ? "  REGRESSION" : "");
@@ -273,6 +295,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (incomparable > 0) {
+    std::printf("%d kernel(s) skipped: baseline below timing resolution\n", incomparable);
+  }
   if (regressions > 0) {
     std::printf("%d kernel(s) regressed beyond %.0f%%\n", regressions, threshold * 100.0);
     return 1;

@@ -50,4 +50,51 @@ if(idx EQUAL -1)
   message(FATAL_ERROR "comparison did not run to completion:\n${out}")
 endif()
 
-message(STATUS "meta mismatch is a hard error; --allow-meta-mismatch downgrades it")
+# Serve BENCH files ("bench":"serve", the serve_sweep schema) carry the same
+# meta.simd comparability field: two serve baselines produced under different
+# kernel tiers must refuse to gate against each other. Same build/trace meta
+# so the failure isolates the simd field.
+set(serve_old "${WORK_DIR}/meta_serve_old.json")
+set(serve_new "${WORK_DIR}/meta_serve_new.json")
+file(WRITE "${serve_old}"
+  "{\"bench\":\"serve\",\"meta\":{\"build_type\":\"Release\",\"trace_enabled\":true,"
+  "\"simd\":\"native512\"},"
+  "\"kernels\":[{\"name\":\"decide_query\",\"iters\":1,\"median_us\":1.0}]}\n")
+file(WRITE "${serve_new}"
+  "{\"bench\":\"serve\",\"meta\":{\"build_type\":\"Release\",\"trace_enabled\":true,"
+  "\"simd\":\"scalar\"},"
+  "\"kernels\":[{\"name\":\"decide_query\",\"iters\":1,\"median_us\":1.0}]}\n")
+execute_process(COMMAND ${BENCH_COMPARE} ${serve_old} ${serve_new}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "serve meta.simd mismatch must exit 2, got ${rc}\n${out}${err}")
+endif()
+string(FIND "${err}" "error: meta.simd differs" idx)
+if(idx EQUAL -1)
+  message(FATAL_ERROR "serve mismatch output missing meta.simd error:\n${err}")
+endif()
+
+# A sub-resolution baseline median (the zeroed-timings serve files of old)
+# must be skipped with a warning, never gated as a regression.
+set(zero_old "${WORK_DIR}/meta_zero_old.json")
+file(WRITE "${zero_old}"
+  "{\"bench\":\"serve\",\"meta\":{\"build_type\":\"Release\",\"trace_enabled\":true,"
+  "\"simd\":\"scalar\"},"
+  "\"kernels\":[{\"name\":\"decide_query\",\"iters\":1,\"median_us\":0.0}]}\n")
+execute_process(COMMAND ${BENCH_COMPARE} ${zero_old} ${serve_new}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "sub-resolution baseline must not gate (exit 0), got ${rc}\n${out}${err}")
+endif()
+string(FIND "${err}" "below" idx)
+if(idx EQUAL -1)
+  message(FATAL_ERROR "sub-resolution baseline must warn:\n${err}")
+endif()
+string(FIND "${out}" "skipped: baseline below timing resolution" idx)
+if(idx EQUAL -1)
+  message(FATAL_ERROR "sub-resolution kernel must be reported as skipped:\n${out}")
+endif()
+
+message(STATUS "meta mismatch is a hard error; --allow-meta-mismatch downgrades it; "
+               "sub-resolution baselines skip")
